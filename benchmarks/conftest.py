@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import pathlib
+
+# Make the sibling helper importable regardless of rootdir layout.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

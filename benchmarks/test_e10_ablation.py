@@ -1,0 +1,107 @@
+"""E10 — ablation: what does the double-expedition property buy?
+
+DEX's novelty over one-step-only designs is the *concurrent two-step
+scheme*.  This ablation runs the generic algorithm with the two-step
+predicate disabled (``P2 ≡ False`` — the one-step scheme and the UC
+pipeline are untouched) against full DEX, over a workload band where the
+inputs mostly satisfy ``C²`` but not ``C¹`` (gap in ``(2t, 4t]``) — the
+band the two-step scheme exists for.
+
+Expected shape: identical behavior on one-step inputs; on the target band
+the ablated variant pays the full 4-step fallback where DEX decides at 2,
+roughly halving mean decision latency there.
+"""
+
+from _util import write_report
+
+from repro.conditions.frequency import FrequencyPair
+from repro.core.dex import DexConsensus
+from repro.harness import AlgorithmSpec, Scenario, dex_freq
+from repro.metrics.collectors import RunAggregate
+from repro.metrics.report import format_table
+from repro.sim.latency import ConstantLatency
+from repro.types import DecisionKind
+from repro.workloads.inputs import with_frequency_gap
+
+N, T = 13, 2
+RUNS = 10
+
+
+class _NoTwoStepPair(FrequencyPair):
+    """The frequency pair with the two-step scheme disabled.
+
+    Deliberately violates LT2 (that is the point of the ablation); the
+    agreement-side criteria LA3/LA4/LU5 still hold, so the algorithm stays
+    safe — it just loses the second fast path.
+    """
+
+    def p2(self, view) -> bool:
+        return False
+
+
+def dex_no_two_step() -> AlgorithmSpec:
+    return AlgorithmSpec(
+        name="dex-no-2step",
+        make=lambda pid, config, value, uc_factory: DexConsensus(
+            pid, config, _NoTwoStepPair(config.n, config.t), value, uc_factory
+        ),
+        required_ratio=6,
+    )
+
+
+def sweep():
+    rows = []
+    for label, gap in [
+        ("one-step band (gap 4t+1..)", 4 * T + 3),
+        ("two-step band (gap 2t+1..4t)", 2 * T + 3),
+        ("off-condition (gap <= 2t)", 1),
+    ]:
+        for spec in (dex_freq(), dex_no_two_step()):
+            aggregate = RunAggregate(label=spec.name)
+            for seed in range(RUNS):
+                # Minority values at the low pids: under constant latency
+                # deliveries arrive in pid order, so every quorum contains
+                # all minority votes — the adversarial arrival order that
+                # keeps opportunistic P1 decisions out of the 2-step band.
+                inputs = list(reversed(with_frequency_gap(1, 2, N, gap)))
+                result = Scenario(
+                    spec, inputs, seed=seed, latency=ConstantLatency(1.0)
+                ).run()
+                assert result.agreement_holds()
+                aggregate.add(result)
+            rows.append(
+                {
+                    "workload": label,
+                    "algorithm": spec.name,
+                    "mean step": round(aggregate.mean_step, 3),
+                    "worst step": aggregate.worst_step,
+                    "two-step frac": round(
+                        aggregate.kind_fraction(DecisionKind.TWO_STEP), 3
+                    ),
+                }
+            )
+    return rows
+
+
+def test_e10_double_expedition_ablation(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(
+        "e10_ablation",
+        format_table(
+            rows,
+            title=f"E10: DEX vs DEX-without-two-step (n={N}, t={T}, "
+            f"{RUNS} runs/cell, constant latency)",
+        ),
+    )
+    by = {(r["workload"], r["algorithm"]): r for r in rows}
+
+    one_band = "one-step band (gap 4t+1..)"
+    two_band = "two-step band (gap 2t+1..4t)"
+    off_band = "off-condition (gap <= 2t)"
+    # identical on one-step inputs
+    assert by[(one_band, "dex-freq")]["mean step"] == by[(one_band, "dex-no-2step")]["mean step"] == 1.0
+    # the two-step band is where double expedition pays: 2 vs 4 steps
+    assert by[(two_band, "dex-freq")]["mean step"] == 2.0
+    assert by[(two_band, "dex-no-2step")]["mean step"] == 4.0
+    # off-condition both fall back identically
+    assert by[(off_band, "dex-freq")]["mean step"] == by[(off_band, "dex-no-2step")]["mean step"] == 4.0

@@ -1,0 +1,76 @@
+"""E11 — sensitivity to the underlying consensus' cost.
+
+The paper abstracts the underlying consensus and gives it "no guarantees
+about its running time".  In practice the fallback's cost determines how
+much the fast paths are worth: the slower the UC, the bigger DEX's win on
+condition inputs — and the bigger its loss off-condition relative to a
+UC-only design that proposes at step 0 instead of step 2.
+
+The bench sweeps the oracle UC's step cost (2 = failure-free optimum,
+larger = degraded/contended UC) over a low-contention workload and
+reports mean decision steps for DEX vs the two-step baseline; the derived
+column shows DEX's latency advantage factor growing with UC cost.
+"""
+
+from _util import write_report
+
+from repro.harness import Scenario, dex_freq, twostep
+from repro.metrics.collectors import RunAggregate
+from repro.metrics.report import format_table
+from repro.sim.latency import ConstantLatency
+from repro.workloads.inputs import ContentionWorkload
+
+N = 7
+RUNS = 20
+CONTENTION = 0.1
+
+
+def sweep():
+    rows = []
+    for uc_cost in (2, 4, 8, 16):
+        means = {}
+        for spec in (dex_freq(), twostep()):
+            workload = ContentionWorkload(
+                N, favourite=1, contenders=[2, 3], p=CONTENTION, seed=uc_cost
+            )
+            aggregate = RunAggregate(label=spec.name)
+            for seed in range(RUNS):
+                result = Scenario(
+                    spec,
+                    workload.vector(),
+                    seed=seed,
+                    uc_step_cost=uc_cost,
+                    latency=ConstantLatency(1.0),
+                ).run()
+                assert result.agreement_holds()
+                aggregate.add(result)
+            means[spec.name] = aggregate.mean_max_step
+        rows.append(
+            {
+                "UC step cost": uc_cost,
+                "dex-freq mean steps": round(means["dex-freq"], 3),
+                "twostep mean steps": round(means["twostep"], 3),
+                "dex advantage ×": round(means["twostep"] / means["dex-freq"], 2),
+            }
+        )
+    return rows
+
+
+def test_e11_uc_cost_sensitivity(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(
+        "e11_uc_cost",
+        format_table(
+            rows,
+            title=f"E11: fast-path value vs underlying-consensus cost "
+            f"(n={N}, contention={CONTENTION}, {RUNS} runs/point)",
+        ),
+    )
+    # the two-step baseline pays the UC cost linearly…
+    twostep_means = [r["twostep mean steps"] for r in rows]
+    assert twostep_means == sorted(twostep_means)
+    assert twostep_means[-1] == 16.0
+    # …while DEX's fast paths shield most runs, so the advantage grows
+    advantages = [r["dex advantage ×"] for r in rows]
+    assert advantages == sorted(advantages)
+    assert advantages[-1] > advantages[0] >= 1.0

@@ -1,0 +1,88 @@
+"""E12 — the real underlying stack vs the oracle abstraction (extension).
+
+The paper's underlying consensus is an abstraction with "no guarantees
+about its running time"; this repo also ships a concrete signature-free
+stack (Bracha RBC + common-coin binary agreement + common subset,
+``n > 3t``).  The bench quantifies what the abstraction hides: steps,
+messages and simulated time of DEX's fallback path under both UC
+implementations, plus the fallback behavior with a Byzantine process in
+the mix.
+
+Expected shape: identical decisions and fast-path behavior; the real
+stack's fallback costs an order of magnitude more messages and
+causal steps (RBC is 3 steps, each ABA round 3+, several rounds) — the
+gap that motivates expediting decisions in the first place.
+"""
+
+from _util import write_report
+
+from repro.harness import Equivocate, Scenario, dex_freq, twostep
+from repro.metrics.report import format_table
+from repro.workloads.inputs import split, unanimous
+
+
+def run_cell(spec, inputs, uc, faults=None, seed=1):
+    result = Scenario(spec, list(inputs), uc=uc, faults=faults or {}, seed=seed).run()
+    assert result.agreement_holds()
+    return result
+
+
+def sweep():
+    rows = []
+    for n in (7, 13):
+        contended = split(1, 2, n, n // 2)
+        for uc in ("oracle", "real"):
+            fast = run_cell(dex_freq(), unanimous(1, n), uc)
+            slow = run_cell(dex_freq(), contended, uc)
+            rows.append(
+                {
+                    "n": n,
+                    "underlying": uc,
+                    "fast-path steps": fast.max_correct_step,
+                    "fallback steps": slow.max_correct_step,
+                    "fallback msgs": slow.stats.messages_sent,
+                    "fallback sim-time": round(slow.end_time, 1),
+                }
+            )
+    return rows
+
+
+def byzantine_row():
+    inputs = split(1, 2, 7, 3)
+    result = run_cell(
+        dex_freq(), inputs, "real", faults={6: Equivocate(1, 2)}, seed=3
+    )
+    return {
+        "n": 7,
+        "underlying": "real (+equivocator)",
+        "fast-path steps": "—",
+        "fallback steps": result.max_correct_step,
+        "fallback msgs": result.stats.messages_sent,
+        "fallback sim-time": round(result.end_time, 1),
+    }
+
+
+def test_e12_real_uc_stack(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows.append(byzantine_row())
+    write_report(
+        "e12_real_uc",
+        format_table(
+            rows,
+            title="E12: DEX fallback under the oracle abstraction vs the real "
+            "RBC+ABA+ACS stack",
+        ),
+    )
+    by = {(r["n"], r["underlying"]): r for r in rows}
+    for n in (7, 13):
+        # fast paths are untouched by the choice of UC
+        assert by[(n, "oracle")]["fast-path steps"] == 1
+        assert by[(n, "real")]["fast-path steps"] == 1
+        # the oracle models the 2-step optimum: fallback at exactly 4
+        assert by[(n, "oracle")]["fallback steps"] == 4
+        # the real stack costs several times more steps and messages
+        assert by[(n, "real")]["fallback steps"] >= 8
+        assert (
+            by[(n, "real")]["fallback msgs"]
+            > 3 * by[(n, "oracle")]["fallback msgs"]
+        )

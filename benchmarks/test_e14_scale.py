@@ -1,0 +1,48 @@
+"""E14 — implementation scaling (engineering benchmark).
+
+Wall-clock cost of simulating one DEX consensus instance as the system
+grows.  Unlike E1–E13 (which regenerate paper results), this is a classic
+pytest-benchmark microbenchmark: several rounds per size, so the timing
+table at the end of the run shows the scaling curve of the simulator +
+protocol implementation itself.  DEX's message complexity is ``Θ(n³)``
+(E4), so simulation time should grow roughly cubically; the assertion only
+pins correctness per round, leaving timing to the benchmark table.
+"""
+
+import pytest
+
+from repro.harness import Scenario, dex_freq
+from repro.workloads.inputs import unanimous
+
+
+@pytest.mark.parametrize("n", [7, 13, 19, 31])
+def test_e14_dex_instance_scaling(benchmark, n):
+    counter = {"seed": 0}
+
+    def run_once():
+        counter["seed"] += 1
+        result = Scenario(dex_freq(), unanimous(1, n), seed=counter["seed"]).run()
+        assert result.decided_value == 1
+        assert result.max_correct_step == 1
+        return result
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.agreement_holds()
+
+
+def test_e14_fallback_scaling(benchmark):
+    """The expensive path: contended input at n=19 through the fallback."""
+    from repro.workloads.inputs import split
+
+    counter = {"seed": 0}
+
+    def run_once():
+        counter["seed"] += 1
+        result = Scenario(
+            dex_freq(), split(1, 2, 19, 9), seed=counter["seed"]
+        ).run()
+        assert result.agreement_holds()
+        return result
+
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert result.all_correct_decided()

@@ -1,0 +1,103 @@
+"""E2 — decision-step distributions and the contention crossover.
+
+The paper's §1.2 trade-off: "DEX takes four steps at worst in well-behaved
+runs while existing one-step algorithms take only three … it is expected to
+work efficiently because the worst-case does not occur so often."
+
+This bench measures the whole curve: mean and worst decision steps of
+DEX-freq, BOSCO-weak and the plain two-step baseline across a contention
+sweep.  Expected shape:
+
+* at low contention DEX ≈ 1 step — beats both baselines;
+* as contention grows DEX degrades through 2-step to its 4-step fallback,
+  BOSCO to its 3-step fallback, the two-step baseline stays at 2;
+* the worst cases observed are exactly 4 / 3 / 2.
+"""
+
+from _util import write_report
+
+from repro.harness import Scenario, bosco_weak, dex_freq, twostep
+from repro.metrics.collectors import RunAggregate
+from repro.metrics.report import format_table
+from repro.sim.latency import ConstantLatency
+from repro.workloads.inputs import ContentionWorkload
+
+N = 7
+RUNS = 30
+CONTENTION = (0.0, 0.1, 0.3, 0.5, 0.8)
+
+
+def sweep():
+    specs = [dex_freq(), bosco_weak(), twostep()]
+    rows = []
+    worst = {spec.name: 0 for spec in specs}
+    for p in CONTENTION:
+        for spec in specs:
+            workload = ContentionWorkload(
+                N, favourite=1, contenders=[2, 3], p=p, seed=int(p * 1000) + 7
+            )
+            aggregate = RunAggregate(label=spec.name)
+            for run in range(RUNS):
+                result = Scenario(
+                    spec,
+                    workload.vector(),
+                    seed=run,
+                    latency=ConstantLatency(1.0),
+                ).run()
+                aggregate.add(result)
+            worst[spec.name] = max(worst[spec.name], aggregate.worst_step)
+            rows.append(
+                {
+                    "contention": p,
+                    "algorithm": spec.name,
+                    "mean step": round(aggregate.mean_step, 3),
+                    "mean slowest": round(aggregate.mean_max_step, 3),
+                    "worst": aggregate.worst_step,
+                    "1-step frac": round(aggregate.fraction_within(1), 3),
+                    "≤2-step frac": round(aggregate.fraction_within(2), 3),
+                }
+            )
+    return rows, worst
+
+
+def test_e2_step_distribution_and_crossover(benchmark):
+    rows, worst = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    from repro.analysis.expected_steps import crossover_contention
+
+    q_dex = crossover_contention(N, 1, algorithm="dex")
+    q_bosco = crossover_contention(N, 1, algorithm="bosco")
+    text = format_table(
+        rows,
+        title=f"E2: decision steps vs contention (n={N}, t=1, {RUNS} runs/point, "
+        "constant latency)",
+    )
+    text += (
+        f"\n\nAnalytic worst-case crossover vs the two-step baseline "
+        f"(two-value model):\n"
+        f"  dex-freq beats 2 steps for P(favourite) > {q_dex:.3f}; "
+        f"bosco only for P(favourite) > {q_bosco:.3f}"
+    )
+    write_report("e2_steps", text)
+    # DEX's double expedition widens the winning region (smaller q*)
+    assert q_dex < q_bosco
+
+    def mean_at(p, name):
+        return next(
+            r["mean slowest"] for r in rows if r["contention"] == p and r["algorithm"] == name
+        )
+
+    # low contention: the fast paths beat the two-step optimum
+    assert mean_at(0.0, "dex-freq") == 1.0
+    assert mean_at(0.0, "bosco-weak") == 1.0
+    assert mean_at(0.0, "twostep") == 2.0
+    # high contention: the crossover — the two-step baseline beats both
+    # fast-path algorithms once inputs leave the conditions
+    assert mean_at(0.8, "twostep") < mean_at(0.8, "bosco-weak")
+    assert mean_at(0.8, "twostep") < mean_at(0.8, "dex-freq")
+    # DEX degrades later than BOSCO: at moderate contention the condition
+    # still holds where BOSCO's unanimity threshold already fails
+    assert mean_at(0.3, "dex-freq") < mean_at(0.3, "bosco-weak")
+    # worst cases exactly as the paper states (4 / 3 / 2)
+    assert worst["dex-freq"] == 4
+    assert worst["bosco-weak"] == 3
+    assert worst["twostep"] == 2

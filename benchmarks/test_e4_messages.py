@@ -1,0 +1,72 @@
+"""E4 — message complexity: what the double expedition costs on the wire.
+
+DEX runs two broadcast mechanisms concurrently (plain + IDB's init/echo),
+so one instance costs ``Θ(n³)`` point-to-point messages against BOSCO's
+``Θ(n²)``.  The bench measures messages per consensus instance for a size
+sweep, on both a fast-path workload and a fallback workload (the fallback
+adds the underlying-consensus traffic for the real stack; the oracle UC is
+message-free by construction, so the real-UC column is reported for n=7
+separately).
+"""
+
+from _util import write_report
+
+from repro.harness import Scenario, bosco_weak, dex_freq, twostep
+from repro.metrics.report import format_table
+from repro.workloads.inputs import split, unanimous
+
+
+def sweep():
+    rows = []
+    for n in (7, 13, 19):
+        for spec in (dex_freq(), bosco_weak(), twostep()):
+            fast = Scenario(spec, unanimous(1, n), seed=1).run()
+            contended = Scenario(spec, split(1, 2, n, n // 2), seed=2).run()
+            rows.append(
+                {
+                    "n": n,
+                    "algorithm": spec.name,
+                    "msgs (unanimous)": fast.stats.messages_sent,
+                    "msgs (contended)": contended.stats.messages_sent,
+                    "msgs/n² (unanimous)": round(fast.stats.messages_sent / n**2, 2),
+                }
+            )
+    return rows
+
+
+def real_uc_comparison():
+    rows = []
+    for spec in (dex_freq(), twostep()):
+        result = Scenario(spec, split(1, 2, 7, 3), uc="real", seed=3).run()
+        rows.append(
+            {
+                "algorithm": spec.name,
+                "underlying": "RBC+ABA+ACS",
+                "msgs (contended, n=7)": result.stats.messages_sent,
+            }
+        )
+    return rows
+
+
+def test_e4_message_complexity(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        rows, title="E4: point-to-point messages per consensus instance (oracle UC)"
+    )
+    text += "\n\n" + format_table(
+        real_uc_comparison(),
+        title="E4b: with the real underlying stack (fallback engaged)",
+    )
+    write_report("e4_messages", text)
+
+    by = {(r["n"], r["algorithm"]): r for r in rows}
+    for n in (7, 13, 19):
+        # DEX pays the IDB premium over BOSCO at every size…
+        assert by[(n, "dex-freq")]["msgs (unanimous)"] > by[(n, "bosco-weak")]["msgs (unanimous)"]
+        # …and the premium is the n³ echo term: at least n× BOSCO's n².
+        assert by[(n, "dex-freq")]["msgs (unanimous)"] >= (n - 2) * by[(n, "bosco-weak")]["msgs (unanimous)"] / 2
+        # two-step sends nothing itself under the oracle abstraction
+        assert by[(n, "twostep")]["msgs (unanimous)"] == 0
+    # growth order: dex messages scale ~n³ (ratio between n=19 and n=7 ≈ 19³/7³ ≈ 20)
+    ratio = by[(19, "dex-freq")]["msgs (unanimous)"] / by[(7, "dex-freq")]["msgs (unanimous)"]
+    assert 10 < ratio < 30

@@ -1,0 +1,84 @@
+"""E5 — replicated state machine ordering latency vs client contention.
+
+The paper's §1.1 motivation made measurable: a replicated KV store orders
+command streams through each algorithm; reported is the mean per-slot
+ordering latency (slowest replica's decision step) across a contention
+sweep.  Expected shape: DEX ≈ 1 step at the "no contention" common case,
+degrading gracefully; the two-step baseline flat at 2; DEX keeps its
+advantage while contention stays below the condition boundary.
+"""
+
+from _util import write_report
+
+from repro.apps.rsm import ReplicatedStateMachine, command_stream
+from repro.harness import Silent, bosco_weak, dex_freq, twostep
+from repro.metrics.report import format_table
+
+N = 7
+SLOTS = 12
+CONTENTION = (0.0, 0.2, 0.5, 0.9)
+
+
+def sweep():
+    commands = command_stream(SLOTS, seed=42)
+    rows = []
+    for p in CONTENTION:
+        for spec in (dex_freq(), bosco_weak(), twostep()):
+            rsm = ReplicatedStateMachine(spec, n=N, contention=p, seed=int(p * 100))
+            report = rsm.run(list(commands))
+            assert not report.divergence
+            rows.append(
+                {
+                    "contention": p,
+                    "algorithm": spec.name,
+                    "slots": report.slots,
+                    "mean slot steps": round(report.mean_slot_steps, 3),
+                    "one-step slots": round(
+                        report.aggregate.fraction_within(1), 3
+                    ),
+                }
+            )
+    return rows
+
+
+def faulty_replica_row():
+    rsm = ReplicatedStateMachine(
+        dex_freq(), n=N, contention=0.2, faults={6: Silent()}, seed=5
+    )
+    report = rsm.run(command_stream(SLOTS, seed=43))
+    return {
+        "contention": 0.2,
+        "algorithm": "dex-freq (+1 silent replica)",
+        "slots": report.slots,
+        "mean slot steps": round(report.mean_slot_steps, 3),
+        "one-step slots": round(report.aggregate.fraction_within(1), 3),
+    }
+
+
+def test_e5_rsm_ordering_latency(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows.append(faulty_replica_row())
+    write_report(
+        "e5_rsm",
+        format_table(
+            rows,
+            title=f"E5: RSM per-slot ordering latency (n={N}, {SLOTS} commands)",
+        ),
+    )
+
+    def mean(p, name):
+        return next(
+            r["mean slot steps"]
+            for r in rows
+            if r["contention"] == p and r["algorithm"] == name
+        )
+
+    assert mean(0.0, "dex-freq") == 1.0
+    assert mean(0.0, "twostep") == 2.0
+    assert mean(0.0, "dex-freq") < mean(0.0, "bosco-weak") or mean(0.0, "bosco-weak") == 1.0
+    # under contention nobody beats their own fallback ceiling
+    assert mean(0.9, "dex-freq") <= 4.0
+    assert mean(0.9, "bosco-weak") <= 3.0
+    assert mean(0.9, "twostep") == 2.0
+    # the faulty-replica row still orders every slot
+    assert rows[-1]["slots"] == SLOTS

@@ -1,0 +1,67 @@
+"""E6 — atomic commitment on the privileged-value pair (§3.4 motivation).
+
+Transactions are decided by DEX instantiated with ``P_prv`` and
+``m = COMMIT``.  The sweep varies the per-participant yes-vote probability;
+reported are commit rate, one-step commit rate and mean decision steps.
+Expected shape: near-unanimous yes workloads commit in one step almost
+always (``#_COMMIT > 3t``); as no-votes accumulate the coordinator slides
+through two-step decisions into the fallback, and the decided outcome
+flips to ABORT once commit votes lose the plurality.
+"""
+
+from _util import write_report
+
+from repro.apps.atomic_commit import AtomicCommitCoordinator
+from repro.metrics.report import format_table
+
+N = 11
+TRANSACTIONS = 25
+YES_PROBABILITIES = (1.0, 0.97, 0.9, 0.75, 0.5, 0.2, 0.0)
+
+
+def sweep():
+    rows = []
+    for p_yes in YES_PROBABILITIES:
+        coordinator = AtomicCommitCoordinator(
+            n=N, vote_yes_probability=p_yes, seed=int(p_yes * 1000)
+        )
+        report = coordinator.run(TRANSACTIONS)
+        rows.append(
+            {
+                "P(vote yes)": p_yes,
+                "commit rate": round(report.commit_rate, 3),
+                "one-step commits": round(report.one_step_commit_rate, 3),
+                "overridden aborts": report.overridden_aborts,
+                "mean steps": round(report.aggregate.mean_max_step, 3),
+                "worst steps": report.aggregate.worst_step,
+            }
+        )
+    return rows
+
+
+def test_e6_atomic_commit(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    write_report(
+        "e6_commit",
+        format_table(
+            rows,
+            title=f"E6: atomic commitment via DEX-prv, m=COMMIT "
+            f"(n={N}, t=2, {TRANSACTIONS} transactions/point)",
+        ),
+    )
+    by_p = {r["P(vote yes)"]: r for r in rows}
+    # all-yes: every transaction commits in one step
+    assert by_p[1.0]["commit rate"] == 1.0
+    assert by_p[1.0]["one-step commits"] == 1.0
+    assert by_p[1.0]["mean steps"] == 1.0
+    # healthy workload: still overwhelmingly one-step
+    assert by_p[0.97]["one-step commits"] >= 0.8
+    # all-no: nothing commits
+    assert by_p[0.0]["commit rate"] == 0.0
+    # the privilege bias of F_prv: m wins whenever #_m > t, so the commit
+    # rate stays well above P(majority yes) at low p_yes — but it is still
+    # monotone in the vote distribution
+    assert by_p[0.2]["commit rate"] < by_p[0.75]["commit rate"]
+    assert by_p[0.2]["commit rate"] > 0.0  # the bias itself, visible
+    # latency degrades from the fast end
+    assert by_p[1.0]["mean steps"] <= by_p[0.75]["mean steps"]

@@ -1,0 +1,79 @@
+"""F1 — reproduce the behavior of Figure 1 (algorithm DEX pseudocode).
+
+Three traced executions exhibit each decision line of the pseudocode:
+
+* line 8  — one-step decision from the plain view ``J1``;
+* line 17 — two-step decision from the IDB view ``J2``;
+* line 21 — adoption of the underlying consensus' decision;
+
+and the trace confirms the guard of each line (``|J| ≥ n − t``, ``P1``/
+``P2``) as well as the lines-12-15 invariant that every correct process
+activates the underlying consensus exactly once.
+"""
+
+from _util import write_report
+
+from repro.harness import Scenario, dex_freq
+from repro.sim.latency import ConstantLatency
+from repro.sim.scheduler import DelaySenders
+from repro.types import DecisionKind
+from repro.workloads.inputs import split, unanimous, with_frequency_gap
+
+
+def run_three_paths():
+    one = Scenario(
+        dex_freq(), unanimous(1, 7), seed=0, trace=True,
+        latency=ConstantLatency(1.0),
+    ).run()
+    two = Scenario(
+        dex_freq(), with_frequency_gap(1, 2, 7, 5), seed=1, trace=True,
+        latency=ConstantLatency(1.0), scheduler=DelaySenders([0], extra=50.0),
+    ).run()
+    fallback = Scenario(
+        dex_freq(), split(1, 2, 7, 3), seed=2, trace=True,
+        latency=ConstantLatency(1.0),
+    ).run()
+    return one, two, fallback
+
+
+def test_figure1_decision_paths(benchmark):
+    one, two, fallback = benchmark.pedantic(run_three_paths, rounds=1, iterations=1)
+
+    lines = ["Figure 1 decision paths (n=7, t=1, constant latency):", ""]
+    for label, result in [("line 8 (one-step)", one),
+                          ("line 17 (two-step)", two),
+                          ("line 21 (underlying)", fallback)]:
+        kinds = sorted({d.kind.value for d in result.correct_decisions.values()})
+        steps = sorted({d.step for d in result.correct_decisions.values()})
+        lines.append(
+            f"{label:22} decided={result.decided_value!r} kinds={kinds} steps={steps}"
+        )
+        for event in result.tracer.by_event("decide")[:3]:
+            lines.append(f"    {event.data}")
+    write_report("figure1_paths", "\n".join(lines))
+
+    # line 8: all correct decide one-step at depth 1
+    assert {d.kind for d in one.correct_decisions.values()} == {DecisionKind.ONE_STEP}
+    assert {d.step for d in one.correct_decisions.values()} == {1}
+    # line 17: the starved schedule forces at least the late processes
+    # through the IDB path at depth 2, never deeper
+    assert DecisionKind.TWO_STEP in {d.kind for d in two.correct_decisions.values()}
+    assert all(d.step <= 2 for d in two.correct_decisions.values())
+    # line 21: off-condition input adopts the underlying consensus at 4 steps
+    assert {d.kind for d in fallback.correct_decisions.values()} == {
+        DecisionKind.UNDERLYING
+    }
+    assert {d.step for d in fallback.correct_decisions.values()} == {4}
+
+
+def test_figure1_uc_activated_exactly_once(benchmark):
+    def run():
+        sim = Scenario(dex_freq(), unanimous(1, 7), seed=3, trace=True).build()
+        sim.run_until_decided()
+        sim.run_to_quiescence()
+        return sim
+
+    sim = benchmark.pedantic(run, rounds=1, iterations=1)
+    calls = [e for e in sim.tracer.events if e.event.startswith("service-call")]
+    callers = [e.pid for e in calls]
+    assert sorted(callers) == list(range(7))  # lines 12-15: once per process

@@ -1,0 +1,56 @@
+"""T1 — regenerate the paper's Table 1 (performance comparison of DEX with
+the existing works), with an empirical validation column.
+
+The paper's table is analytical: per algorithm it states the system model,
+failure type, resilience and one-/two-step feasibility.  This bench prints
+those rows from the algorithm registry and, for every implemented row,
+*measures* the claims: unanimous inputs must decide in one step, contended
+inputs must still terminate with agreement, and the algorithms claiming
+fault-tolerant fast paths (DEX, strong BOSCO) must keep the fast path under
+``f = t`` faults.
+"""
+
+from _util import write_report
+
+from repro.analysis.tables import dex_condition_examples, paper_table1, validated_table1
+from repro.metrics.report import format_table
+
+COLUMNS = [
+    "algorithm",
+    "system",
+    "failures",
+    "processes",
+    "one_step",
+    "two_step",
+    "validated",
+]
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark.pedantic(validated_table1, rounds=1, iterations=1)
+    text = format_table(rows, COLUMNS, title="Table 1: DEX vs existing works")
+    text += "\n\n" + format_table(
+        dex_condition_examples(13),
+        title="Worked condition examples (n=13, t=2): adaptive levels per input",
+    )
+    write_report("table1", text)
+
+    # Every row of the table is implemented and empirically validated —
+    # including the crash-model (izumi) and synchronous (mostefaoui) rows.
+    implemented = [r for r in rows if r["validated"]]
+    assert len(implemented) == 7
+    failures = [r for r in implemented if r["validated"] != "yes"]
+    assert not failures, f"Table 1 claims not reproduced: {failures}"
+
+
+def test_table1_static_rows_match_paper(benchmark):
+    rows = benchmark.pedantic(paper_table1, rounds=3, iterations=1)
+    by_name = {r["algorithm"]: r for r in rows}
+    # Resilience column exactly as printed in the paper.
+    assert by_name["brasileiro"]["processes"] == "3t+1"
+    assert by_name["bosco-weak"]["processes"] == "5t+1 (Weak)"
+    assert by_name["bosco-strong"]["processes"] == "7t+1 (Strong)"
+    assert by_name["dex-freq"]["processes"] == "6t+1"
+    # DEX is the only row with a condition-based two-step column.
+    assert "Condition-Based" in by_name["dex-freq"]["two_step"]
+    assert by_name["bosco-weak"]["two_step"] == "—"

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: one-step Byzantine consensus with DEX in a dozen lines.
+
+Runs DEX (frequency-based pair, n = 7, t = 1) on three inputs and shows
+the doubly-expedited behavior the paper promises:
+
+* a unanimous input decides in **one** communication step;
+* a moderately skewed input decides in **two** steps (via Identical
+  Broadcast) even when the schedule starves the one-step path;
+* a contended input falls back to the underlying consensus (four steps),
+  still safe.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Scenario, dex_freq
+from repro.sim import ConstantLatency, DelaySenders
+
+
+def show(title, result):
+    kinds = sorted({d.kind.value for d in result.correct_decisions.values()})
+    steps = sorted({d.step for d in result.correct_decisions.values()})
+    print(f"{title:34} decided={result.decided_value!r:4} "
+          f"paths={kinds} steps={steps} msgs={result.stats.messages_sent}")
+
+
+def main():
+    print(__doc__)
+
+    # 1. Everyone proposes 1: the classic one-step situation.
+    result = Scenario(dex_freq(), inputs=[1, 1, 1, 1, 1, 1, 1], seed=1).run()
+    show("unanimous [1]*7", result)
+    assert result.max_correct_step == 1
+
+    # 2. One dissenter (gap 5 > 4t) and an adversarial schedule delaying a
+    #    proposer: the one-step predicate misses, the IDB path catches it.
+    result = Scenario(
+        dex_freq(),
+        inputs=[1, 1, 1, 1, 1, 1, 2],
+        seed=2,
+        latency=ConstantLatency(1.0),
+        scheduler=DelaySenders([0], extra=50.0),
+    ).run()
+    show("gap-5 input, starved schedule", result)
+    assert result.max_correct_step <= 2
+
+    # 3. A 4-3 split leaves every condition: the underlying consensus
+    #    (the paper's assumed primitive) decides at step 4.
+    result = Scenario(
+        dex_freq(),
+        inputs=[1, 1, 1, 1, 2, 2, 2],
+        seed=3,
+        latency=ConstantLatency(1.0),
+    ).run()
+    show("contended 4-3 split", result)
+    assert result.max_correct_step == 4
+    print("\nAll three decision paths of Figure 1 exercised — agreement held "
+          "in every run.")
+
+
+if __name__ == "__main__":
+    main()

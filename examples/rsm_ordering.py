@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Replicated state machine ordering — the paper's §1.1 motivation.
+
+Seven replicas of a key-value store order client commands through
+consensus.  When clients rarely collide (the common case the paper argues
+from), every slot is ordered in a single communication step by DEX; a
+plain two-step protocol pays double on every slot.
+
+The script sweeps the contention rate and prints the mean per-slot
+ordering latency for DEX, BOSCO and the two-step baseline.
+
+Run:  python examples/rsm_ordering.py
+"""
+
+from repro import bosco_weak, dex_freq, twostep
+from repro.apps import ReplicatedStateMachine, command_stream
+from repro.metrics import format_table
+
+
+def main():
+    print(__doc__)
+    commands = command_stream(10, seed=7)
+    rows = []
+    for contention in (0.0, 0.1, 0.3, 0.6, 0.9):
+        for spec in (dex_freq(), bosco_weak(), twostep()):
+            rsm = ReplicatedStateMachine(
+                spec, n=7, contention=contention, seed=int(contention * 100)
+            )
+            report = rsm.run(list(commands))
+            assert not report.divergence, "replicas diverged!"
+            rows.append(
+                {
+                    "contention": contention,
+                    "algorithm": spec.name,
+                    "mean slot steps": round(report.mean_slot_steps, 2),
+                    "1-step slots": f"{report.aggregate.fraction_within(1):.0%}",
+                }
+            )
+    print(format_table(rows, title="Per-slot ordering latency (7 replicas, 10 commands)"))
+    print(
+        "\nAt zero contention DEX orders every slot in one step — half the "
+        "latency of the\ntwo-step optimum; the advantage shrinks as "
+        "concurrent client requests increase."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,125 @@
+"""repro — a full reproduction of *Doubly-Expedited One-Step Byzantine
+Consensus* (Banu, Izumi, Wada; DSN 2010).
+
+The package provides:
+
+* :mod:`repro.core` — algorithm **DEX** (Figure 1), generic over legal
+  condition-sequence pairs;
+* :mod:`repro.conditions` — the condition-based machinery of §3: views,
+  adaptive condition sequences, the frequency-based and
+  privileged-value-based pairs, and a mechanical legality checker for
+  criteria LT1–LU5;
+* :mod:`repro.broadcast` — Identical Broadcast (appendix Figure 3) and
+  Bracha reliable broadcast;
+* :mod:`repro.underlying` — the underlying-consensus abstraction (§2.2) as
+  a trusted oracle *and* a real signature-free stack (RBC + common-coin
+  binary agreement + asynchronous common subset);
+* :mod:`repro.baselines` — BOSCO (weak/strong), Brasileiro's one-step
+  converter, and a plain two-step reference;
+* :mod:`repro.sim` / :mod:`repro.runtime` — a deterministic discrete-event
+  simulator and an asyncio runtime, both interpreting the same sans-IO
+  protocols, with causal step accounting matching the paper's
+  communication-step metric;
+* :mod:`repro.byzantine` — a programmable adversary library;
+* :mod:`repro.harness` — declarative scenario construction;
+* :mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.analysis`,
+  :mod:`repro.apps` — experiment support and the motivating applications.
+
+Quickstart::
+
+    from repro import Scenario, dex_freq
+
+    result = Scenario(dex_freq(), inputs=[1] * 7, seed=1).run()
+    print(result.decided_value, result.max_correct_step)   # 1 1
+"""
+
+from .conditions import (
+    ConditionSequence,
+    ConditionSequencePair,
+    FrequencyPair,
+    LegalityChecker,
+    PrivilegedPair,
+    View,
+)
+from .core import DexConsensus
+from .errors import (
+    ConfigurationError,
+    LegalityError,
+    ReproError,
+    ResilienceError,
+    SimulationDeadlock,
+    SimulationError,
+)
+from .harness import (
+    AlgorithmSpec,
+    Collapse,
+    Crash,
+    Custom,
+    Equivocate,
+    Fault,
+    Garbage,
+    Scenario,
+    Silent,
+    Spoiler,
+    all_algorithms,
+    bosco_strong,
+    bosco_weak,
+    brasileiro,
+    dex_freq,
+    dex_prv,
+    izumi,
+    run_once,
+    twostep,
+)
+from .sim import RunResult, Simulation
+from .types import BOTTOM, Decision, DecisionKind, SystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DexConsensus",
+    # conditions
+    "View",
+    "ConditionSequence",
+    "ConditionSequencePair",
+    "FrequencyPair",
+    "PrivilegedPair",
+    "LegalityChecker",
+    # harness
+    "Scenario",
+    "AlgorithmSpec",
+    "run_once",
+    "all_algorithms",
+    "dex_freq",
+    "dex_prv",
+    "bosco_weak",
+    "bosco_strong",
+    "brasileiro",
+    "izumi",
+    "twostep",
+    "Fault",
+    "Silent",
+    "Crash",
+    "Equivocate",
+    "Garbage",
+    "Spoiler",
+    "Collapse",
+    "Custom",
+    # runtime
+    "Simulation",
+    "RunResult",
+    # types
+    "BOTTOM",
+    "SystemConfig",
+    "Decision",
+    "DecisionKind",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ResilienceError",
+    "SimulationError",
+    "SimulationDeadlock",
+    "LegalityError",
+]

@@ -1,0 +1,87 @@
+"""Closed-form expected decision-step bounds under the two-value model.
+
+Combining the guarantee probabilities of
+:mod:`repro.analysis.closed_form` with each algorithm's step structure
+(E13) gives an analytic counterpart of the E2 latency curves.  Using
+*guarantees* (worst-case schedules) rather than opportunistic behavior,
+the numbers are upper bounds on the slowest correct decision step:
+
+* DEX-freq:   ``1·P(C¹_f) + 2·(P(C²_f) − P(C¹_f)) + (2 + u)·(1 − P(C²_f))``
+* BOSCO:      ``1·P(G_f)  + (1 + u)·(1 − P(G_f))``
+* two-step:   ``u`` always,
+
+where ``u`` is the underlying consensus' step cost (2 = failure-free
+optimum) and ``P(G_f)`` BOSCO's worst-case one-step guarantee.  The bench
+E2 measures schedules more favourable than worst case, so measured means
+must sit at or below these bounds — a consistency check the test suite
+enforces — and the :func:`crossover_contention` solver locates the
+workload where DEX's bound crosses the two-step baseline, the analytic
+version of E2's crossover.
+"""
+
+from __future__ import annotations
+
+from .closed_form import (
+    bosco_one_step,
+    dex_freq_one_step,
+    dex_freq_two_step,
+)
+
+
+def dex_freq_expected_steps(
+    n: int, t: int, f: int, q: float, uc_cost: int = 2
+) -> float:
+    """Upper bound on DEX-freq's expected slowest decision step."""
+    p1 = dex_freq_one_step(n, t, f, q)
+    p2 = dex_freq_two_step(n, t, f, q)
+    return 1.0 * p1 + 2.0 * (p2 - p1) + (2.0 + uc_cost) * (1.0 - p2)
+
+
+def bosco_expected_steps(n: int, t: int, f: int, q: float, uc_cost: int = 2) -> float:
+    """Upper bound on BOSCO's expected slowest decision step."""
+    p = bosco_one_step(n, t, f, q)
+    return 1.0 * p + (1.0 + uc_cost) * (1.0 - p)
+
+
+def twostep_expected_steps(uc_cost: int = 2) -> float:
+    """The zero-degradation baseline: always the underlying cost."""
+    return float(uc_cost)
+
+
+def crossover_contention(
+    n: int,
+    t: int,
+    f: int = 0,
+    uc_cost: int = 2,
+    algorithm: str = "dex",
+    tolerance: float = 1e-4,
+) -> float:
+    """The favourite-probability ``q*`` where the algorithm's expected-step
+    bound equals the two-step baseline's.
+
+    For ``q > q*`` the fast-path algorithm's *worst-case bound* beats the
+    plain two-step design; below it, the fallback dominates.  Solved by
+    bisection (the bounds are monotone in ``q`` on ``[0.5, 1]``).
+
+    Args:
+        algorithm: ``"dex"`` or ``"bosco"``.
+    """
+    if algorithm == "dex":
+        bound = lambda q: dex_freq_expected_steps(n, t, f, q, uc_cost)  # noqa: E731
+    elif algorithm == "bosco":
+        bound = lambda q: bosco_expected_steps(n, t, f, q, uc_cost)  # noqa: E731
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    target = twostep_expected_steps(uc_cost)
+    low, high = 0.5, 1.0
+    if bound(high) > target:
+        return 1.0  # never beats the baseline (in the worst-case bound)
+    if bound(low) <= target:
+        return 0.5  # always at or below the baseline
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if bound(mid) <= target:
+            high = mid
+        else:
+            low = mid
+    return (low + high) / 2.0

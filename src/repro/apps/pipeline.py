@@ -1,0 +1,258 @@
+"""Pipelined repeated consensus: many DEX instances over one network.
+
+:class:`~repro.apps.rsm.ReplicatedStateMachine` runs one simulation per
+slot — simple, but it serialises slots and hides pipelining effects.  This
+module multiplexes an unbounded sequence of consensus instances inside a
+*single* simulation:
+
+* :class:`SlotMultiplexer` — a composite protocol hosting one consensus
+  child per slot (``slot0``, ``slot1``, …), created lazily on first use —
+  including on the first *message* for a slot this process has not reached
+  yet, so fast replicas never outrun slow ones' ability to participate;
+* :class:`PipelinedReplica` — a replica that keeps a window of ``W`` slots
+  in flight: slot ``k + W`` is proposed as soon as slot ``k`` decides.
+  With ``W = 1`` this is sequential repeated consensus; larger windows
+  overlap instances exactly like a production replicated log does.
+
+The per-slot decisions surface as ``Deliver(tag="slot-decided",
+value=(slot, value, kind))`` runner outputs (timestamped in the trace),
+and the replica emits its single ``Decide`` when the whole log is ordered,
+which is the run's stop condition.  :func:`run_pipelined` wires a full
+deployment and checks that all correct replicas ordered the *same log*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ..conditions.frequency import FrequencyPair
+from ..core.dex import DexConsensus
+from ..errors import ConfigurationError
+from ..runtime.composite import CompositeProtocol, Envelope
+from ..runtime.effects import Decide, Deliver, Effect
+from ..runtime.protocol import Protocol
+from ..sim.runner import RunResult, Simulation
+from ..types import DecisionKind, ProcessId, SystemConfig, Value
+from ..underlying.oracle import OracleConsensus, OracleService
+
+SLOT_DECIDED_TAG = "slot-decided"
+
+#: builds the consensus instance for one slot: ``(slot, proposal) -> Protocol``.
+InstanceFactory = Callable[[int, Value], Protocol]
+
+
+class SlotMultiplexer(CompositeProtocol):
+    """Hosts one consensus child per slot, created lazily.
+
+    Children are named ``slot<k>``.  A child can come into existence two
+    ways: locally via :meth:`propose`, or remotely when the first envelope
+    for an unseen slot arrives — in that case the instance is created
+    *without* proposing (its ``on_start`` runs only when this process
+    proposes), which is exactly how a lagging replica participates in a
+    round it has not reached.
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        make_instance: InstanceFactory,
+        max_slots: int = 10_000,
+    ) -> None:
+        super().__init__(process_id, config)
+        self._make_instance = make_instance
+        self._max_slots = max_slots
+        self._proposed: set[int] = set()
+        self.decided: dict[int, tuple[Value, DecisionKind]] = {}
+
+    # -- slot management -----------------------------------------------------------
+
+    def _slot_of(self, component: str) -> int | None:
+        if not component.startswith("slot"):
+            return None
+        try:
+            slot = int(component[4:])
+        except ValueError:
+            return None
+        if not 0 <= slot < self._max_slots:
+            return None  # Byzantine slot-number inflation guard
+        return slot
+
+    def _ensure(self, slot: int) -> Protocol:
+        name = f"slot{slot}"
+        if name not in self._children:
+            self.add_child(name, self._make_instance(slot, None))
+        return self.child(name)
+
+    def propose(self, slot: int, value: Value) -> list[Effect]:
+        """Start this process's participation in ``slot`` with ``value``."""
+        if slot in self._proposed:
+            return []
+        self._proposed.add(slot)
+        name = f"slot{slot}"
+        if name in self._children:
+            node = self.child(name)
+            node.proposal = value  # created lazily by a remote message
+        else:
+            node = self.add_child(name, self._make_instance(slot, value))
+        return self.child_call(name, node.on_start())
+
+    # -- routing ---------------------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if isinstance(payload, Envelope):
+            slot = self._slot_of(payload.component)
+            if slot is not None:
+                self._ensure(slot)
+        return super().on_message(sender, payload)
+
+    def on_child_output(self, name: str, effect: Effect) -> list[Effect]:
+        slot = self._slot_of(name)
+        if slot is None or not isinstance(effect, Decide):
+            return []
+        if slot in self.decided:
+            return []
+        self.decided[slot] = (effect.value, effect.kind)
+        return [Deliver(SLOT_DECIDED_TAG, self.process_id, (slot, effect.value, effect.kind))]
+
+
+class PipelinedReplica(CompositeProtocol):
+    """A log replica keeping ``window`` consensus slots in flight.
+
+    Args:
+        process_id: replica id.
+        config: system parameters.
+        proposals: this replica's proposal per slot (the workload).
+        make_instance: per-slot consensus factory.
+        window: number of concurrently open slots (``>= 1``).
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        proposals: Sequence[Value],
+        make_instance: InstanceFactory,
+        window: int = 4,
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be at least 1")
+        if not proposals:
+            raise ConfigurationError("need at least one slot proposal")
+        super().__init__(process_id, config)
+        self.proposals = list(proposals)
+        self.window = window
+        self._mux = self.add_child(
+            "mux", SlotMultiplexer(process_id, config, make_instance)
+        )
+        self._next_slot = 0
+        self.log: dict[int, Value] = {}
+        self._done = False
+
+    @property
+    def total_slots(self) -> int:
+        return len(self.proposals)
+
+    def _open_slots(self) -> list[Effect]:
+        """Propose until ``window`` slots are in flight (or none remain)."""
+        effects: list[Effect] = []
+        while (
+            self._next_slot < self.total_slots
+            and self._next_slot - len(self.log) < self.window
+        ):
+            slot = self._next_slot
+            self._next_slot += 1
+            effects.extend(
+                self.child_call("mux", self._mux.propose(slot, self.proposals[slot]))
+            )
+        return effects
+
+    def on_start(self) -> list[Effect]:
+        return self._open_slots()
+
+    def on_child_output(self, name: str, effect: Effect) -> list[Effect]:
+        if not (isinstance(effect, Deliver) and effect.tag == SLOT_DECIDED_TAG):
+            return []
+        slot, value, kind = effect.value
+        self.log[slot] = value
+        effects: list[Effect] = [effect]  # re-surface for the runner's records
+        effects.extend(self._open_slots())
+        if len(self.log) == self.total_slots and not self._done:
+            self._done = True
+            ordered = tuple(self.log[s] for s in range(self.total_slots))
+            effects.append(Decide(ordered, DecisionKind.UNDERLYING))
+        return effects
+
+
+def dex_slot_factory(
+    process_id: ProcessId, config: SystemConfig
+) -> InstanceFactory:
+    """Per-slot DEX instances (frequency pair) over the shared oracle UC.
+
+    Each slot uses its own oracle-UC instance key, so one
+    :class:`~repro.underlying.oracle.OracleService` serves the whole log.
+    """
+    pair = FrequencyPair(config.n, config.t)
+
+    def make(slot: int, proposal: Value) -> Protocol:
+        return DexConsensus(
+            process_id,
+            config,
+            pair,
+            proposal,
+            uc_factory=lambda pid, cfg, slot=slot: OracleConsensus(
+                pid, cfg, instance=slot
+            ),
+        )
+
+    return make
+
+
+def run_pipelined(
+    proposals: Mapping[ProcessId, Sequence[Value]] | Sequence[Sequence[Value]],
+    t: int | None = None,
+    window: int = 4,
+    seed: int = 0,
+    trace: bool = True,
+) -> tuple[RunResult, dict[ProcessId, tuple[Value, ...]]]:
+    """Run a pipelined DEX log end to end.
+
+    Args:
+        proposals: ``proposals[pid][slot]`` — each replica's proposal per
+            slot; all replicas must have the same slot count.
+        t: failure bound (default: frequency pair's maximum for this n).
+        window: slots kept in flight per replica.
+        seed: simulation seed.
+        trace: keep the structured trace (per-slot timestamps live there).
+
+    Returns:
+        ``(run_result, logs)`` where ``logs[pid]`` is the ordered decided
+        log of each replica — identical across correct replicas.
+    """
+    table = dict(enumerate(proposals)) if not isinstance(proposals, Mapping) else dict(proposals)
+    n = len(table)
+    slot_counts = {len(v) for v in table.values()}
+    if len(slot_counts) != 1:
+        raise ConfigurationError("all replicas need the same number of slots")
+    if t is None:
+        t = max((n - 1) // 6, 0)
+    config = SystemConfig(n, t)
+    service = OracleService(config)
+    protocols = {
+        pid: PipelinedReplica(
+            pid, config, table[pid], dex_slot_factory(pid, config), window=window
+        )
+        for pid in config.processes
+    }
+    sim = Simulation(
+        config,
+        protocols,
+        services={"oracle-uc": service},
+        seed=seed,
+        trace=trace,
+    )
+    result = sim.run_until_decided()
+    logs = {
+        pid: decision.value for pid, decision in result.correct_decisions.items()
+    }
+    return result, logs

@@ -1,0 +1,131 @@
+"""BOSCO — one-step Byzantine consensus (Song & van Renesse, DISC 2008).
+
+The comparison point of the paper's Table 1 (row "Yee et.al [12] (Bosco)").
+Every process broadcasts a vote; **at the moment the ``n − t``-th vote
+arrives** the process evaluates, exactly once:
+
+* if *more than* ``(n + 3t) / 2`` votes carry the same value ``v``, decide
+  ``v`` immediately (one step);
+* if more than ``(n − t) / 2`` votes carry the same value ``v`` — necessarily
+  unique — propose ``v`` to the underlying consensus, otherwise propose the
+  own initial value;
+* adopt the underlying consensus' decision if none was made.
+
+With ``n > 5t`` BOSCO is *weakly* one-step (one-step decision when all
+processes propose the same value and no process is faulty); with ``n > 7t``
+the same algorithm is *strongly* one-step (one-step decision whenever all
+*correct* processes propose the same value, any number ``≤ t`` of faults).
+
+The instructive contrast with DEX: BOSCO's predicate is evaluated on the
+*first* ``n − t`` votes only, whereas DEX keeps re-evaluating as further
+(correct) proposals arrive — the adaptiveness gap that experiment E1
+quantifies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ResilienceError
+from ..runtime.composite import CompositeProtocol
+from ..runtime.effects import Broadcast, Decide, Deliver, Effect
+from ..types import DecisionKind, ProcessId, SystemConfig, Value
+from ..underlying.base import UC_DECIDE_TAG, UnderlyingConsensus
+from ..underlying.oracle import OracleConsensus
+
+UcFactory = Callable[[ProcessId, SystemConfig], UnderlyingConsensus]
+
+
+@dataclass(frozen=True, slots=True)
+class BoscoVote:
+    """The single broadcast message of BOSCO."""
+
+    value: Value
+
+
+class BoscoConsensus(CompositeProtocol):
+    """One process's BOSCO instance.
+
+    Args:
+        process_id: hosting process.
+        config: ``n > 5t`` for ``variant="weak"``, ``n > 7t`` for
+            ``variant="strong"``.
+        proposal: the initial value.
+        variant: which one-step property the deployment claims; the message
+            flow is identical, only the resilience check differs.
+        uc_factory: underlying-consensus child factory (defaults to the
+            oracle abstraction, as for DEX).
+    """
+
+    RATIOS = {"weak": 5, "strong": 7}
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        proposal: Value,
+        variant: str = "weak",
+        uc_factory: UcFactory | None = None,
+    ) -> None:
+        if variant not in self.RATIOS:
+            raise ValueError(f"variant must be 'weak' or 'strong', got {variant!r}")
+        ratio = self.RATIOS[variant]
+        if not config.satisfies(ratio):
+            raise ResilienceError(
+                f"BOSCO ({variant})", config.n, config.t, f"n > {ratio}t"
+            )
+        super().__init__(process_id, config)
+        self.proposal = proposal
+        self.variant = variant
+        make_uc = uc_factory or (lambda pid, cfg: OracleConsensus(pid, cfg))
+        self._uc = self.add_child("uc", make_uc(process_id, config))
+        self._votes: dict[ProcessId, Value] = {}
+        self._evaluated = False
+        self.decided = False
+        self.decision_kind: DecisionKind | None = None
+
+    def on_start(self) -> list[Effect]:
+        return [Broadcast(BoscoVote(self.proposal))]
+
+    def on_own_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if not isinstance(payload, BoscoVote):
+            return [self.log("bosco-ignored", sender=sender, payload=repr(payload))]
+        try:
+            hash(payload.value)
+        except TypeError:
+            return [self.log("bosco-unhashable-dropped", sender=sender)]
+        self._votes.setdefault(sender, payload.value)
+        if len(self._votes) >= self.quorum and not self._evaluated:
+            return self._evaluate()
+        return []
+
+    def _evaluate(self) -> list[Effect]:
+        """The once-only threshold logic, on exactly the first ``n−t`` votes."""
+        self._evaluated = True
+        counts = Counter(self._votes.values())
+        effects: list[Effect] = []
+        for value, count in counts.items():
+            if 2 * count > self.n + 3 * self.t:
+                effects.extend(self._decide(value, DecisionKind.FAST))
+                break
+        majority = [v for v, c in counts.items() if 2 * c > self.n - self.t]
+        next_proposal = majority[0] if len(majority) == 1 else self.proposal
+        effects.extend(self.child_call("uc", self._uc.propose(next_proposal)))
+        return effects
+
+    def on_child_output(self, name: str, effect) -> list[Effect]:
+        if (
+            name == "uc"
+            and isinstance(effect, Deliver)
+            and effect.tag == UC_DECIDE_TAG
+            and not self.decided
+        ):
+            return self._decide(effect.value, DecisionKind.UNDERLYING)
+        return []
+
+    def _decide(self, value: Value, kind: DecisionKind) -> list[Effect]:
+        self.decided = True
+        self.decision_kind = kind
+        return [Decide(value, kind)]

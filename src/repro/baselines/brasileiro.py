@@ -1,0 +1,113 @@
+"""Brasileiro et al.'s one-step converter (SRDS 2001) — crash-model baseline.
+
+The first one-step scheme (Table 1, row "Brasileiro et.al [2]"): a wrapper
+that turns any crash-tolerant consensus into one deciding in a single step
+when all processes propose the same value, for ``n > 3t`` crash failures:
+
+1. broadcast the initial value, collect the first ``n − t`` values;
+2. if **all** ``n − t`` values equal ``v``: decide ``v`` (one step);
+3. if at least ``n − 2t`` of them equal ``v``: propose ``v`` to the
+   underlying consensus, otherwise propose the own value;
+4. adopt the underlying consensus' decision if step 2 didn't fire.
+
+Safety rests on crash semantics (a faulty process may stop but never lies),
+so deployments of this baseline must restrict the fault injection to
+:class:`~repro.byzantine.adversary.CrashBehavior` /
+:class:`~repro.byzantine.adversary.SilentBehavior` — which the experiment
+harness (:mod:`repro.harness`) enforces.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ResilienceError
+from ..runtime.composite import CompositeProtocol
+from ..runtime.effects import Broadcast, Decide, Deliver, Effect
+from ..types import DecisionKind, ProcessId, SystemConfig, Value
+from ..underlying.base import UC_DECIDE_TAG, UnderlyingConsensus
+from ..underlying.oracle import OracleConsensus
+
+UcFactory = Callable[[ProcessId, SystemConfig], UnderlyingConsensus]
+
+
+@dataclass(frozen=True, slots=True)
+class BrasileiroValue:
+    """The single broadcast message of the converter."""
+
+    value: Value
+
+
+class BrasileiroConsensus(CompositeProtocol):
+    """One process's instance of the crash-model one-step converter.
+
+    Args:
+        process_id: hosting process.
+        config: must satisfy ``n > 3t`` (crash failures).
+        proposal: the initial value.
+        uc_factory: underlying-consensus child factory.
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        proposal: Value,
+        uc_factory: UcFactory | None = None,
+    ) -> None:
+        if not config.satisfies(3):
+            raise ResilienceError("Brasileiro", config.n, config.t, "n > 3t")
+        super().__init__(process_id, config)
+        self.proposal = proposal
+        make_uc = uc_factory or (lambda pid, cfg: OracleConsensus(pid, cfg))
+        self._uc = self.add_child("uc", make_uc(process_id, config))
+        self._values: dict[ProcessId, Value] = {}
+        self._evaluated = False
+        self.decided = False
+        self.decision_kind: DecisionKind | None = None
+
+    def on_start(self) -> list[Effect]:
+        return [Broadcast(BrasileiroValue(self.proposal))]
+
+    def on_own_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if not isinstance(payload, BrasileiroValue):
+            return [self.log("brasileiro-ignored", sender=sender)]
+        try:
+            hash(payload.value)
+        except TypeError:
+            return [self.log("brasileiro-unhashable-dropped", sender=sender)]
+        self._values.setdefault(sender, payload.value)
+        if len(self._values) >= self.quorum and not self._evaluated:
+            return self._evaluate()
+        return []
+
+    def _evaluate(self) -> list[Effect]:
+        self._evaluated = True
+        counts = Counter(self._values.values())
+        effects: list[Effect] = []
+        top_value, top_count = counts.most_common(1)[0]
+        if top_count >= self.quorum:  # all n−t received values identical
+            effects.extend(self._decide(top_value, DecisionKind.FAST))
+        if top_count >= self.n - 2 * self.t:
+            next_proposal = top_value
+        else:
+            next_proposal = self.proposal
+        effects.extend(self.child_call("uc", self._uc.propose(next_proposal)))
+        return effects
+
+    def on_child_output(self, name: str, effect) -> list[Effect]:
+        if (
+            name == "uc"
+            and isinstance(effect, Deliver)
+            and effect.tag == UC_DECIDE_TAG
+            and not self.decided
+        ):
+            return self._decide(effect.value, DecisionKind.UNDERLYING)
+        return []
+
+    def _decide(self, value: Value, kind: DecisionKind) -> list[Effect]:
+        self.decided = True
+        self.decision_kind = kind
+        return [Decide(value, kind)]

@@ -1,0 +1,136 @@
+"""Adaptive condition-based one-step consensus for crash failures.
+
+The Table 1 row "Izumi et.al [8]" (asynchronous, crash, ``3t+1``,
+condition-based one-step): the adaptive condition-based approach was
+introduced there, and DEX is its Byzantine descendant.  This implementation
+is the crash-model skeleton of DEX — one view, one fast path, the
+underlying consensus as fallback:
+
+* broadcast the proposal; maintain the view ``J`` of first values;
+* on every update with ``|J| ≥ n − t``: propose ``1st(J)`` to the
+  underlying consensus (once), and decide ``1st(J)`` immediately when
+
+  .. math:: \\#_{1st(J)}(J) - \\#_{2nd(J)}(J) > t + \\#_\\bot(J)
+
+Why this predicate is safe under crashes (no lies, so every view is a
+sub-vector of the input ``I``): if ``p`` decides ``a`` with ``k_p`` missing
+entries, then in ``I`` the gap of ``a`` over any ``x`` exceeds
+``t + k_p − k_p = t``; any other view ``J'`` misses at most ``t`` entries,
+so ``a`` still leads by more than ``t − k' ≥ 0`` — every process's ``1st``
+is ``a``, making both other fast deciders and every underlying-consensus
+proposal agree with ``p``.
+
+The guaranteed-fast-decision condition is adaptive exactly like DEX's:
+with ``f`` actual crashes the view eventually misses only ``f`` entries,
+so one-step decision is guaranteed for ``I ∈ C_freq(t + 2f)`` — the
+sequence ``C_k = C_freq(t + 2k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..conditions.views import View
+from ..errors import ResilienceError
+from ..runtime.composite import CompositeProtocol
+from ..runtime.effects import Broadcast, Decide, Deliver, Effect
+from ..types import BOTTOM, DecisionKind, ProcessId, SystemConfig, Value
+from ..underlying.base import UC_DECIDE_TAG, UnderlyingConsensus
+from ..underlying.oracle import OracleConsensus
+
+UcFactory = Callable[[ProcessId, SystemConfig], UnderlyingConsensus]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashValue:
+    """The single broadcast message."""
+
+    value: Value
+
+
+def crash_one_step_level(vector: View, t: int) -> int | None:
+    """Largest ``k`` with ``vector ∈ C_freq(t + 2k)`` (``k ≤ t``), i.e. the
+    adaptive level of the crash-model one-step guarantee."""
+    best = None
+    for k in range(t + 1):
+        if vector.frequency_gap() > t + 2 * k:
+            best = k
+        else:
+            break
+    return best
+
+
+class IzumiCrashConsensus(CompositeProtocol):
+    """One process's instance of the adaptive crash-model one-step scheme.
+
+    Args:
+        process_id: hosting process.
+        config: must satisfy ``n > 3t`` (the Table 1 resilience of the row;
+            the fast path itself only needs ``n > t``).
+        proposal: initial value.
+        uc_factory: underlying-consensus child factory.
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        proposal: Value,
+        uc_factory: UcFactory | None = None,
+    ) -> None:
+        if not config.satisfies(3):
+            raise ResilienceError("IzumiCrashConsensus", config.n, config.t, "n > 3t")
+        super().__init__(process_id, config)
+        self.proposal = proposal
+        make_uc = uc_factory or (lambda pid, cfg: OracleConsensus(pid, cfg))
+        self._uc = self.add_child("uc", make_uc(process_id, config))
+        self._view: list[Value] = [BOTTOM] * config.n
+        self.decided = False
+        self.decision_kind: DecisionKind | None = None
+
+    @property
+    def view(self) -> View:
+        return View(self._view)
+
+    def on_start(self) -> list[Effect]:
+        self._view[self.process_id] = self.proposal
+        return [Broadcast(CrashValue(self.proposal))] + self._check()
+
+    def on_own_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if not isinstance(payload, CrashValue):
+            return [self.log("izumi-ignored", sender=sender)]
+        try:
+            hash(payload.value)
+        except TypeError:
+            return [self.log("izumi-unhashable-dropped", sender=sender)]
+        if self._view[sender] is BOTTOM:
+            self._view[sender] = payload.value
+        return self._check()
+
+    def _check(self) -> list[Effect]:
+        view = self.view
+        if view.known < self.quorum:
+            return []
+        effects: list[Effect] = []
+        if not self._uc.has_proposed:
+            effects.extend(self.child_call("uc", self._uc.propose(view.first())))
+        missing = self.n - view.known
+        if not self.decided and view.frequency_gap() > self.t + missing:
+            effects.extend(self._decide(view.first(), DecisionKind.ONE_STEP))
+        return effects
+
+    def on_child_output(self, name: str, effect) -> list[Effect]:
+        if (
+            name == "uc"
+            and isinstance(effect, Deliver)
+            and effect.tag == UC_DECIDE_TAG
+            and not self.decided
+        ):
+            return self._decide(effect.value, DecisionKind.UNDERLYING)
+        return []
+
+    def _decide(self, value: Value, kind: DecisionKind) -> list[Effect]:
+        self.decided = True
+        self.decision_kind = kind
+        return [Decide(value, kind)]

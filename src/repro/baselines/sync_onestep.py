@@ -1,0 +1,130 @@
+"""One-round condition-based consensus in the synchronous crash model.
+
+The Table 1 row "Mostefaoui et.al [11]" (synchronous, crash, ``t+1``
+processes, condition-based one-step decision).  Algorithm (runs on
+:class:`repro.sim.synchronous.SynchronousSimulation`):
+
+* **round 1** — broadcast the proposal; build the view ``V`` (``⊥`` for
+  senders whose message was lost to a crash).  Decide ``1st(V)`` right at
+  the end of round 1 when
+
+  .. math:: \\#_{1st(V)}(V) - \\#_{2nd(V)}(V) > t + \\#_\\bot(V)
+
+* **rounds 2 … t+1** — flood everything known (values per process and any
+  decision already made); adopt a flooded decision immediately;
+* **end of round t+1** — decide ``1st`` of the flooded view (classic
+  synchronous flooding: with at most ``t`` crashes, some round is
+  crash-free, so all correct processes share an identical final view).
+
+Safety of the fast path (views are sub-vectors of the input under
+crashes): a round-1 decision on ``a`` implies ``a`` leads every other
+value by more than ``t`` in the full input, so every other round-1 view
+still ranks ``a`` strictly first, and the flooded final view — which can
+miss at most the ``t − 1`` other faulty entries of the decider's view —
+still ranks ``a`` first as well.  With ``f`` actual crashes the round-1
+view misses at most ``f`` entries, so one-round decision is guaranteed for
+``I ∈ C_freq(t + 2f)`` — again the adaptive sequence ``C_k =
+C_freq(t + 2k)``, now with resilience ``n > t``.
+
+Validity is the standard synchronous-crash one (the decision was proposed
+by *some* process); the stronger unanimity over correct proposals
+additionally needs ``n > 2f``, since the model cannot distinguish a
+crashed majority's proposals from correct ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..conditions.views import View
+from ..sim.synchronous import SyncProtocol
+from ..types import BOTTOM, ProcessId, SystemConfig, Value
+
+
+@dataclass(frozen=True, slots=True)
+class SyncRound1:
+    """Round-1 proposal."""
+
+    value: Value
+
+
+@dataclass(frozen=True, slots=True)
+class SyncFlood:
+    """Flooding message for rounds ``2 … t+1``."""
+
+    known: tuple[tuple[ProcessId, Value], ...]
+    decided: tuple[Value] | None = None
+
+
+def sync_one_step_level(vector: View, t: int) -> int | None:
+    """Adaptive level of the synchronous one-round guarantee
+    (``C_k = C_freq(t + 2k)``)."""
+    best = None
+    for k in range(t + 1):
+        if vector.frequency_gap() > t + 2 * k:
+            best = k
+        else:
+            break
+    return best
+
+
+class SyncOneStepConsensus(SyncProtocol):
+    """One process of the synchronous one-round condition-based consensus."""
+
+    def __init__(self, process_id: ProcessId, config: SystemConfig, proposal: Value) -> None:
+        super().__init__(process_id, config)
+        self.proposal = proposal
+        self.known: dict[ProcessId, Value] = {process_id: proposal}
+        self.decision: Value | None = None
+        self.decided_round: int | None = None
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _view(self) -> View:
+        entries: list[Value] = [BOTTOM] * self.config.n
+        for pid, value in self.known.items():
+            entries[pid] = value
+        return View(entries)
+
+    def _flood(self) -> SyncFlood:
+        return SyncFlood(
+            known=tuple(sorted(self.known.items())),
+            decided=(self.decision,) if self.decision is not None else None,
+        )
+
+    def _decide(self, value: Value, round_: int) -> None:
+        if self.decision is None:
+            self.decision = value
+            self.decided_round = round_
+
+    # -- SyncProtocol interface ---------------------------------------------------
+
+    def first_message(self) -> SyncRound1:
+        return SyncRound1(self.proposal)
+
+    def on_round(
+        self, round_: int, received: Mapping[ProcessId, Any]
+    ) -> tuple[Any, Value | None]:
+        if round_ == 1:
+            for sender, message in received.items():
+                if isinstance(message, SyncRound1):
+                    self.known.setdefault(sender, message.value)
+            view = self._view()
+            missing = self.config.n - view.known
+            if view.frequency_gap() > self.config.t + missing:
+                self._decide(view.first(), round_)
+        else:
+            for sender, message in received.items():
+                if not isinstance(message, SyncFlood):
+                    continue
+                for pid, value in message.known:
+                    if isinstance(pid, int) and 0 <= pid < self.config.n:
+                        self.known.setdefault(pid, value)
+                if message.decided is not None:
+                    self._decide(message.decided[0], round_)
+            if round_ >= self.config.t + 1 and self.decision is None:
+                self._decide(self._view().first(), round_)
+        # Keep flooding even after deciding: laggards need the values.
+        decision_now = self.decision if self.decided_round == round_ else None
+        return self._flood(), decision_now

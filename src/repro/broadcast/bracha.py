@@ -1,0 +1,137 @@
+"""Bracha's reliable broadcast (``n > 3t``) — substrate of the real
+underlying consensus.
+
+The paper's underlying consensus is an abstraction; our concrete
+implementation (:mod:`repro.underlying`) follows the classic signature-free
+stack, whose bottom layer is Bracha's 1987 reliable broadcast:
+
+1. sender broadcasts ``(init, m)``;
+2. on the first ``(init, m)`` from ``j``: broadcast ``(echo, j, m)``;
+3. on ``(echo, j, m)`` from more than ``(n + t) / 2`` distinct processes:
+   broadcast ``(ready, j, m)`` (once per origin);
+4. on ``(ready, j, m)`` from ``t + 1`` distinct processes: broadcast the
+   ready too (amplification, once per origin);
+5. on ``(ready, j, m)`` from ``2t + 1`` distinct processes: deliver ``m``
+   from ``j`` (once per origin).
+
+Guarantees (standard): validity, agreement on the delivered message per
+origin, and *totality* — if one correct process delivers, all do.  Compared
+with IDB it is stronger (totality) and cheaper in resilience (``n > 3t``
+vs ``n > 4t``) but costs three plain steps instead of two; DEX uses IDB
+precisely because two steps is what the double-expedition needs.
+
+Deliveries surface as ``Deliver(tag="rbc-deliver", sender=origin,
+value=m)``.  Instances are tagged so that protocols can run many RBCs
+side by side (ACS runs ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ResilienceError
+from ..runtime.effects import Broadcast, Deliver, Effect
+from ..runtime.protocol import Protocol
+from ..types import ProcessId, SystemConfig, Value
+
+DELIVER_TAG = "rbc-deliver"
+
+
+@dataclass(frozen=True, slots=True)
+class RbcInit:
+    value: Value
+
+
+@dataclass(frozen=True, slots=True)
+class RbcEcho:
+    value: Value
+    origin: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class RbcReady:
+    value: Value
+    origin: ProcessId
+
+
+class BrachaBroadcast(Protocol):
+    """One endpoint of Bracha reliable broadcast, all origins multiplexed.
+
+    Args:
+        process_id: hosting process.
+        config: must satisfy ``n > 3t``.
+        initial_value: when set, broadcast it at start (standalone use).
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        initial_value: Value | None = None,
+    ) -> None:
+        if not config.satisfies(3):
+            raise ResilienceError("BrachaBroadcast", config.n, config.t, "n > 3t")
+        super().__init__(process_id, config)
+        self.initial_value = initial_value
+        self._echoed: set[ProcessId] = set()
+        self._readied: set[ProcessId] = set()
+        self._delivered: set[ProcessId] = set()
+        self._echo_from: dict[tuple[ProcessId, Value], set[ProcessId]] = {}
+        self._ready_from: dict[tuple[ProcessId, Value], set[ProcessId]] = {}
+
+    @property
+    def echo_quorum(self) -> int:
+        """Strictly more than ``(n + t) / 2`` echoes."""
+        return (self.n + self.t) // 2 + 1
+
+    def rbc_send(self, value: Value) -> list[Effect]:
+        """Reliably broadcast ``value`` from this process."""
+        return [Broadcast(RbcInit(value))]
+
+    def on_start(self) -> list[Effect]:
+        if self.initial_value is None:
+            return []
+        return self.rbc_send(self.initial_value)
+
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if isinstance(payload, RbcInit):
+            return self._on_init(sender, payload)
+        if isinstance(payload, RbcEcho):
+            return self._on_echo(sender, payload)
+        if isinstance(payload, RbcReady):
+            return self._on_ready(sender, payload)
+        return [self.log("rbc-ignored", sender=sender, payload=repr(payload))]
+
+    def _on_init(self, sender: ProcessId, message: RbcInit) -> list[Effect]:
+        if sender in self._echoed:
+            return []
+        self._echoed.add(sender)
+        return [Broadcast(RbcEcho(message.value, sender))]
+
+    def _on_echo(self, sender: ProcessId, message: RbcEcho) -> list[Effect]:
+        key = (message.origin, message.value)
+        echoes = self._echo_from.setdefault(key, set())
+        echoes.add(sender)
+        if len(echoes) >= self.echo_quorum and message.origin not in self._readied:
+            self._readied.add(message.origin)
+            return [Broadcast(RbcReady(message.value, message.origin))]
+        return []
+
+    def _on_ready(self, sender: ProcessId, message: RbcReady) -> list[Effect]:
+        key = (message.origin, message.value)
+        readies = self._ready_from.setdefault(key, set())
+        readies.add(sender)
+        effects: list[Effect] = []
+        if len(readies) >= self.t + 1 and message.origin not in self._readied:
+            self._readied.add(message.origin)
+            effects.append(Broadcast(RbcReady(message.value, message.origin)))
+        if len(readies) >= 2 * self.t + 1 and message.origin not in self._delivered:
+            self._delivered.add(message.origin)
+            effects.append(Deliver(DELIVER_TAG, message.origin, message.value))
+        return effects
+
+    @property
+    def delivered_origins(self) -> frozenset[ProcessId]:
+        """Origins whose broadcast this process has delivered."""
+        return frozenset(self._delivered)

@@ -1,0 +1,128 @@
+"""Identical Broadcast — algorithm IDB (paper appendix, Figure 3).
+
+Identical Broadcast guarantees that *all* correct processes deliver the
+same message per sender, even when the sender is Byzantine (Figure 2):
+
+* **Termination** — if a correct process Id-Sends ``m``, every correct
+  process Id-Receives ``m``;
+* **Agreement** — two correct processes never Id-Receive different messages
+  for the same sender;
+* **Validity** — for any sender, a correct process Id-Receives at most once,
+  and only a message the (correct) sender actually Id-Sent.
+
+The implementation is witness-based and needs ``n > 4t`` (Theorem 4):
+
+1. ``Id-send(m)``: P-send ``(init, m)`` to all.
+2. On the *first* ``(init, m')`` from ``p_j``: P-send ``(echo, m', j)``.
+3. On ``(echo, m', j)``: with ``n − 2t`` matching copies from distinct
+   processes, P-send the echo too (amplification, at most one echo per
+   origin ever); with ``n − t`` copies, Id-Receive ``m'`` (once per origin).
+
+One IDB communication step costs exactly two plain steps (init + echo),
+which is why DEX's IDB-based path is a *two*-step decision scheme.
+Deliveries surface as ``Deliver(tag="id-receive", sender=origin, value=m)``
+upcalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ResilienceError
+from ..runtime.effects import Broadcast, Deliver, Effect
+from ..runtime.protocol import Protocol
+from ..types import ProcessId, SystemConfig, Value
+
+DELIVER_TAG = "id-receive"
+
+
+@dataclass(frozen=True, slots=True)
+class IdbInit:
+    """``(init, m)`` — the sender's own broadcast of its message."""
+
+    value: Value
+
+
+@dataclass(frozen=True, slots=True)
+class IdbEcho:
+    """``(echo, m', j)`` — a witness statement that ``p_j`` sent ``m'``."""
+
+    value: Value
+    origin: ProcessId
+
+
+class IdenticalBroadcast(Protocol):
+    """One process's endpoint of the Identical Broadcast system.
+
+    A single instance handles broadcasts from *every* origin (the origin id
+    travels inside the echo messages), so DEX embeds exactly one.
+
+    Args:
+        process_id: hosting process.
+        config: must satisfy ``n > 4t``.
+        initial_value: when set, :meth:`on_start` Id-Sends it — convenient
+            for running IDB standalone; composites call :meth:`id_send`
+            themselves and leave this unset.
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        initial_value: Value | None = None,
+    ) -> None:
+        if not config.satisfies(4):
+            raise ResilienceError("IdenticalBroadcast", config.n, config.t, "n > 4t")
+        super().__init__(process_id, config)
+        self.initial_value = initial_value
+        self._echoed: set[ProcessId] = set()
+        self._accepted: set[ProcessId] = set()
+        self._witnesses: dict[tuple[ProcessId, Value], set[ProcessId]] = {}
+
+    # -- input action -------------------------------------------------------------
+
+    def id_send(self, value: Value) -> list[Effect]:
+        """Id-Send ``value`` to all processes (one init broadcast)."""
+        return [Broadcast(IdbInit(value))]
+
+    def on_start(self) -> list[Effect]:
+        if self.initial_value is None:
+            return []
+        return self.id_send(self.initial_value)
+
+    # -- message handlers -----------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if isinstance(payload, IdbInit):
+            return self._on_init(sender, payload)
+        if isinstance(payload, IdbEcho):
+            return self._on_echo(sender, payload)
+        return [self.log("idb-ignored", sender=sender, payload=repr(payload))]
+
+    def _on_init(self, sender: ProcessId, message: IdbInit) -> list[Effect]:
+        if sender in self._echoed:  # first-echo(j) is false
+            return []
+        self._echoed.add(sender)
+        return [Broadcast(IdbEcho(message.value, sender))]
+
+    def _on_echo(self, sender: ProcessId, message: IdbEcho) -> list[Effect]:
+        key = (message.origin, message.value)
+        witnesses = self._witnesses.setdefault(key, set())
+        witnesses.add(sender)
+        num = len(witnesses)
+        effects: list[Effect] = []
+        if num >= self.n - 2 * self.t and message.origin not in self._echoed:
+            self._echoed.add(message.origin)
+            effects.append(Broadcast(IdbEcho(message.value, message.origin)))
+        if num >= self.n - self.t and message.origin not in self._accepted:
+            self._accepted.add(message.origin)
+            effects.append(Deliver(DELIVER_TAG, message.origin, message.value))
+        return effects
+
+    # -- observability ----------------------------------------------------------------
+
+    @property
+    def accepted_origins(self) -> frozenset[ProcessId]:
+        """Origins whose broadcast this process has Id-Received."""
+        return frozenset(self._accepted)

@@ -1,0 +1,187 @@
+"""Byzantine behavior framework.
+
+A Byzantine process "can behave arbitrarily, … even not follow the deployed
+algorithm" (§2.1).  In this library a Byzantine process is simply a
+:class:`~repro.runtime.protocol.Protocol` whose handlers do whatever the
+experiment needs — the runtimes give it no extra powers and impose no
+constraints (beyond sender authentication, which the model guarantees).
+
+Most useful adversaries are built by *wrapping* the honest protocol and
+perturbing its output: dropping messages mid-broadcast (crash), rewriting
+values per destination (equivocation), or running two honest instances and
+showing a different face to each half of the system.  The wrappers below
+expand every ``Broadcast`` into per-destination ``Send`` effects first, so
+perturbations can differ per receiver.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..runtime.effects import Broadcast, Decide, Deliver, Effect, Log, Send, ServiceCall
+from ..runtime.protocol import Protocol, guarded
+from ..types import ProcessId, SystemConfig
+
+#: Rewrites an outgoing payload for one destination; ``None`` drops it.
+Mutator = Callable[[ProcessId, Any], Any]
+
+
+def expand_broadcasts(effects: Iterable[Effect], config: SystemConfig) -> list[Effect]:
+    """Replace every ``Broadcast`` with one ``Send`` per process (in id order)."""
+    out: list[Effect] = []
+    for effect in effects:
+        if isinstance(effect, Broadcast):
+            out.extend(Send(dst, effect.payload) for dst in config.processes)
+        else:
+            out.append(effect)
+    return out
+
+
+class ByzantineBehavior(Protocol):
+    """Marker base class for faulty-process behaviors."""
+
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        return []
+
+
+class SilentBehavior(ByzantineBehavior):
+    """The weakest fault: the process never sends anything (a full crash
+    before the run, equivalently a crash failure at time zero)."""
+
+
+class CrashBehavior(ByzantineBehavior):
+    """Run the honest protocol but crash after sending ``budget`` messages.
+
+    A crash mid-broadcast (budget smaller than ``n``) leaves the system in
+    the classic asymmetric state where only a prefix of processes heard the
+    proposal — the situation crash-tolerant one-step algorithms must ride
+    out.
+
+    Args:
+        inner: the honest protocol instance to run until the crash.
+        budget: total number of point-to-point messages allowed out.
+    """
+
+    def __init__(self, inner: Protocol, budget: int) -> None:
+        super().__init__(inner.process_id, inner.config)
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.inner = inner
+        self.remaining = budget
+        self.crashed = False
+
+    def _filter(self, effects: list[Effect]) -> list[Effect]:
+        out: list[Effect] = []
+        for effect in expand_broadcasts(effects, self.config):
+            if self.crashed:
+                break
+            if isinstance(effect, Send):
+                if self.remaining <= 0:
+                    self.crashed = True
+                    out.append(self.log("crashed"))
+                    break
+                self.remaining -= 1
+                out.append(effect)
+            elif isinstance(effect, (Decide, Deliver)):
+                continue  # a faulty process's outputs are meaningless
+            else:
+                out.append(effect)
+        return out
+
+    def on_start(self) -> list[Effect]:
+        return self._filter(self.inner.on_start())
+
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if self.crashed:
+            return []
+        return self._filter(guarded(self.inner, sender, payload))
+
+
+class MutatingBehavior(ByzantineBehavior):
+    """Run the honest protocol but rewrite each outgoing message.
+
+    The ``mutator`` sees ``(dst, payload)`` and returns the payload to send
+    (possibly different per destination — equivocation) or ``None`` to drop
+    it.  Service calls pass through unmodified: a Byzantine process may use
+    the underlying consensus with arbitrary proposals, which the primitive
+    tolerates by assumption.
+    """
+
+    def __init__(self, inner: Protocol, mutator: Mutator) -> None:
+        super().__init__(inner.process_id, inner.config)
+        self.inner = inner
+        self.mutator = mutator
+
+    def _filter(self, effects: list[Effect]) -> list[Effect]:
+        out: list[Effect] = []
+        for effect in expand_broadcasts(effects, self.config):
+            if isinstance(effect, Send):
+                mutated = self.mutator(effect.dst, effect.payload)
+                if mutated is not None:
+                    out.append(Send(effect.dst, mutated))
+            elif isinstance(effect, (Decide, Deliver)):
+                continue
+            else:
+                out.append(effect)
+        return out
+
+    def on_start(self) -> list[Effect]:
+        return self._filter(self.inner.on_start())
+
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        return self._filter(guarded(self.inner, sender, payload))
+
+
+class TwoFacedBehavior(ByzantineBehavior):
+    """Run two honest instances and show a different one to each group.
+
+    This is the strongest *consistent* equivocation: each half of the
+    system observes a perfectly protocol-conformant process, but the two
+    halves observe different proposals.  It is the scenario of Figure 2
+    (process ``P3`` sending different messages to ``P1`` and ``P4``) played
+    at every protocol layer simultaneously.
+
+    Args:
+        face_a: honest instance shown to group A.
+        face_b: honest instance shown to group B.
+        group_of: maps a destination to ``"a"`` or ``"b"``; default is id
+            parity.
+    """
+
+    def __init__(
+        self,
+        face_a: Protocol,
+        face_b: Protocol,
+        group_of: Callable[[ProcessId], str] | None = None,
+    ) -> None:
+        super().__init__(face_a.process_id, face_a.config)
+        self.face_a = face_a
+        self.face_b = face_b
+        self.group_of = group_of or (lambda dst: "a" if dst % 2 == 0 else "b")
+
+    def _filter(self, effects: list[Effect], face: str) -> list[Effect]:
+        out: list[Effect] = []
+        for effect in expand_broadcasts(effects, self.config):
+            if isinstance(effect, Send):
+                if self.group_of(effect.dst) == face:
+                    out.append(effect)
+            elif isinstance(effect, (Decide, Deliver)):
+                continue
+            elif isinstance(effect, ServiceCall):
+                if face == "a":  # one service identity per process
+                    out.append(effect)
+            elif isinstance(effect, Log):
+                continue
+            else:
+                out.append(effect)
+        return out
+
+    def on_start(self) -> list[Effect]:
+        return self._filter(self.face_a.on_start(), "a") + self._filter(
+            self.face_b.on_start(), "b"
+        )
+
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        return self._filter(guarded(self.face_a, sender, payload), "a") + self._filter(
+            guarded(self.face_b, sender, payload), "b"
+        )

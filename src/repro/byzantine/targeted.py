@@ -1,0 +1,108 @@
+"""Targeted, protocol-aware attacks on DEX.
+
+The generic behaviors in :mod:`repro.byzantine.behaviors` perturb honest
+traffic; the adversaries here instead *exploit the structure of the
+conditions*.  The frequency pair decides fast when the gap between the two
+most frequent values is large — so the strongest Byzantine strategy is not
+random noise but a vote for the runner-up value, cast only after observing
+the distribution.  These attacks are what the coverage guarantees (Lemmas
+4/5, experiment E1) are sized against: a level-``k`` input must survive
+``k`` of them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..broadcast.idb import IdbInit
+from ..core.dex import DexProposal
+from ..runtime.composite import Envelope
+from ..runtime.effects import Broadcast, Effect
+from ..types import ProcessId, SystemConfig, Value
+from .adversary import ByzantineBehavior
+
+
+class SpoilerBehavior(ByzantineBehavior):
+    """Observe the proposals, then vote for the runner-up value.
+
+    The spoiler stays silent until it has seen proposals from
+    ``watch_threshold`` distinct processes, computes the second most
+    frequent value (falling back to ``fallback`` when only one value was
+    observed) and then proposes it on both DEX layers (plain + IDB) —
+    shrinking every correct view's frequency gap by exactly 1, the
+    worst-case perturbation the LT1/LT2 proofs budget per Byzantine
+    process.
+
+    Args:
+        process_id: the faulty process.
+        config: system parameters.
+        fallback: value to inject when the observed proposals are unanimous
+            (the spoiler then *creates* a runner-up).
+        watch_threshold: distinct proposals to observe before attacking;
+            defaults to ``n − t − 1`` (everyone else that is guaranteed to
+            speak).
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        fallback: Value,
+        watch_threshold: int | None = None,
+    ) -> None:
+        super().__init__(process_id, config)
+        self.fallback = fallback
+        self.watch_threshold = (
+            watch_threshold
+            if watch_threshold is not None
+            else config.n - config.t - 1
+        )
+        self._observed: dict[ProcessId, Value] = {}
+        self._attacked = False
+
+    def _runner_up(self) -> Value:
+        counts = Counter(self._observed.values())
+        ranked = counts.most_common()
+        if len(ranked) >= 2:
+            return ranked[1][0]
+        return self.fallback
+
+    def on_message(self, sender: ProcessId, payload: object) -> list[Effect]:
+        if self._attacked:
+            return []
+        value = None
+        if isinstance(payload, DexProposal):
+            value = payload.value
+        elif isinstance(payload, Envelope) and isinstance(payload.payload, IdbInit):
+            value = payload.payload.value
+        if value is None:
+            return []
+        self._observed.setdefault(sender, value)
+        if len(self._observed) < self.watch_threshold:
+            return []
+        self._attacked = True
+        spoiler = self._runner_up()
+        return [
+            Broadcast(DexProposal(spoiler)),
+            Broadcast(Envelope("idb", IdbInit(spoiler))),
+            self.log("spoiler-attack", value=spoiler, observed=len(self._observed)),
+        ]
+
+
+class GapCollapser(ByzantineBehavior):
+    """A coordinated variant: ``f`` of these, given the same ``fallback``,
+    shrink the gap by ``2f`` relative to an all-majority input — they count
+    as missing majority votes *and* as extra runner-up votes.  Unlike
+    :class:`SpoilerBehavior` it attacks immediately (no observation phase),
+    modelling an adversary with a priori knowledge of the input.
+    """
+
+    def __init__(self, process_id: ProcessId, config: SystemConfig, value: Value) -> None:
+        super().__init__(process_id, config)
+        self.value = value
+
+    def on_start(self) -> list[Effect]:
+        return [
+            Broadcast(DexProposal(self.value)),
+            Broadcast(Envelope("idb", IdbInit(self.value))),
+        ]

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``       — one consensus instance: algorithm × inputs × faults;
+* ``table1``    — print the paper's Table 1 (optionally with empirical
+  validation, which runs ~50 simulations);
+* ``coverage``  — closed-form fast-path coverage curves for the two-value
+  workload model;
+* ``legality``  — mechanically check LT1/LT2/LA3/LA4/LU5 for a pair;
+* ``conditions``— adaptive condition levels of a concrete input vector.
+
+Every command prints plain-text tables (diff-friendly) and returns a
+non-zero exit code on property violations, so the CLI can serve as a
+smoke-check in CI pipelines of downstream projects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis.tables import dex_condition_examples, paper_table1, validated_table1
+from .conditions.frequency import FrequencyPair
+from .conditions.legality import LegalityChecker
+from .conditions.privileged import PrivilegedPair
+from .conditions.views import View
+from .errors import ReproError
+from .harness import (
+    AlgorithmSpec,
+    Collapse,
+    Crash,
+    Equivocate,
+    Fault,
+    Garbage,
+    Scenario,
+    Silent,
+    Spoiler,
+    all_algorithms,
+)
+from .metrics.report import format_table
+
+_TABLE1_COLUMNS = [
+    "algorithm",
+    "system",
+    "failures",
+    "processes",
+    "one_step",
+    "two_step",
+    "validated",
+]
+
+
+def _parse_value(text: str):
+    """Values on the command line: ints when possible, else strings."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _parse_inputs(text: str) -> list:
+    return [_parse_value(v) for v in text.split(",") if v != ""]
+
+
+def _parse_fault(spec: str) -> tuple[int, Fault]:
+    """``pid:kind[:arg[:arg]]`` — e.g. ``6:equivocate:1:2`` or ``5:silent``."""
+    parts = spec.split(":")
+    if len(parts) < 2:
+        raise argparse.ArgumentTypeError(
+            f"fault spec {spec!r} must look like pid:kind[:args]"
+        )
+    pid = int(parts[0])
+    kind = parts[1]
+    args = [_parse_value(p) for p in parts[2:]]
+    if kind == "silent":
+        return pid, Silent()
+    if kind == "crash":
+        return pid, Crash(budget=int(args[0]) if args else 3)
+    if kind == "equivocate":
+        if len(args) != 2:
+            raise argparse.ArgumentTypeError("equivocate needs two values")
+        return pid, Equivocate(args[0], args[1])
+    if kind == "garbage":
+        return pid, Garbage(seed=int(args[0]) if args else 0)
+    if kind == "spoiler":
+        if not args:
+            raise argparse.ArgumentTypeError("spoiler needs a fallback value")
+        return pid, Spoiler(fallback=args[0])
+    if kind == "collapse":
+        if not args:
+            raise argparse.ArgumentTypeError("collapse needs a value")
+        return pid, Collapse(args[0])
+    raise argparse.ArgumentTypeError(f"unknown fault kind {kind!r}")
+
+
+def _algorithm_by_name(name: str) -> AlgorithmSpec:
+    for spec in all_algorithms():
+        if spec.name == name:
+            return spec
+    names = ", ".join(s.name for s in all_algorithms())
+    raise argparse.ArgumentTypeError(f"unknown algorithm {name!r} (one of: {names})")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DEX (DSN 2010) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one consensus instance")
+    run.add_argument("--algorithm", "-a", type=_algorithm_by_name, default="dex-freq")
+    run.add_argument("--inputs", "-i", type=_parse_inputs, required=True,
+                     help="comma-separated proposals, one per process")
+    run.add_argument("--t", type=int, default=None, help="failure bound")
+    run.add_argument("--fault", "-f", dest="faults", type=_parse_fault,
+                     action="append", default=[],
+                     help="pid:kind[:args], repeatable (silent, crash, "
+                          "equivocate, garbage, spoiler, collapse)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--runs", type=int, default=1,
+                     help="run this many seeds (seed..seed+runs-1) and print "
+                          "the aggregate instead of per-process decisions")
+    run.add_argument("--uc", choices=["oracle", "real"], default="oracle")
+    run.add_argument("--trace", action="store_true", help="print the event trace")
+
+    table1 = sub.add_parser("table1", help="print the paper's Table 1")
+    table1.add_argument("--validate", action="store_true",
+                        help="empirically validate the implemented rows")
+
+    coverage = sub.add_parser("coverage", help="closed-form coverage curves")
+    coverage.add_argument("--n", type=int, default=13)
+    coverage.add_argument("--t", type=int, default=2)
+    coverage.add_argument("--q", type=float, action="append", default=None,
+                          help="favourite probability, repeatable")
+
+    legality = sub.add_parser("legality", help="verify LT1..LU5 for a pair")
+    legality.add_argument("--pair", choices=["freq", "prv"], default="freq")
+    legality.add_argument("--n", type=int, default=7)
+    legality.add_argument("--t", type=int, default=1)
+    legality.add_argument("--values", type=_parse_inputs, default=[1, 2])
+
+    conditions = sub.add_parser("conditions", help="condition levels of an input")
+    conditions.add_argument("--inputs", "-i", type=_parse_inputs, default=None)
+    conditions.add_argument("--n", type=int, default=13)
+    return parser
+
+
+def _cmd_run(args) -> int:
+    algorithm = (
+        args.algorithm
+        if isinstance(args.algorithm, AlgorithmSpec)
+        else _algorithm_by_name(args.algorithm)
+    )
+    scenario = Scenario(
+        algorithm,
+        args.inputs,
+        t=args.t,
+        faults=dict(args.faults),
+        uc=args.uc,
+        seed=args.seed,
+        trace=args.trace,
+    )
+    if args.runs > 1:
+        aggregate = scenario.run_many(range(args.seed, args.seed + args.runs))
+        print(format_table([aggregate.summary()],
+                           title=f"{algorithm.name}: n={scenario.config.n}, "
+                                 f"t={scenario.config.t}, {args.runs} runs"))
+        low, high = aggregate.confidence_interval()
+        print(f"mean slowest step: {aggregate.mean_max_step:.3f} "
+              f"(95% CI [{low:.3f}, {high:.3f}])")
+        return 0 if aggregate.agreement_violations == 0 else 1
+    result = scenario.run()
+    rows = [
+        {
+            "pid": pid,
+            "value": repr(d.value),
+            "path": d.kind.value,
+            "step": d.step,
+            "time": round(d.time, 3),
+        }
+        for pid, d in sorted(result.correct_decisions.items())
+    ]
+    print(format_table(rows, title=f"{algorithm.name}: n={scenario.config.n}, "
+                                   f"t={scenario.config.t}, seed={args.seed}"))
+    print(f"messages={result.stats.messages_sent} "
+          f"agreement={'ok' if result.agreement_holds() else 'VIOLATED'}")
+    if args.trace:
+        print(result.tracer.format())
+    return 0 if result.agreement_holds() else 1
+
+
+def _cmd_table1(args) -> int:
+    rows = validated_table1() if args.validate else paper_table1()
+    print(format_table(rows, _TABLE1_COLUMNS, title="Table 1"))
+    print()
+    print(format_table(dex_condition_examples(13), title="Condition examples (n=13)"))
+    bad = [r for r in rows if r["validated"].startswith("NO")]
+    return 1 if bad else 0
+
+
+def _cmd_coverage(args) -> int:
+    from .analysis.closed_form import (
+        bosco_one_step,
+        dex_freq_one_step,
+        dex_freq_two_step,
+        dex_prv_one_step,
+    )
+
+    qs = args.q or [0.95, 0.9, 0.8, 0.7, 0.5]
+    rows = []
+    for q in qs:
+        for f in range(args.t + 1):
+            rows.append(
+                {
+                    "q": q,
+                    "f": f,
+                    "dex-freq 1-step": round(dex_freq_one_step(args.n, args.t, f, q), 4),
+                    "dex-freq ≤2-step": round(dex_freq_two_step(args.n, args.t, f, q), 4),
+                    "dex-prv 1-step": round(dex_prv_one_step(args.n, args.t, f, q), 4),
+                    "bosco 1-step": round(bosco_one_step(args.n, args.t, f, q), 4),
+                }
+            )
+    print(format_table(rows, title=f"Closed-form coverage, n={args.n}, t={args.t}"))
+    return 0
+
+
+def _cmd_legality(args) -> int:
+    if args.pair == "freq":
+        pair = FrequencyPair(args.n, args.t)
+    else:
+        pair = PrivilegedPair(args.n, args.t, privileged=args.values[0])
+    report = LegalityChecker(pair, args.values).check_exhaustive()
+    print(f"pair={report.pair} checks={report.checks} "
+          f"legal={'yes' if report.is_legal else 'NO'}")
+    for violation in report.violations:
+        print(f"  violation: {violation}")
+    return 0 if report.is_legal else 1
+
+
+def _cmd_conditions(args) -> int:
+    if args.inputs is not None:
+        n = len(args.inputs)
+        t = max((n - 1) // 6, 0)
+        vector = View(args.inputs)
+        freq = FrequencyPair(n, t)
+        rows = [
+            {
+                "n": n,
+                "t": t,
+                "gap": vector.frequency_gap(),
+                "freq 1-step level": str(freq.one_step_level(vector)),
+                "freq 2-step level": str(freq.two_step_level(vector)),
+            }
+        ]
+        print(format_table(rows, title=f"Condition levels of {args.inputs}"))
+    else:
+        print(format_table(dex_condition_examples(args.n),
+                           title=f"Condition examples (n={args.n})"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "table1": _cmd_table1,
+        "coverage": _cmd_coverage,
+        "legality": _cmd_legality,
+        "conditions": _cmd_conditions,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

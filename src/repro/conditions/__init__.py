@@ -1,0 +1,48 @@
+"""Condition-based machinery: views, condition sequences, legality.
+
+This package implements §2.3, §2.4 and §3 of the paper: the view algebra
+(:mod:`~repro.conditions.views`), adaptive condition sequences and the
+doubly-expedited pair abstraction (:mod:`~repro.conditions.base`), the two
+concrete legal pairs (:mod:`~repro.conditions.frequency`,
+:mod:`~repro.conditions.privileged`), space enumeration/sampling
+(:mod:`~repro.conditions.generators`) and the mechanical legality checker
+(:mod:`~repro.conditions.legality`).
+"""
+
+from .base import (
+    Condition,
+    ConditionSequence,
+    ConditionSequencePair,
+    PredicateCondition,
+)
+from .dlegal import DLegalityResult, condition_members, is_d_legal
+from .frequency import FrequencyCondition, FrequencyPair
+from .generators import VectorSampler, all_vectors, all_views, perturbations
+from .legality import LegalityChecker, LegalityReport, completable_within
+from .privileged import PrivilegedCondition, PrivilegedPair
+from .views import View, hamming_distance, merge_compatible, views_of
+
+__all__ = [
+    "Condition",
+    "ConditionSequence",
+    "ConditionSequencePair",
+    "PredicateCondition",
+    "FrequencyCondition",
+    "FrequencyPair",
+    "PrivilegedCondition",
+    "PrivilegedPair",
+    "VectorSampler",
+    "all_vectors",
+    "all_views",
+    "perturbations",
+    "LegalityChecker",
+    "LegalityReport",
+    "completable_within",
+    "DLegalityResult",
+    "is_d_legal",
+    "condition_members",
+    "View",
+    "hamming_distance",
+    "merge_compatible",
+    "views_of",
+]

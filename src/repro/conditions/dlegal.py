@@ -1,0 +1,144 @@
+"""d-legal conditions — the solvability foundation the paper builds on.
+
+§3.3/§3.4 note that ``C_freq(d)`` and ``C_prv(m, d)`` "belong to d-legal
+conditions [10], which are necessary and sufficient to solve the consensus
+in failure prone asynchronous systems, where at most d processes can
+crash" (Mostéfaoui, Rajsbaum, Raynal).  This module makes that citation
+executable: a decision procedure for d-legality of *finite* conditions.
+
+Characterisation used: consider the graph ``G(C, d)`` whose vertices are
+the vectors of ``C``, with an edge between two vectors at Hamming distance
+at most ``d`` (two such vectors can be confused by a process missing ``d``
+entries, so consensus must decide the same value for both).  ``C`` is
+d-legal iff a decision function ``F`` exists with
+
+1. ``#_{F(I)}(I) > d`` for every ``I ∈ C`` (the decided value survives
+   ``d`` crashes), and
+2. ``F`` constant on every connected component of ``G(C, d)``.
+
+Both requirements reduce to: **every connected component has a value that
+appears more than ``d`` times in each of its vectors** — checked here with
+a union-find over the component structure and a per-component candidate
+intersection.  The procedure is exact on explicitly enumerated conditions
+(exponential spaces: keep ``n`` and ``|V|`` small) and is used by the test
+suite to re-verify the paper's citation for both building-block conditions
+as well as to exhibit non-legal conditions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..types import Value
+from .views import View, hamming_distance
+
+
+class _UnionFind:
+    """Path-compressed union-find over ``range(n)``."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+@dataclass
+class DLegalityResult:
+    """Outcome of a d-legality decision.
+
+    Attributes:
+        d: the parameter checked.
+        legal: whether a valid decision function exists.
+        components: number of connected components of ``G(C, d)``.
+        decision: a witness ``F`` (vector → value) when legal.
+        failure: a human-readable reason when not legal.
+    """
+
+    d: int
+    legal: bool
+    components: int
+    decision: dict[View, Value] = field(default_factory=dict)
+    failure: str = ""
+
+
+def frequent_values(vector: View, d: int) -> set[Value]:
+    """Values occurring more than ``d`` times in ``vector``."""
+    return {v for v in vector.values() if vector.count(v) > d}
+
+
+def is_d_legal(vectors: Iterable[View], d: int) -> DLegalityResult:
+    """Decide d-legality of the finite condition ``vectors``.
+
+    Args:
+        vectors: the condition's vectors (complete input vectors).
+        d: the crash-failure parameter.
+
+    Returns:
+        A :class:`DLegalityResult`; when legal, ``decision`` holds a
+        witness ``F`` (constant per component, value occurring ``> d``
+        times in every member).
+    """
+    if d < 0:
+        raise ValueError(f"d must be non-negative, got {d}")
+    members: list[View] = list(vectors)
+    if not members:
+        return DLegalityResult(d=d, legal=True, components=0)
+    n = len(members)
+    uf = _UnionFind(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if hamming_distance(members[i], members[j]) <= d:
+                uf.union(i, j)
+
+    by_component: dict[int, list[int]] = {}
+    for i in range(n):
+        by_component.setdefault(uf.find(i), []).append(i)
+
+    decision: dict[View, Value] = {}
+    for indices in by_component.values():
+        candidates: set[Value] | None = None
+        for i in indices:
+            frequent = frequent_values(members[i], d)
+            candidates = frequent if candidates is None else candidates & frequent
+            if not candidates:
+                return DLegalityResult(
+                    d=d,
+                    legal=False,
+                    components=len(by_component),
+                    failure=(
+                        f"component containing {members[indices[0]]!r} has no "
+                        f"common value occurring > {d} times (stuck at "
+                        f"{members[i]!r})"
+                    ),
+                )
+        # deterministic witness: the largest candidate by the safe order
+        from ..types import largest
+
+        value = largest(candidates)
+        for i in indices:
+            decision[members[i]] = value
+    return DLegalityResult(
+        d=d, legal=True, components=len(by_component), decision=decision
+    )
+
+
+def condition_members(
+    condition, values: Sequence[Value], n: int
+) -> list[View]:
+    """Enumerate the members of a :class:`~repro.conditions.base.Condition`
+    over the finite space ``values^n`` (helper for the checker)."""
+    from .generators import all_vectors
+
+    return [v for v in all_vectors(values, n) if condition.contains(v)]

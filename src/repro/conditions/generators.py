@@ -1,0 +1,124 @@
+"""Enumeration and sampling of input vectors and views.
+
+The legality checker and the coverage analysis need to iterate over the
+spaces the paper quantifies over:
+
+* ``V^n``      — all complete input vectors (:func:`all_vectors`);
+* ``V^n_k``    — all views with at most ``k`` default entries
+  (:func:`all_views`);
+* perturbations ``{J : dist(J, I) ≤ k}`` of a vector ``I``
+  (:func:`perturbations`).
+
+Exhaustive enumeration is exponential; the module also offers seeded random
+samplers used for Monte-Carlo estimates on larger spaces.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator, Sequence
+
+from ..types import BOTTOM, Value
+from .views import View
+
+
+def all_vectors(values: Sequence[Value], n: int) -> Iterator[View]:
+    """Enumerate the complete input-vector space ``V^n``."""
+    for entries in itertools.product(values, repeat=n):
+        yield View(entries)
+
+
+def all_views(values: Sequence[Value], n: int, max_bottoms: int) -> Iterator[View]:
+    """Enumerate ``V^n_k``: views over ``values`` with at most ``max_bottoms`` ``⊥``s."""
+    for k in range(max_bottoms + 1):
+        for positions in itertools.combinations(range(n), k):
+            position_set = set(positions)
+            free = [i for i in range(n) if i not in position_set]
+            for chosen in itertools.product(values, repeat=len(free)):
+                entries: list[Value] = [BOTTOM] * n
+                for i, v in zip(free, chosen):
+                    entries[i] = v
+                yield View(entries)
+
+
+def perturbations(
+    vector: View, values: Sequence[Value], k: int, allow_bottom: bool = True
+) -> Iterator[View]:
+    """Enumerate every ``J`` with ``dist(J, vector) ≤ k``.
+
+    Changed entries range over ``values`` (and ``⊥`` when ``allow_bottom``),
+    modelling up to ``k`` Byzantine processes whose entries of the view may
+    hold anything — or nothing yet.
+    """
+    alphabet: list[Value] = list(values) + ([BOTTOM] if allow_bottom else [])
+    n = len(vector)
+    for j in range(k + 1):
+        for positions in itertools.combinations(range(n), j):
+            for replacement in itertools.product(alphabet, repeat=j):
+                entries = list(vector.entries)
+                changed = False
+                for pos, new in zip(positions, replacement):
+                    if not _same(entries[pos], new):
+                        changed = True
+                    entries[pos] = new
+                if j == 0 or changed:
+                    yield View(entries)
+
+
+def _same(a: Value, b: Value) -> bool:
+    if a is BOTTOM or b is BOTTOM:
+        return a is b
+    return a == b
+
+
+class VectorSampler:
+    """Seeded random sampler over input vectors and views.
+
+    Args:
+        values: the proposal alphabet ``V`` (must be non-empty).
+        n: vector length.
+        seed: PRNG seed; two samplers with equal arguments produce equal
+            streams, keeping every Monte-Carlo experiment reproducible.
+    """
+
+    def __init__(self, values: Sequence[Value], n: int, seed: int = 0) -> None:
+        if not values:
+            raise ValueError("the value alphabet must be non-empty")
+        self.values = list(values)
+        self.n = n
+        self._rng = random.Random(seed)
+
+    def uniform_vector(self) -> View:
+        """A vector with i.i.d. uniform entries."""
+        return View(self._rng.choice(self.values) for _ in range(self.n))
+
+    def skewed_vector(self, favourite: Value, p: float) -> View:
+        """Each entry is ``favourite`` with probability ``p``, else uniform
+        over the remaining values (models low-contention workloads)."""
+        others = [v for v in self.values if v != favourite] or [favourite]
+        return View(
+            favourite if self._rng.random() < p else self._rng.choice(others)
+            for _ in range(self.n)
+        )
+
+    def random_view(self, vector: View, max_bottoms: int) -> View:
+        """A view of ``vector`` with a uniform number (≤ ``max_bottoms``) of
+        ``⊥`` entries in uniform positions."""
+        k = self._rng.randint(0, max_bottoms)
+        positions = self._rng.sample(range(self.n), k)
+        entries = list(vector.entries)
+        for pos in positions:
+            entries[pos] = BOTTOM
+        return View(entries)
+
+    def corrupted_view(self, vector: View, k: int) -> View:
+        """A view at Hamming distance at most ``k`` from ``vector``, where
+        corrupted entries become a random value or ``⊥``."""
+        alphabet = self.values + [BOTTOM]
+        count = self._rng.randint(0, k)
+        positions = self._rng.sample(range(self.n), count)
+        entries = list(vector.entries)
+        for pos in positions:
+            entries[pos] = self._rng.choice(alphabet)
+        return View(entries)

@@ -1,0 +1,275 @@
+"""Mechanical verification of the legality criteria (paper §3.2).
+
+A condition-sequence pair ``(S¹, S²)`` with parameters ``(P1, P2, F)`` is
+*legal* when the five properties hold:
+
+* **LT1** — every view ``J ∈ V^n_k`` that could have come from some
+  ``I ∈ C¹_k`` with ``dist(J, I) ≤ k`` satisfies ``P1(J)`` (one-step
+  termination);
+* **LT2** — the same with ``C²_k`` and ``P2`` (two-step termination);
+* **LA3** — if ``P1(J)`` holds and ``J ≤ I``, ``J' ≤ I'`` for some complete
+  vectors with ``dist(I, I') ≤ t``, then ``F(J) = F(J')`` (agreement between
+  a one-step decider and anyone);
+* **LA4** — if ``P2(J)`` holds and ``J``, ``J'`` extend to a *common*
+  complete vector, then ``F(J) = F(J')`` (agreement between a two-step
+  decider and anyone, under identical broadcast);
+* **LU5** — ``F(J)`` is either a value occurring more than ``t`` times in
+  ``J`` or a most common non-``⊥`` value of ``J`` (unanimity).
+
+These are semantic properties over exponentially large spaces.  Theorems 1
+and 2 of the paper prove them analytically for the two shipped pairs; this
+module re-verifies them **exhaustively** on bounded spaces (small ``n`` and
+alphabet) and **statistically** (seeded Monte-Carlo) on larger ones, raising
+:class:`repro.errors.LegalityError` with a concrete counterexample on
+failure.
+
+The existential quantifiers are discharged without enumerating completions:
+
+* ``∃I, I' : J ≤ I ∧ J' ≤ I' ∧ dist(I, I') ≤ t`` holds iff the number of
+  positions where ``J`` and ``J'`` hold two *different non-``⊥``* values is
+  at most ``t`` (positions with a ``⊥`` can always be filled to match);
+* ``∃I : J ≤ I ∧ J' ≤ I`` holds iff ``J`` and ``J'`` are compatible
+  (:func:`repro.conditions.views.merge_compatible`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..errors import LegalityError
+from ..types import BOTTOM, Value
+from .base import ConditionSequencePair
+from .generators import VectorSampler, all_vectors, all_views, perturbations
+from .views import View, merge_compatible
+
+
+def conflicting_positions(a: View, b: View) -> int:
+    """Positions where ``a`` and ``b`` hold two different non-``⊥`` values."""
+    return sum(
+        1
+        for x, y in zip(a, b)
+        if x is not BOTTOM and y is not BOTTOM and x != y
+    )
+
+
+def completable_within(a: View, b: View, t: int) -> bool:
+    """True iff ``∃I, I'`` completing ``a`` and ``b`` with ``dist(I, I') ≤ t``."""
+    return conflicting_positions(a, b) <= t
+
+
+@dataclass
+class LegalityReport:
+    """Outcome of a legality check.
+
+    Attributes:
+        pair: repr of the checked pair.
+        checks: number of individual property instances evaluated.
+        violations: human-readable descriptions of failures (empty ⇔ legal).
+    """
+
+    pair: str
+    checks: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def is_legal(self) -> bool:
+        return not self.violations
+
+    def require_legal(self) -> None:
+        """Raise :class:`LegalityError` when any violation was recorded."""
+        if self.violations:
+            raise LegalityError("LT1/LT2/LA3/LA4/LU5", self.violations[0])
+
+
+class LegalityChecker:
+    """Checks the five legality criteria for one pair over one alphabet.
+
+    Args:
+        pair: the condition-sequence pair under test; its ``n`` and ``t``
+            define the spaces quantified over.
+        values: the proposal alphabet ``V``.  Exhaustive checking costs
+            roughly ``|V|^n · (perturbations)``; keep ``n ≤ 8`` and
+            ``|V| ≤ 3``.
+    """
+
+    def __init__(self, pair: ConditionSequencePair, values: Sequence[Value]) -> None:
+        self.pair = pair
+        self.values = list(values)
+        self.n = pair.n
+        self.t = pair.t
+
+    # -- exhaustive verification ----------------------------------------------
+
+    def check_exhaustive(self, max_pair_views: int | None = None) -> LegalityReport:
+        """Verify every criterion over the full bounded space.
+
+        Args:
+            max_pair_views: optional cap on the number of views enumerated
+                for the quadratic LA3/LA4 checks; ``None`` means no cap.
+        """
+        report = LegalityReport(pair=repr(self.pair))
+        self._check_monotonicity(report)
+        self._check_lt(report, which=1)
+        self._check_lt(report, which=2)
+        views = list(all_views(self.values, self.n, self.t))
+        if max_pair_views is not None and len(views) > max_pair_views:
+            views = views[:max_pair_views]
+        self._check_la(report, views)
+        self._check_lu5(report, views)
+        return report
+
+    def _check_monotonicity(self, report: LegalityReport) -> None:
+        """``C_k ⊇ C_{k+1}`` for both sequences (§2.3 adaptiveness shape)."""
+        for label, seq in (
+            ("S1", self.pair.one_step_sequence()),
+            ("S2", self.pair.two_step_sequence()),
+        ):
+            for vector in all_vectors(self.values, self.n):
+                report.checks += 1
+                member = [seq[k].contains(vector) for k in range(len(seq))]
+                for k in range(len(member) - 1):
+                    if member[k + 1] and not member[k]:
+                        report.violations.append(
+                            f"{label}: C_{k} does not contain C_{k + 1} "
+                            f"witness {vector!r}"
+                        )
+                        return
+
+    def _check_lt(self, report: LegalityReport, which: int) -> None:
+        """LT1 (``which=1``) or LT2 (``which=2``)."""
+        seq = (
+            self.pair.one_step_sequence()
+            if which == 1
+            else self.pair.two_step_sequence()
+        )
+        predicate = self.pair.p1 if which == 1 else self.pair.p2
+        for k in range(len(seq)):
+            condition = seq[k]
+            for vector in all_vectors(self.values, self.n):
+                if not condition.contains(vector):
+                    continue
+                for view in perturbations(vector, self.values, k):
+                    if view.count(BOTTOM) > k:
+                        continue  # LT quantifies over V^n_k
+                    report.checks += 1
+                    if not predicate(view):
+                        report.violations.append(
+                            f"LT{which}: I={vector!r} ∈ C^{which}_{k}, "
+                            f"J={view!r}, dist ≤ {k}, but P{which}(J) is false"
+                        )
+                        return
+
+    def _check_la(self, report: LegalityReport, views: list[View]) -> None:
+        """LA3 and LA4 over pairs of views in ``V^n_t``."""
+        p1_views = [j for j in views if j.known and self.pair.p1(j)]
+        p2_views = [j for j in views if j.known and self.pair.p2(j)]
+        for j in p1_views:
+            fj = self.pair.f(j)
+            for j2 in views:
+                if not j2.known:
+                    continue
+                if not completable_within(j, j2, self.t):
+                    continue
+                report.checks += 1
+                if self.pair.f(j2) != fj:
+                    report.violations.append(
+                        f"LA3: P1({j!r}) holds, J'={j2!r} completable within "
+                        f"t={self.t}, but F(J)={fj!r} ≠ F(J')={self.pair.f(j2)!r}"
+                    )
+                    return
+        for j in p2_views:
+            fj = self.pair.f(j)
+            for j2 in views:
+                if not j2.known:
+                    continue
+                if merge_compatible(j, j2) is None:
+                    continue
+                report.checks += 1
+                if self.pair.f(j2) != fj:
+                    report.violations.append(
+                        f"LA4: P2({j!r}) holds, J'={j2!r} shares a completion, "
+                        f"but F(J)={fj!r} ≠ F(J')={self.pair.f(j2)!r}"
+                    )
+                    return
+
+    def _check_lu5(self, report: LegalityReport, views: list[View]) -> None:
+        """LU5 — ``F(J)`` occurs ``> t`` times or is a most common value."""
+        for j in views:
+            if not j.known:
+                continue
+            report.checks += 1
+            value = self.pair.f(j)
+            top = j.first()
+            top_count = j.count(top) if top is not None else 0
+            if j.count(value) > self.t:
+                continue
+            if j.count(value) == top_count:
+                continue
+            report.violations.append(
+                f"LU5: F({j!r}) = {value!r} occurs {j.count(value)} ≤ t={self.t} "
+                f"times and is not a most common value"
+            )
+            return
+
+    # -- Monte-Carlo verification ----------------------------------------------
+
+    def check_sampled(self, samples: int, seed: int = 0) -> LegalityReport:
+        """Statistically probe every criterion on ``samples`` random instances.
+
+        Useful for parameters where exhaustive enumeration is infeasible
+        (e.g. ``n = 13``).  A passing report is evidence, not proof.
+        """
+        report = LegalityReport(pair=repr(self.pair))
+        sampler = VectorSampler(self.values, self.n, seed=seed)
+        one_seq = self.pair.one_step_sequence()
+        two_seq = self.pair.two_step_sequence()
+        for _ in range(samples):
+            vector = sampler.uniform_vector()
+            # LT1 / LT2 on a random corruption level.
+            for seq, predicate, name in (
+                (one_seq, self.pair.p1, "LT1"),
+                (two_seq, self.pair.p2, "LT2"),
+            ):
+                level = seq.level_of(vector)
+                if level is None:
+                    continue
+                view = sampler.corrupted_view(vector, level)
+                if view.count(BOTTOM) > level:
+                    continue
+                report.checks += 1
+                if not predicate(view):
+                    report.violations.append(
+                        f"{name}: sampled I={vector!r} (level {level}), "
+                        f"J={view!r} violates the predicate"
+                    )
+                    return report
+            # LA3 / LA4 / LU5 on two random views of related vectors.
+            j = sampler.random_view(vector, self.t)
+            other_vector = sampler.corrupted_view(vector, self.t)
+            if other_vector.count(BOTTOM):
+                continue
+            j2 = sampler.random_view(other_vector, self.t)
+            if not j.known or not j2.known:
+                continue
+            report.checks += 1
+            if self.pair.p1(j) and completable_within(j, j2, self.t):
+                if self.pair.f(j) != self.pair.f(j2):
+                    report.violations.append(
+                        f"LA3 (sampled): J={j!r}, J'={j2!r}"
+                    )
+                    return report
+            if self.pair.p2(j) and merge_compatible(j, j2) is not None:
+                if self.pair.f(j) != self.pair.f(j2):
+                    report.violations.append(
+                        f"LA4 (sampled): J={j!r}, J'={j2!r}"
+                    )
+                    return report
+            value = self.pair.f(j)
+            top = j.first()
+            if j.count(value) <= self.t and (
+                top is None or j.count(value) != j.count(top)
+            ):
+                report.violations.append(f"LU5 (sampled): J={j!r}")
+                return report
+        return report

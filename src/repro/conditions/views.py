@@ -1,0 +1,226 @@
+"""Views and input vectors (paper §3.1).
+
+An *input vector* ``I`` is an ``n``-tuple of proposal values, one per
+process.  A *view* ``J`` of ``I`` is obtained by replacing at most ``t``
+entries with the default value ``⊥`` (:data:`repro.types.BOTTOM`): it models
+what a process has heard so far in an execution where some messages have not
+arrived.  This module implements the paper's notation exactly:
+
+* ``#_v(J)`` — :meth:`View.count`;
+* ``|J|``   — :meth:`View.known` (number of non-``⊥`` entries);
+* ``dist(J1, J2)`` — :func:`hamming_distance`;
+* ``J1 ≤ J2`` (containment) — :meth:`View.contained_in`;
+* ``1st(J)`` / ``2nd(J)`` — :meth:`View.first` / :meth:`View.second`,
+  including the paper's tie-break "if two or more values appear most often,
+  the largest one is selected".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from typing import Optional
+
+from ..types import BOTTOM, Value, largest
+
+
+class View:
+    """An immutable ``(V ∪ {⊥})^n`` vector with the paper's §3.1 operations.
+
+    ``View`` doubles as the representation of complete input vectors (a view
+    with no ``⊥`` entries), so conditions and predicates share one type.
+    """
+
+    __slots__ = ("_entries", "_counter")
+
+    def __init__(self, entries: Iterable[Value]) -> None:
+        self._entries: tuple[Value, ...] = tuple(entries)
+        self._counter: Optional[Counter] = None
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def bottoms(cls, n: int) -> "View":
+        """The all-``⊥`` vector ``⊥^n``."""
+        return cls([BOTTOM] * n)
+
+    @classmethod
+    def of(cls, *entries: Value) -> "View":
+        """Convenience literal constructor: ``View.of(1, 1, BOTTOM, 2)``."""
+        return cls(entries)
+
+    def with_entry(self, index: int, value: Value) -> "View":
+        """Return a copy with entry ``index`` replaced by ``value``."""
+        entries = list(self._entries)
+        entries[index] = value
+        return View(entries)
+
+    def fill_bottoms_from(self, complete: "View") -> "View":
+        """Replace every ``⊥`` entry with the corresponding entry of ``complete``.
+
+        This realises the proof device of §4.0.1: from the view ``J_1i`` the
+        correctness argument builds the vector ``I^1_i`` by restoring missing
+        entries from the actual input vector ``I``.
+        """
+        if len(complete) != len(self):
+            raise ValueError("vectors must have the same length")
+        return View(
+            c if e is BOTTOM else e
+            for e, c in zip(self._entries, complete._entries)
+        )
+
+    # -- basic protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> Value:
+        return self._entries[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, View):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(e) if e is not BOTTOM else "⊥" for e in self._entries)
+        return f"View({body})"
+
+    @property
+    def entries(self) -> tuple[Value, ...]:
+        """The raw entries, ``⊥`` included."""
+        return self._entries
+
+    # -- §3.1 operations -------------------------------------------------------
+
+    def _counts(self) -> Counter:
+        if self._counter is None:
+            self._counter = Counter(
+                e for e in self._entries if e is not BOTTOM
+            )
+        return self._counter
+
+    def count(self, value: Value) -> int:
+        """``#_v(J)`` — occurrences of ``value`` (``⊥`` never counts)."""
+        if value is BOTTOM:
+            return sum(1 for e in self._entries if e is BOTTOM)
+        return self._counts()[value]
+
+    @property
+    def known(self) -> int:
+        """``|J|`` — the number of non-``⊥`` entries."""
+        return len(self._entries) - self.count(BOTTOM)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when no entry is ``⊥`` (i.e. this is a full input vector)."""
+        return self.count(BOTTOM) == 0
+
+    def values(self) -> set[Value]:
+        """The set of distinct non-``⊥`` values present."""
+        return set(self._counts())
+
+    def first(self) -> Optional[Value]:
+        """``1st(J)`` — the most frequent non-``⊥`` value; ties pick the largest.
+
+        Returns ``None`` for the all-``⊥`` view, where ``1st`` is undefined.
+        """
+        counts = self._counts()
+        if not counts:
+            return None
+        best = max(counts.values())
+        return largest(v for v, c in counts.items() if c == best)
+
+    def second(self) -> Optional[Value]:
+        """``2nd(J)`` — the most frequent value after erasing ``1st(J)``.
+
+        Returns ``None`` when fewer than two distinct values appear.
+        """
+        top = self.first()
+        if top is None:
+            return None
+        counts = self._counts()
+        rest = {v: c for v, c in counts.items() if v != top}
+        if not rest:
+            return None
+        best = max(rest.values())
+        return largest(v for v, c in rest.items() if c == best)
+
+    def frequency_gap(self) -> int:
+        """``#_1st(J)(J) - #_2nd(J)(J)``; when ``2nd`` is undefined the gap is
+        the full count of ``1st`` (and 0 for the all-``⊥`` view)."""
+        top = self.first()
+        if top is None:
+            return 0
+        second = self.second()
+        top_count = self.count(top)
+        return top_count - (self.count(second) if second is not None else 0)
+
+    def contained_in(self, other: "View") -> bool:
+        """The containment relation ``self ≤ other`` of §3.1."""
+        if len(other) != len(self):
+            raise ValueError("vectors must have the same length")
+        return all(
+            a is BOTTOM or a == b
+            for a, b in zip(self._entries, other._entries)
+        )
+
+
+def hamming_distance(a: View, b: View) -> int:
+    """``dist(J1, J2)`` — the number of entries where the views differ.
+
+    ``⊥`` is an ordinary symbol for this purpose, exactly as in the paper.
+    """
+    if len(a) != len(b):
+        raise ValueError("vectors must have the same length")
+    return sum(1 for x, y in zip(a, b) if not _entries_equal(x, y))
+
+
+def _entries_equal(x: Value, y: Value) -> bool:
+    if x is BOTTOM or y is BOTTOM:
+        return x is y
+    return x == y
+
+
+def views_of(vector: View, max_bottoms: int) -> Iterator[View]:
+    """Enumerate every view of ``vector`` with at most ``max_bottoms`` ``⊥``s.
+
+    This is the set the paper writes as the views ``J`` of ``I`` in
+    ``V^n_t``.  The enumeration is exhaustive, so callers should keep
+    ``n`` and ``max_bottoms`` small (it has ``sum_k C(n, k)`` elements).
+    """
+    from itertools import combinations
+
+    n = len(vector)
+    for k in range(min(max_bottoms, n) + 1):
+        for positions in combinations(range(n), k):
+            entries = list(vector.entries)
+            for p in positions:
+                entries[p] = BOTTOM
+            yield View(entries)
+
+
+def merge_compatible(a: View, b: View) -> Optional[View]:
+    """Return the least upper bound of two views, or ``None`` if they clash.
+
+    Two views are *compatible* when no position holds two different non-``⊥``
+    values.  The merged view keeps every known entry of both; this is the
+    vector ``I'`` constructed in Case 3 of the agreement proof.
+    """
+    if len(a) != len(b):
+        raise ValueError("vectors must have the same length")
+    merged: list[Value] = []
+    for x, y in zip(a, b):
+        if x is BOTTOM:
+            merged.append(y)
+        elif y is BOTTOM or x == y:
+            merged.append(x)
+        else:
+            return None
+    return View(merged)

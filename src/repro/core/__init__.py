@@ -1,0 +1,5 @@
+"""The paper's primary contribution: algorithm DEX (Figure 1)."""
+
+from .dex import DexConsensus, DexProposal, UcFactory
+
+__all__ = ["DexConsensus", "DexProposal", "UcFactory"]

@@ -1,0 +1,178 @@
+"""Algorithm DEX — doubly-expedited adaptive Byzantine consensus (Figure 1).
+
+DEX runs three decision schemes concurrently, generic over any *legal*
+condition-sequence pair ``(S¹, S², P1, P2, F)``:
+
+* **one-step** (lines 5–9): plain proposals accumulate in view ``J1``; with
+  ``|J1| ≥ n − t`` and ``P1(J1)``, decide ``F(J1)`` at depth 1;
+* **two-step** (lines 10–18): Identical-Broadcast deliveries accumulate in
+  ``J2``; with ``|J2| ≥ n − t``, propose ``F(J2)`` to the underlying
+  consensus (once), and with ``P2(J2)`` decide ``F(J2)`` at depth 2;
+* **fallback** (lines 19–22): adopt the underlying consensus' decision.
+
+Unlike prior one-step Byzantine algorithms, DEX keeps updating both views
+after the ``n − t`` threshold — "DEX allows the processes to collect
+messages from all correct processes.  This is the real secret of its
+ability to provide fast termination for more number of inputs" (§4) — so
+the predicates are re-evaluated on *every* later arrival, which is what
+makes the conditions adaptive in the actual failure count.
+
+The protocol requires ``n > 5t`` (paper §2.1); the embedded IDB needs only
+``n > 4t``, and the chosen condition pair may require more (the frequency
+pair needs ``n > 6t``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..broadcast.idb import DELIVER_TAG as IDB_DELIVER_TAG
+from ..broadcast.idb import IdenticalBroadcast
+from ..conditions.base import ConditionSequencePair
+from ..conditions.views import View
+from ..errors import ConfigurationError, ResilienceError
+from ..runtime.composite import CompositeProtocol
+from ..runtime.effects import Broadcast, Decide, Deliver, Effect
+from ..types import BOTTOM, DecisionKind, ProcessId, SystemConfig, Value
+from ..underlying.base import UC_DECIDE_TAG, UnderlyingConsensus
+from ..underlying.oracle import OracleConsensus
+
+#: Factory signature for the underlying consensus child ("uc" slot).
+UcFactory = Callable[[ProcessId, SystemConfig], UnderlyingConsensus]
+
+
+@dataclass(frozen=True, slots=True)
+class DexProposal:
+    """The plain (``P-Send``) proposal message of line 3."""
+
+    value: Value
+
+
+def _storable(value: Value) -> bool:
+    """Views count values in hash tables; unhashable Byzantine payloads are
+    rejected on arrival so they can never poison a view."""
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+class DexConsensus(CompositeProtocol):
+    """One process's DEX instance.
+
+    Args:
+        process_id: hosting process.
+        config: must satisfy ``n > 5t``.
+        pair: a legal condition-sequence pair built for the same ``(n, t)``.
+        proposal: this process's initial value ``v_i``.
+        uc_factory: builds the underlying-consensus child; defaults to the
+            oracle abstraction (:class:`~repro.underlying.oracle.OracleConsensus`
+            on service ``"oracle-uc"``).  Pass a
+            :class:`~repro.underlying.multivalued.MultivaluedConsensus`
+            factory for a fully trusted-component-free run.
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        pair: ConditionSequencePair,
+        proposal: Value,
+        uc_factory: UcFactory | None = None,
+    ) -> None:
+        if not config.satisfies(5):
+            raise ResilienceError("DEX", config.n, config.t, "n > 5t")
+        if (pair.n, pair.t) != (config.n, config.t):
+            raise ConfigurationError(
+                f"condition pair built for (n={pair.n}, t={pair.t}) does not "
+                f"match the system (n={config.n}, t={config.t})"
+            )
+        super().__init__(process_id, config)
+        self.pair = pair
+        self.proposal = proposal
+        self._idb = self.add_child("idb", IdenticalBroadcast(process_id, config))
+        make_uc = uc_factory or (lambda pid, cfg: OracleConsensus(pid, cfg))
+        self._uc = self.add_child("uc", make_uc(process_id, config))
+        self._j1: list[Value] = [BOTTOM] * config.n
+        self._j2: list[Value] = [BOTTOM] * config.n
+        self.decided = False
+        self.decision_kind: DecisionKind | None = None
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def view1(self) -> View:
+        """Snapshot of the one-step view ``J1``."""
+        return View(self._j1)
+
+    @property
+    def view2(self) -> View:
+        """Snapshot of the two-step (IDB) view ``J2``."""
+        return View(self._j2)
+
+    @property
+    def has_proposed_to_uc(self) -> bool:
+        return self._uc.has_proposed
+
+    # -- lines 1-4: Propose ---------------------------------------------------------
+
+    def on_start(self) -> list[Effect]:
+        self._j1[self.process_id] = self.proposal  # line 2
+        self._j2[self.process_id] = self.proposal
+        effects: list[Effect] = [Broadcast(DexProposal(self.proposal))]  # line 3
+        effects.extend(self.child_call("idb", self._idb.id_send(self.proposal)))  # line 4
+        return effects
+
+    # -- lines 5-9: one-step scheme ----------------------------------------------------
+
+    def on_own_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if not isinstance(payload, DexProposal):
+            return [self.log("dex-ignored", sender=sender, payload=repr(payload))]
+        if not _storable(payload.value):
+            return [self.log("dex-unhashable-dropped", sender=sender)]
+        if self._j1[sender] is BOTTOM:  # first value per sender is binding
+            self._j1[sender] = payload.value  # line 6
+        return self._check_one_step()
+
+    def _check_one_step(self) -> list[Effect]:
+        view = self.view1
+        if view.known >= self.quorum and not self.decided and self.pair.p1(view):
+            return self._decide(self.pair.f(view), DecisionKind.ONE_STEP)  # line 8
+        return []
+
+    # -- lines 10-22: two-step scheme and fallback ----------------------------------------
+
+    def on_child_output(self, name: str, effect) -> list[Effect]:
+        if not isinstance(effect, Deliver):
+            return []
+        if name == "idb" and effect.tag == IDB_DELIVER_TAG:
+            return self._on_id_receive(effect.sender, effect.value)
+        if name == "uc" and effect.tag == UC_DECIDE_TAG:
+            return self._on_uc_decide(effect.value)
+        return []
+
+    def _on_id_receive(self, origin: ProcessId, value: Value) -> list[Effect]:
+        if not _storable(value):
+            return [self.log("dex-unhashable-dropped", sender=origin)]
+        if self._j2[origin] is BOTTOM:
+            self._j2[origin] = value  # line 11
+        effects: list[Effect] = []
+        view = self.view2
+        if view.known >= self.quorum and not self._uc.has_proposed:
+            # lines 12-15: activate the underlying consensus exactly once.
+            effects.extend(self.child_call("uc", self._uc.propose(self.pair.f(view))))
+        if view.known >= self.quorum and not self.decided and self.pair.p2(view):
+            effects.extend(self._decide(self.pair.f(view), DecisionKind.TWO_STEP))  # line 17
+        return effects
+
+    def _on_uc_decide(self, value: Value) -> list[Effect]:
+        if self.decided:
+            return []
+        return self._decide(value, DecisionKind.UNDERLYING)  # line 21
+
+    def _decide(self, value: Value, kind: DecisionKind) -> list[Effect]:
+        self.decided = True
+        self.decision_kind = kind
+        return [Decide(value, kind)]

@@ -1,0 +1,539 @@
+"""Experiment harness: declarative construction of consensus runs.
+
+Tests, benchmarks and examples all describe a run the same way — *which
+algorithm*, *which input vector*, *which faults*, *which network* — and get
+back a fully wired :class:`~repro.sim.runner.Simulation`.  The harness owns
+the fiddly parts: building one protocol instance per process, wrapping the
+faulty ones in :mod:`repro.byzantine` behaviors, choosing the underlying
+consensus (the paper's oracle abstraction or the real RBC+ABA+ACS stack)
+and registering its services.
+
+Example::
+
+    from repro.harness import Scenario, dex_freq, Equivocate
+
+    result = Scenario(
+        dex_freq(),
+        inputs=[1, 1, 1, 1, 1, 2, 1],   # n = 7 ⇒ t = 1 for the freq pair
+        faults={6: Equivocate(1, 2)},
+        seed=42,
+    ).run()
+    assert result.agreement_holds()
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from .baselines.bosco import BoscoConsensus, BoscoVote
+from .baselines.brasileiro import BrasileiroConsensus, BrasileiroValue
+from .baselines.twostep import TwoStepConsensus
+from .broadcast.idb import IdbInit
+from .byzantine.adversary import CrashBehavior, SilentBehavior, TwoFacedBehavior
+from .byzantine.behaviors import RandomGarbageBehavior
+from .conditions.frequency import FrequencyPair
+from .conditions.privileged import PrivilegedPair
+from .core.dex import DexConsensus, DexProposal
+from .errors import ConfigurationError
+from .runtime.composite import Envelope
+from .runtime.protocol import Protocol
+from .runtime.services import Service
+from .sim.latency import LatencyModel
+from .sim.runner import RunResult, Simulation
+from .sim.scheduler import DeliveryScheduler
+from .types import ProcessId, SystemConfig, Value
+from .underlying.coin import CommonCoin
+from .underlying.multivalued import MultivaluedConsensus
+from .underlying.oracle import SERVICE_NAME, OracleConsensus, OracleService
+
+#: builds an honest protocol instance for a given initial value.
+HonestFactory = Callable[[Value], Protocol]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Everything the harness needs to deploy one algorithm.
+
+    Attributes:
+        name: short identifier used in reports (e.g. ``"dex-freq"``).
+        make: builds the per-process protocol:
+            ``make(pid, config, value, uc_factory)``.
+        required_ratio: resilience as a multiplier (``n > ratio · t``).
+        failure_model: ``"byzantine"`` or ``"crash"`` — the strongest fault
+            class the algorithm's safety argument covers; the harness
+            rejects stronger injected faults.
+        garbage_templates: wire-shaped payload examples for the garbage
+            adversary.
+        table1: the algorithm's row of the paper's Table 1 (used by the
+            table-regeneration bench).
+    """
+
+    name: str
+    make: Callable[..., Protocol]
+    required_ratio: int
+    failure_model: str = "byzantine"
+    garbage_templates: tuple[Any, ...] = ()
+    table1: dict[str, str] = field(default_factory=dict)
+
+    def max_t(self, n: int) -> int:
+        """Largest ``t`` this algorithm tolerates with ``n`` processes."""
+        return max((n - 1) // self.required_ratio, 0)
+
+
+# -- algorithm registry ------------------------------------------------------------
+
+
+def dex_freq() -> AlgorithmSpec:
+    """DEX instantiated with the frequency-based pair (``n > 6t``)."""
+    return AlgorithmSpec(
+        name="dex-freq",
+        make=lambda pid, config, value, uc_factory: DexConsensus(
+            pid, config, FrequencyPair(config.n, config.t), value, uc_factory
+        ),
+        required_ratio=6,
+        garbage_templates=(DexProposal(0), Envelope("idb", IdbInit(0))),
+        table1={
+            "system": "Asyn.",
+            "failures": "Byzan.",
+            "processes": "6t+1",
+            "one_step": "Condition-Based (adaptive)",
+            "two_step": "Condition-Based (adaptive)",
+        },
+    )
+
+
+def dex_prv(privileged: Value = 1) -> AlgorithmSpec:
+    """DEX instantiated with the privileged-value pair (``n > 5t``)."""
+    return AlgorithmSpec(
+        name="dex-prv",
+        make=lambda pid, config, value, uc_factory: DexConsensus(
+            pid,
+            config,
+            PrivilegedPair(config.n, config.t, privileged),
+            value,
+            uc_factory,
+        ),
+        required_ratio=5,
+        garbage_templates=(DexProposal(0), Envelope("idb", IdbInit(0))),
+        table1={
+            "system": "Asyn.",
+            "failures": "Byzan.",
+            "processes": "5t+1",
+            "one_step": "Condition-Based (privileged value)",
+            "two_step": "Condition-Based (privileged value)",
+        },
+    )
+
+
+def bosco_weak() -> AlgorithmSpec:
+    """BOSCO, weakly one-step (``n > 5t``)."""
+    return AlgorithmSpec(
+        name="bosco-weak",
+        make=lambda pid, config, value, uc_factory: BoscoConsensus(
+            pid, config, value, "weak", uc_factory
+        ),
+        required_ratio=5,
+        garbage_templates=(BoscoVote(0),),
+        table1={
+            "system": "Asyn.",
+            "failures": "Byzan.",
+            "processes": "5t+1 (Weak)",
+            "one_step": "Agreed proposals, no failures",
+            "two_step": "—",
+        },
+    )
+
+
+def bosco_strong() -> AlgorithmSpec:
+    """BOSCO, strongly one-step (``n > 7t``)."""
+    return AlgorithmSpec(
+        name="bosco-strong",
+        make=lambda pid, config, value, uc_factory: BoscoConsensus(
+            pid, config, value, "strong", uc_factory
+        ),
+        required_ratio=7,
+        garbage_templates=(BoscoVote(0),),
+        table1={
+            "system": "Asyn.",
+            "failures": "Byzan.",
+            "processes": "7t+1 (Strong)",
+            "one_step": "Agreed proposals of correct processes",
+            "two_step": "—",
+        },
+    )
+
+
+def izumi() -> AlgorithmSpec:
+    """Adaptive crash-model one-step consensus (Izumi et al. [8] row)."""
+    from .baselines.crash_onestep import CrashValue, IzumiCrashConsensus
+
+    return AlgorithmSpec(
+        name="izumi",
+        make=lambda pid, config, value, uc_factory: IzumiCrashConsensus(
+            pid, config, value, uc_factory
+        ),
+        required_ratio=3,
+        failure_model="crash",
+        garbage_templates=(CrashValue(0),),
+        table1={
+            "system": "Asyn.",
+            "failures": "Crash",
+            "processes": "3t+1",
+            "one_step": "Condition-Based (adaptive)",
+            "two_step": "—",
+        },
+    )
+
+
+def brasileiro() -> AlgorithmSpec:
+    """Brasileiro et al.'s one-step converter (crash model, ``n > 3t``)."""
+    return AlgorithmSpec(
+        name="brasileiro",
+        make=lambda pid, config, value, uc_factory: BrasileiroConsensus(
+            pid, config, value, uc_factory
+        ),
+        required_ratio=3,
+        failure_model="crash",
+        garbage_templates=(BrasileiroValue(0),),
+        table1={
+            "system": "Asyn.",
+            "failures": "Crash",
+            "processes": "3t+1",
+            "one_step": "Agreed proposals",
+            "two_step": "—",
+        },
+    )
+
+
+def twostep() -> AlgorithmSpec:
+    """No fast path: underlying consensus only (zero-degradation reference)."""
+    return AlgorithmSpec(
+        name="twostep",
+        make=lambda pid, config, value, uc_factory: TwoStepConsensus(
+            pid, config, value, uc_factory
+        ),
+        required_ratio=3,
+        table1={
+            "system": "Asyn.",
+            "failures": "Byzan.",
+            "processes": "3t+1",
+            "one_step": "—",
+            "two_step": "underlying only",
+        },
+    )
+
+
+def all_algorithms() -> list[AlgorithmSpec]:
+    """Every registered asynchronous algorithm, in the paper's Table 1
+    order.  The synchronous row (Mostefaoui et al. [11]) runs on the
+    round-based engine instead — see
+    :class:`repro.baselines.sync_onestep.SyncOneStepConsensus`.
+    """
+    return [
+        brasileiro(),
+        izumi(),
+        bosco_weak(),
+        bosco_strong(),
+        dex_freq(),
+        dex_prv(),
+        twostep(),
+    ]
+
+
+# -- fault specifications --------------------------------------------------------------
+
+
+class Fault(abc.ABC):
+    """How one faulty process misbehaves in a scenario."""
+
+    #: fault class for model compatibility checks.
+    model: str = "byzantine"
+
+    @abc.abstractmethod
+    def build(
+        self,
+        pid: ProcessId,
+        config: SystemConfig,
+        make_honest: HonestFactory,
+        value: Value,
+        spec: AlgorithmSpec,
+    ) -> Protocol:
+        """Construct the behavior protocol for process ``pid``."""
+
+
+class Silent(Fault):
+    """Crashed from the start: never sends a message."""
+
+    model = "crash"
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        return SilentBehavior(pid, config)
+
+
+class Crash(Fault):
+    """Run honestly, then crash after ``budget`` point-to-point messages.
+
+    ``budget`` between ``1`` and ``n − 1`` crashes mid-broadcast of the
+    initial proposal.
+    """
+
+    model = "crash"
+
+    def __init__(self, budget: int) -> None:
+        self.budget = budget
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        return CrashBehavior(make_honest(value), self.budget)
+
+
+class Equivocate(Fault):
+    """Two-faced: behave like an honest process proposing ``value_a`` to one
+    half of the system and ``value_b`` to the other (Figure 2's attack,
+    consistently applied at every protocol layer)."""
+
+    def __init__(self, value_a: Value, value_b: Value) -> None:
+        self.value_a = value_a
+        self.value_b = value_b
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        return TwoFacedBehavior(make_honest(self.value_a), make_honest(self.value_b))
+
+
+class Garbage(Fault):
+    """Spray wire-shaped random payloads (robustness stressor)."""
+
+    def __init__(self, values: Sequence[Value] = (0, 1, 2), fanout: int = 3, seed: int = 0) -> None:
+        self.values = list(values)
+        self.fanout = fanout
+        self.seed = seed
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        templates = list(spec.garbage_templates) or [value]
+        return RandomGarbageBehavior(
+            pid, config, templates, self.values, self.fanout, self.seed + pid
+        )
+
+
+class Spoiler(Fault):
+    """Adaptive attack on the frequency conditions: observe the proposals,
+    then vote for the runner-up value on both DEX layers (see
+    :class:`repro.byzantine.targeted.SpoilerBehavior`)."""
+
+    def __init__(self, fallback: Value, watch_threshold: int | None = None) -> None:
+        self.fallback = fallback
+        self.watch_threshold = watch_threshold
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        from .byzantine.targeted import SpoilerBehavior
+
+        return SpoilerBehavior(pid, config, self.fallback, self.watch_threshold)
+
+
+class Collapse(Fault):
+    """A priori gap collapser: immediately votes ``value`` on both DEX
+    layers (see :class:`repro.byzantine.targeted.GapCollapser`)."""
+
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        from .byzantine.targeted import GapCollapser
+
+        return GapCollapser(pid, config, self.value)
+
+
+class Custom(Fault):
+    """Escape hatch: any ``(pid, config, make_honest, value) -> Protocol``."""
+
+    def __init__(self, factory: Callable[..., Protocol], model: str = "byzantine") -> None:
+        self.factory = factory
+        self.model = model
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        return self.factory(pid, config, make_honest, value)
+
+
+# -- scenario ---------------------------------------------------------------------------
+
+
+class Scenario:
+    """A declarative consensus run.
+
+    Args:
+        algorithm: which algorithm to deploy.
+        inputs: one initial value per process (its length fixes ``n``).  A
+            faulty process's entry is the value its behavior builds on
+            (e.g. face A of an equivocator).
+        t: declared failure bound; defaults to the largest the algorithm's
+            resilience allows for this ``n``.
+        faults: fault spec per faulty process id (size must be ``≤ t``).
+        uc: ``"oracle"`` (the paper's §2.2 abstraction, default) or
+            ``"real"`` (Bracha RBC + common-coin ABA + ACS).
+        uc_step_cost: causal step cost of the oracle abstraction.
+        latency, scheduler, seed, trace, max_events: passed to the
+            simulator.
+    """
+
+    def __init__(
+        self,
+        algorithm: AlgorithmSpec,
+        inputs: Sequence[Value],
+        t: int | None = None,
+        faults: Mapping[ProcessId, Fault] | None = None,
+        uc: str = "oracle",
+        uc_step_cost: int = 2,
+        latency: LatencyModel | None = None,
+        scheduler: DeliveryScheduler | None = None,
+        seed: int = 0,
+        trace: bool = False,
+        max_events: int | None = None,
+    ) -> None:
+        n = len(inputs)
+        if t is None:
+            t = algorithm.max_t(n)
+        self.config = SystemConfig(n, t)
+        if not self.config.satisfies(algorithm.required_ratio):
+            raise ConfigurationError(
+                f"{algorithm.name} requires n > {algorithm.required_ratio}t; "
+                f"got n={n}, t={t}"
+            )
+        faults = dict(faults or {})
+        if len(faults) > t:
+            raise ConfigurationError(
+                f"{len(faults)} faults exceed the declared bound t={t}"
+            )
+        if algorithm.failure_model == "crash":
+            for pid, fault in faults.items():
+                if fault.model != "crash":
+                    raise ConfigurationError(
+                        f"{algorithm.name} is a crash-model algorithm; fault "
+                        f"{type(fault).__name__} on p{pid} is Byzantine"
+                    )
+        self.algorithm = algorithm
+        self.inputs = list(inputs)
+        self.faults = faults
+        self.uc = uc
+        self.uc_step_cost = uc_step_cost
+        self.latency = latency
+        self.scheduler = scheduler
+        self.seed = seed
+        self.trace = trace
+        self.max_events = max_events
+
+    # -- wiring ----------------------------------------------------------------------
+
+    def _uc_factory_and_services(self) -> tuple[Callable, dict[str, Service]]:
+        if self.uc == "oracle":
+            service = OracleService(self.config, step_cost=self.uc_step_cost)
+            factory = lambda pid, cfg: OracleConsensus(pid, cfg)  # noqa: E731
+            return factory, {SERVICE_NAME: service}
+        if self.uc == "real":
+            coin = CommonCoin(seed=self.seed)
+            factory = lambda pid, cfg: MultivaluedConsensus(pid, cfg, coin)  # noqa: E731
+            return factory, {}
+        raise ConfigurationError(f"unknown underlying consensus kind {self.uc!r}")
+
+    def components(self) -> tuple[dict[ProcessId, Protocol], dict[str, Service]]:
+        """Build the per-process protocols and the trusted services.
+
+        Shared by the simulator path (:meth:`build`) and the asyncio path
+        (:meth:`run_async`).
+        """
+        uc_factory, services = self._uc_factory_and_services()
+        protocols: dict[ProcessId, Protocol] = {}
+        for pid in self.config.processes:
+            value = self.inputs[pid]
+            make_honest: HonestFactory = (
+                lambda v, pid=pid: self.algorithm.make(
+                    pid, self.config, v, uc_factory
+                )
+            )
+            fault = self.faults.get(pid)
+            if fault is None:
+                protocols[pid] = make_honest(value)
+            else:
+                protocols[pid] = fault.build(
+                    pid, self.config, make_honest, value, self.algorithm
+                )
+        return protocols, services
+
+    def build(self) -> Simulation:
+        """Construct the fully wired simulation (not yet run)."""
+        protocols, services = self.components()
+        kwargs: dict[str, Any] = {}
+        if self.max_events is not None:
+            kwargs["max_events"] = self.max_events
+        return Simulation(
+            self.config,
+            protocols,
+            faulty=frozenset(self.faults),
+            latency=self.latency,
+            scheduler=self.scheduler,
+            services=services,
+            seed=self.seed,
+            trace=self.trace,
+            **kwargs,
+        )
+
+    def run(self) -> RunResult:
+        """Build and run until every correct process decided."""
+        return self.build().run_until_decided()
+
+    def run_many(self, seeds, expected_value: Value | None = None):
+        """Run the scenario once per seed and aggregate the results.
+
+        Args:
+            seeds: iterable of simulation seeds; each run is otherwise
+                identical to this scenario.
+            expected_value: when set, decisions differing from it count as
+                unanimity violations in the aggregate.
+
+        Returns:
+            A :class:`repro.metrics.collectors.RunAggregate`.
+        """
+        from .metrics.collectors import RunAggregate
+
+        aggregate = RunAggregate(label=self.algorithm.name)
+        for seed in seeds:
+            run = Scenario(
+                self.algorithm,
+                self.inputs,
+                t=self.config.t,
+                faults=self.faults,
+                uc=self.uc,
+                uc_step_cost=self.uc_step_cost,
+                latency=self.latency,
+                scheduler=self.scheduler,
+                seed=seed,
+                trace=False,
+                max_events=self.max_events,
+            ).run()
+            aggregate.add(run, expected_value=expected_value)
+        return aggregate
+
+    def run_async(self, timeout: float = 30.0, mean_delay: float = 0.001):
+        """Run the same deployment on the asyncio runtime instead.
+
+        Returns an :class:`~repro.runtime.asyncio_runner.AsyncRunResult`.
+        """
+        from .runtime.asyncio_runner import AsyncioRunner
+
+        protocols, services = self.components()
+        runner = AsyncioRunner(
+            self.config,
+            protocols,
+            faulty=frozenset(self.faults),
+            services=services,
+            seed=self.seed,
+            mean_delay=mean_delay,
+        )
+        return runner.run_sync(timeout)
+
+
+def run_once(
+    algorithm: AlgorithmSpec, inputs: Sequence[Value], **kwargs: Any
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`Scenario`."""
+    return Scenario(algorithm, inputs, **kwargs).run()

@@ -1,0 +1,6 @@
+"""Run-statistics aggregation and plain-text reporting."""
+
+from .collectors import RunAggregate
+from .report import format_histogram, format_series, format_table
+
+__all__ = ["RunAggregate", "format_table", "format_histogram", "format_series"]

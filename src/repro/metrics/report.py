@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmarks print the same rows the paper reports (Table 1) plus the
+quantitative extension tables; this module is the single place that turns
+lists of dict-rows into aligned ASCII, so every bench's output looks the
+same and diffs cleanly across runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    Args:
+        rows: one mapping per row; missing keys render empty.
+        columns: column order; defaults to the keys of the first row.
+        title: optional heading line.
+    """
+    if not rows:
+        return (title + "\n") if title else ""
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".") if value == value else "nan"
+    return str(value)
+
+
+def format_histogram(
+    histogram: Mapping[int, int], title: str | None = None, width: int = 40
+) -> str:
+    """Render an integer histogram as ASCII bars."""
+    if not histogram:
+        return (title + "\n(empty)") if title else "(empty)"
+    peak = max(histogram.values())
+    lines = [title] if title else []
+    for key in sorted(histogram):
+        count = histogram[key]
+        bar = "#" * max(1, round(width * count / peak)) if count else ""
+        lines.append(f"{key:>6} | {bar} {count}")
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[Any], ys: Sequence[float], x_label: str, y_label: str
+) -> str:
+    """Render an (x, y) series as a two-column table (figure data)."""
+    rows = [{x_label: x, y_label: y} for x, y in zip(xs, ys)]
+    return format_table(rows, [x_label, y_label])

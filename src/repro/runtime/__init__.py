@@ -1,0 +1,38 @@
+"""Sans-IO protocol runtime: effects, protocol interface, composition,
+trusted services and the asyncio transport.
+
+Protocols written against this package run unchanged under the
+deterministic simulator (:mod:`repro.sim`) and the asyncio in-memory
+network (:mod:`repro.runtime.asyncio_runner`).
+"""
+
+from .composite import CompositeProtocol, Envelope
+from .effects import (
+    SERVICE_SENDER,
+    Broadcast,
+    Decide,
+    Deliver,
+    Effect,
+    Log,
+    Send,
+    ServiceCall,
+)
+from .protocol import Protocol, guarded
+from .services import Service, ServiceReply
+
+__all__ = [
+    "CompositeProtocol",
+    "Envelope",
+    "SERVICE_SENDER",
+    "Broadcast",
+    "Decide",
+    "Deliver",
+    "Effect",
+    "Log",
+    "Send",
+    "ServiceCall",
+    "Protocol",
+    "guarded",
+    "Service",
+    "ServiceReply",
+]

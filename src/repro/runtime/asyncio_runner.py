@@ -1,0 +1,227 @@
+"""asyncio runtime: the same sans-IO protocols on a real event loop.
+
+Where :mod:`repro.sim` interprets effects against a virtual clock, this
+runner executes them over an in-memory asyncio transport: one task and one
+:class:`asyncio.Queue` mailbox per process, real ``asyncio.sleep`` delays,
+wall-clock timing.  Protocols are byte-for-byte the same objects — the
+sans-IO design is what makes this a one-file addition — so the asyncio
+numbers (bench E8) validate that nothing in the simulator results is a
+simulation artifact.
+
+Determinism caveat: delays are seeded, but asyncio's internal scheduling
+makes interleavings only *mostly* reproducible; property tests that need
+exact replay belong on the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import SimulationError
+from ..types import Decision, ProcessId, RunStats, SystemConfig
+from .composite import Envelope
+from .effects import (
+    SERVICE_SENDER,
+    Broadcast,
+    Decide,
+    Deliver,
+    Log,
+    Send,
+    ServiceCall,
+)
+from .protocol import Protocol, guarded
+from .services import Service
+
+
+@dataclass
+class AsyncRunResult:
+    """Observable outcome of one asyncio run (wall-clock timed)."""
+
+    config: SystemConfig
+    decisions: dict[ProcessId, Decision]
+    outputs: dict[ProcessId, list[Deliver]]
+    stats: RunStats
+    faulty: frozenset[ProcessId]
+    wall_seconds: float
+    timed_out: bool = False
+
+    @property
+    def correct_decisions(self) -> dict[ProcessId, Decision]:
+        return {p: d for p, d in self.decisions.items() if p not in self.faulty}
+
+    def agreement_holds(self) -> bool:
+        return len({d.value for d in self.correct_decisions.values()}) <= 1
+
+    @property
+    def decided_value(self) -> Any:
+        values = {d.value for d in self.correct_decisions.values()}
+        if len(values) != 1:
+            raise SimulationError(f"no single decided value: {values!r}")
+        return next(iter(values))
+
+    @property
+    def max_correct_step(self) -> int:
+        return max((d.step for d in self.correct_decisions.values()), default=0)
+
+
+@dataclass
+class _Mailbox:
+    queue: asyncio.Queue = field(default_factory=asyncio.Queue)
+
+
+class AsyncioRunner:
+    """Run one protocol deployment over in-memory asyncio transport.
+
+    Args:
+        config: system parameters.
+        protocols: one protocol (or Byzantine behavior) per process.
+        faulty: Byzantine process ids (bookkeeping only).
+        services: trusted services by name (same objects as the simulator).
+        seed: seeds the per-message delay sampling.
+        mean_delay: average one-way message delay in seconds.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocols: Mapping[ProcessId, Protocol],
+        faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
+        services: Mapping[str, Service] | None = None,
+        seed: int = 0,
+        mean_delay: float = 0.001,
+    ) -> None:
+        if set(protocols) != set(config.processes):
+            raise SimulationError(
+                "protocols must cover exactly the process ids of the config"
+            )
+        self.config = config
+        self.protocols = dict(protocols)
+        self.faulty = frozenset(faulty)
+        self.services = dict(services or {})
+        self.rng = random.Random(seed)
+        self.mean_delay = mean_delay
+        self.stats = RunStats()
+        self.decisions: dict[ProcessId, Decision] = {}
+        self.outputs: dict[ProcessId, list[Deliver]] = {
+            pid: [] for pid in config.processes
+        }
+        self._mailboxes: dict[ProcessId, _Mailbox] = {}
+        self._all_decided = asyncio.Event()
+        self._pending: set[asyncio.Task] = set()
+
+    # -- effect interpretation ------------------------------------------------------
+
+    def _delay(self) -> float:
+        return self.rng.uniform(0.5, 1.5) * self.mean_delay
+
+    def _deliver_later(
+        self, dst: ProcessId, sender: ProcessId, payload: Any, depth: int, delay: float
+    ) -> None:
+        async def deliver() -> None:
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await self._mailboxes[dst].queue.put((sender, payload, depth))
+
+        task = asyncio.ensure_future(deliver())
+        self._pending.add(task)
+        task.add_done_callback(self._pending.discard)
+
+    def _apply(self, pid: ProcessId, effects: list, depth: int) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.stats.messages_sent += 1
+                self._deliver_later(
+                    effect.dst, pid, effect.payload, depth + 1,
+                    0.0 if effect.dst == pid else self._delay(),
+                )
+            elif isinstance(effect, Broadcast):
+                for dst in self.config.processes:
+                    self.stats.messages_sent += 1
+                    self._deliver_later(
+                        dst, pid, effect.payload, depth + 1,
+                        0.0 if dst == pid else self._delay(),
+                    )
+            elif isinstance(effect, Decide):
+                if pid not in self.decisions:
+                    self.decisions[pid] = Decision(
+                        effect.value, effect.kind, step=depth, time=time.monotonic()
+                    )
+                    if all(
+                        p in self.decisions
+                        for p in self.config.processes
+                        if p not in self.faulty
+                    ):
+                        self._all_decided.set()
+            elif isinstance(effect, Deliver):
+                self.outputs[pid].append(effect)
+            elif isinstance(effect, ServiceCall):
+                self._call_service(pid, effect, depth)
+            elif isinstance(effect, Log):
+                pass
+            else:
+                raise SimulationError(f"unknown effect {effect!r}")
+
+    def _call_service(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
+        service = self.services.get(call.service)
+        if service is None:
+            raise SimulationError(f"no service registered under {call.service!r}")
+        for reply in service.on_call(
+            pid, call.payload, depth, time.monotonic(), call.reply_path
+        ):
+            payload: Any = reply.payload
+            # reply_path is outermost-first; wrap innermost-first so the
+            # outermost envelope ends up on the outside.
+            for component in reversed(reply.reply_path):
+                payload = Envelope(component, payload)
+            self._deliver_later(
+                reply.dst, SERVICE_SENDER, payload, reply.depth, self._delay()
+            )
+
+    # -- process loop -----------------------------------------------------------------
+
+    async def _process_loop(self, pid: ProcessId) -> None:
+        mailbox = self._mailboxes[pid]
+        while True:
+            sender, payload, depth = await mailbox.queue.get()
+            self.stats.messages_delivered += 1
+            effects = guarded(self.protocols[pid], sender, payload)
+            self._apply(pid, effects, depth)
+
+    async def run(self, timeout: float = 30.0) -> AsyncRunResult:
+        """Run until every correct process decided (or ``timeout``)."""
+        start = time.monotonic()
+        self._mailboxes = {pid: _Mailbox() for pid in self.config.processes}
+        loops = [
+            asyncio.ensure_future(self._process_loop(pid))
+            for pid in self.config.processes
+        ]
+        for pid in self.config.processes:
+            self._apply(pid, self.protocols[pid].on_start(), 0)
+        timed_out = False
+        try:
+            await asyncio.wait_for(self._all_decided.wait(), timeout)
+        except asyncio.TimeoutError:
+            timed_out = True
+        finally:
+            for task in loops:
+                task.cancel()
+            for task in list(self._pending):
+                task.cancel()
+            await asyncio.gather(*loops, *self._pending, return_exceptions=True)
+        return AsyncRunResult(
+            config=self.config,
+            decisions=dict(self.decisions),
+            outputs=self.outputs,
+            stats=self.stats,
+            faulty=self.faulty,
+            wall_seconds=time.monotonic() - start,
+            timed_out=timed_out,
+        )
+
+    def run_sync(self, timeout: float = 30.0) -> AsyncRunResult:
+        """Convenience wrapper: ``asyncio.run`` the deployment."""
+        return asyncio.run(self.run(timeout))

@@ -1,0 +1,94 @@
+"""The sans-IO protocol interface every algorithm in this library implements.
+
+A :class:`Protocol` is a deterministic state machine: the runtime calls
+:meth:`Protocol.on_start` once and :meth:`Protocol.on_message` for every
+delivered payload; both return lists of :class:`~repro.runtime.effects.Effect`.
+
+Handlers must never raise on malformed input — Byzantine processes may send
+arbitrary payloads, and robust protocols treat garbage as silence.  The
+:func:`tolerant` decorator (applied by the runtimes around every handler
+call) enforces this by converting unexpected exceptions into a dropped
+message plus a trace record, so a malicious payload can crash neither the
+process nor the experiment.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from ..types import ProcessId, SystemConfig
+from .effects import Effect, Log
+
+
+class Protocol(abc.ABC):
+    """Base class for sans-IO protocol state machines.
+
+    Args:
+        process_id: the identifier of the process hosting this instance.
+        config: the static ``(n, t)`` system parameters.
+    """
+
+    def __init__(self, process_id: ProcessId, config: SystemConfig) -> None:
+        self.process_id = process_id
+        self.config = config
+
+    # -- runtime-facing interface ----------------------------------------------
+
+    def on_start(self) -> list[Effect]:
+        """Called exactly once, before any message delivery."""
+        return []
+
+    @abc.abstractmethod
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        """Handle one delivered payload from ``sender``.
+
+        ``sender`` is the authenticated process id: the runtime models
+        reliable authenticated point-to-point links (paper §2.1), so a
+        Byzantine process cannot forge another sender's identity — only the
+        payload is untrusted.
+        """
+
+    # -- shared helpers ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return self.config.n
+
+    @property
+    def t(self) -> int:
+        """Failure upper bound known to every process."""
+        return self.config.t
+
+    @property
+    def quorum(self) -> int:
+        """The ubiquitous ``n - t`` reception threshold."""
+        return self.config.quorum
+
+    def log(self, event: str, **data: Any) -> Log:
+        """Build a trace record tagged with this process id."""
+        return Log(event, {"pid": self.process_id, **data})
+
+
+def guarded(protocol: Protocol, sender: ProcessId, payload: Any) -> list[Effect]:
+    """Invoke ``protocol.on_message`` treating handler exceptions as garbage.
+
+    Byzantine payloads that trip a type error inside a handler are logged
+    and dropped rather than propagated: a faulty process must not be able to
+    crash a correct one.  Runtimes call handlers through this function.
+    """
+    try:
+        return protocol.on_message(sender, payload)
+    except Exception as exc:  # noqa: BLE001 - byzantine input is arbitrary
+        return [
+            Log(
+                "malformed-message-dropped",
+                {
+                    "pid": protocol.process_id,
+                    "sender": sender,
+                    "payload": repr(payload),
+                    "error": repr(exc),
+                },
+            )
+        ]

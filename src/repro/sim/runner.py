@@ -1,0 +1,333 @@
+"""The deterministic discrete-event simulation runner.
+
+A :class:`Simulation` hosts one protocol instance per process (correct
+processes run real protocols, Byzantine ones run
+:mod:`repro.byzantine` behaviors — the runner does not distinguish), a
+latency model, an optional adversarial delivery scheduler and a set of
+trusted services.  It interprets the effects emitted by the protocols and
+keeps the books the paper cares about:
+
+* **causal step accounting** — every message extends the causal chain of
+  the event whose handling produced it (``depth = triggering depth + 1``);
+  a decision's ``step`` is the depth of the message whose handling decided.
+  With this metric, "one-step decision" is literally ``step == 1`` (decide
+  while handling a depth-1 proposal), "two-step" is ``step == 2`` (a
+  depth-2 IDB echo), and the appendix claim "each IDB step costs two plain
+  steps" is directly measurable.
+* message counts, per-process decisions, top-level protocol outputs
+  (e.g. standalone IDB deliveries) and a structured trace.
+
+Every run is a pure function of ``(config, protocols, seed, latency,
+scheduler)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..errors import SimulationDeadlock, SimulationError
+from ..runtime.composite import Envelope
+from ..runtime.effects import (
+    SERVICE_SENDER,
+    Broadcast,
+    Decide,
+    Deliver,
+    Effect,
+    Log,
+    Send,
+    ServiceCall,
+)
+from ..runtime.protocol import Protocol, guarded
+from ..runtime.services import Service
+from ..types import Decision, ProcessId, RunStats, SystemConfig
+from .events import Event, EventQueue
+from .latency import LatencyModel, UniformLatency
+from .scheduler import DeliveryScheduler, FairScheduler
+from .trace import Tracer
+
+#: Default safety valve: a single consensus instance at the sizes used in the
+#: benchmarks never comes close to this many events.
+DEFAULT_MAX_EVENTS = 2_000_000
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one finished simulation run."""
+
+    config: SystemConfig
+    decisions: dict[ProcessId, Decision]
+    outputs: dict[ProcessId, list[Deliver]]
+    stats: RunStats
+    tracer: Tracer
+    faulty: frozenset[ProcessId]
+    end_time: float
+    drained: bool
+    depths: dict[ProcessId, int] = field(default_factory=dict)
+
+    @property
+    def correct(self) -> list[ProcessId]:
+        return [p for p in self.config.processes if p not in self.faulty]
+
+    @property
+    def correct_decisions(self) -> dict[ProcessId, Decision]:
+        """Decisions of correct processes only (the ones the properties
+        quantify over)."""
+        return {p: d for p, d in self.decisions.items() if p not in self.faulty}
+
+    def agreement_holds(self) -> bool:
+        """Agreement: all correct deciders decided the same value."""
+        values = {d.value for d in self.correct_decisions.values()}
+        return len(values) <= 1
+
+    def all_correct_decided(self) -> bool:
+        """Termination (within this run)."""
+        return all(p in self.decisions for p in self.correct)
+
+    @property
+    def max_correct_step(self) -> int:
+        """Largest decision step among correct processes."""
+        ds = self.correct_decisions
+        return max((d.step for d in ds.values()), default=0)
+
+    @property
+    def decided_value(self) -> Any:
+        """The agreed value (requires agreement to hold and someone decided)."""
+        values = {d.value for d in self.correct_decisions.values()}
+        if len(values) != 1:
+            raise SimulationError(f"no single decided value: {values!r}")
+        return next(iter(values))
+
+
+class _ProcessState:
+    """Runner-internal per-process bookkeeping."""
+
+    __slots__ = ("protocol", "depth", "decision")
+
+    def __init__(self, protocol: Protocol) -> None:
+        self.protocol = protocol
+        self.depth = 0
+        self.decision: Decision | None = None
+
+
+class Simulation:
+    """One configured, runnable execution.
+
+    Args:
+        config: system parameters ``(n, t)``.
+        protocols: one protocol per process id (Byzantine behaviors are
+            protocols too).
+        faulty: ids of the Byzantine processes; must have size ``<= t`` and
+            is used only for bookkeeping and the stop condition — the
+            runner gives faulty processes no extra powers beyond what their
+            behavior object does.
+        latency: message latency model (default uniform 0.5–1.5).
+        scheduler: adversarial extra-delay hook (default none).
+        services: trusted services by name.
+        seed: PRNG seed; equal seeds give identical runs.
+        trace: enable structured tracing.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocols: Mapping[ProcessId, Protocol],
+        faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
+        latency: LatencyModel | None = None,
+        scheduler: DeliveryScheduler | None = None,
+        services: Mapping[str, Service] | None = None,
+        seed: int = 0,
+        trace: bool = False,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        if set(protocols) != set(config.processes):
+            raise SimulationError(
+                "protocols must cover exactly the process ids of the config"
+            )
+        faulty = frozenset(faulty)
+        if len(faulty) > config.t:
+            raise SimulationError(
+                f"{len(faulty)} faulty processes exceed the bound t={config.t}"
+            )
+        self.config = config
+        self.faulty = faulty
+        self.latency = latency or UniformLatency()
+        self.scheduler = scheduler or FairScheduler()
+        self.services = dict(services or {})
+        self.rng = random.Random(seed)
+        self.tracer = Tracer(enabled=trace)
+        self.max_events = max_events
+        self.queue = EventQueue()
+        self.stats = RunStats()
+        self.time = 0.0
+        self._states = {pid: _ProcessState(p) for pid, p in protocols.items()}
+        self._outputs: dict[ProcessId, list[Deliver]] = {
+            pid: [] for pid in config.processes
+        }
+        self._started = False
+
+    # -- public API ---------------------------------------------------------------
+
+    @property
+    def correct(self) -> list[ProcessId]:
+        return [p for p in self.config.processes if p not in self.faulty]
+
+    def run_until_decided(self) -> RunResult:
+        """Run until every correct process has decided.
+
+        Raises:
+            SimulationDeadlock: the event queue drained first.
+            SimulationError: the ``max_events`` safety valve tripped.
+        """
+        return self._run(stop=self._all_correct_decided)
+
+    def run_to_quiescence(self) -> RunResult:
+        """Run until no events remain (for protocols without decisions)."""
+        return self._run(stop=None)
+
+    def run_until(self, stop: Callable[["Simulation"], bool]) -> RunResult:
+        """Run until an arbitrary stop predicate over the simulation holds."""
+        return self._run(stop=stop)
+
+    # -- engine ---------------------------------------------------------------------
+
+    def _all_correct_decided(self, sim: "Simulation") -> bool:
+        return all(self._states[p].decision is not None for p in self.correct)
+
+    def _run(self, stop: Callable[["Simulation"], bool] | None) -> RunResult:
+        if not self._started:
+            self._started = True
+            for pid in self.config.processes:
+                self.queue.push(Event(0.0, "start", dst=pid))
+        processed = 0
+        while self.queue:
+            if stop is not None and stop(self):
+                break
+            event = self.queue.pop()
+            self.time = max(self.time, event.time)
+            processed += 1
+            if processed > self.max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self.max_events}; likely livelock"
+                )
+            self._dispatch(event)
+        else:
+            if stop is not None and not stop(self):
+                undecided = frozenset(
+                    p for p in self.correct if self._states[p].decision is None
+                )
+                raise SimulationDeadlock(undecided)
+        return self._result()
+
+    def _dispatch(self, event: Event) -> None:
+        state = self._states[event.dst]
+        if event.kind == "start":
+            effects = state.protocol.on_start()
+        else:
+            state.depth = max(state.depth, event.depth)
+            self.stats.messages_delivered += 1
+            self.tracer.record(
+                self.time,
+                event.dst,
+                "deliver",
+                {"from": event.sender, "payload": event.payload, "depth": event.depth},
+            )
+            effects = guarded(state.protocol, event.sender, event.payload)
+        self._apply_effects(event.dst, effects, event.depth)
+
+    def _apply_effects(self, pid: ProcessId, effects: list[Effect], depth: int) -> None:
+        # ``depth`` is the causal depth of the event being handled; outgoing
+        # messages extend exactly this chain (depth + 1), decisions happen at
+        # this depth, and service calls happen "within" the step at this
+        # depth.  This is the paper's communication-step metric: a one-step
+        # decision fires while handling a depth-1 proposal, a two-step
+        # decision while handling a depth-2 IDB echo.
+        state = self._states[pid]
+        for effect in effects:
+            if isinstance(effect, Send):
+                self._send(pid, effect.dst, effect.payload, depth + 1)
+            elif isinstance(effect, Broadcast):
+                for dst in self.config.processes:
+                    self._send(pid, dst, effect.payload, depth + 1)
+            elif isinstance(effect, Decide):
+                if state.decision is None:
+                    state.decision = Decision(
+                        effect.value, effect.kind, step=depth, time=self.time
+                    )
+                    self.stats.record_decision(pid, state.decision)
+                    self.tracer.record(
+                        self.time,
+                        pid,
+                        "decide",
+                        {
+                            "value": effect.value,
+                            "kind": effect.kind.value,
+                            "step": depth,
+                        },
+                    )
+            elif isinstance(effect, Deliver):
+                self._outputs[pid].append(effect)
+                self.tracer.record(
+                    self.time,
+                    pid,
+                    f"output:{effect.tag}",
+                    {"sender": effect.sender, "value": effect.value},
+                )
+            elif isinstance(effect, ServiceCall):
+                self._call_service(pid, effect, depth)
+            elif isinstance(effect, Log):
+                self.tracer.record(self.time, effect.data.get("pid", pid), effect.event, effect.data)
+            else:
+                raise SimulationError(f"unknown effect {effect!r}")
+
+    def _send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
+        self.stats.messages_sent += 1
+        if dst == src:
+            delay = 0.0
+        else:
+            delay = self.latency.sample(self.rng, src, dst)
+            delay += self.scheduler.extra_delay(self.rng, src, dst, payload, self.time)
+        self.queue.push(
+            Event(self.time + delay, "deliver", dst=dst, sender=src, payload=payload, depth=depth)
+        )
+
+    def _call_service(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
+        service = self.services.get(call.service)
+        if service is None:
+            raise SimulationError(f"no service registered under {call.service!r}")
+        self.tracer.record(self.time, pid, f"service-call:{call.service}", {"payload": call.payload})
+        for reply in service.on_call(pid, call.payload, depth, self.time, call.reply_path):
+            payload: Any = reply.payload
+            # reply_path is outermost-first; wrap innermost-first so the
+            # outermost envelope ends up on the outside.
+            for component in reversed(reply.reply_path):
+                payload = Envelope(component, payload)
+            self.queue.push(
+                Event(
+                    self.time + reply.delay,
+                    "deliver",
+                    dst=reply.dst,
+                    sender=SERVICE_SENDER,
+                    payload=payload,
+                    depth=reply.depth,
+                )
+            )
+
+    def _result(self) -> RunResult:
+        self.stats.end_time = self.time
+        return RunResult(
+            config=self.config,
+            decisions={
+                pid: s.decision
+                for pid, s in self._states.items()
+                if s.decision is not None
+            },
+            outputs=self._outputs,
+            stats=self.stats,
+            tracer=self.tracer,
+            faulty=self.faulty,
+            end_time=self.time,
+            drained=not self.queue,
+            depths={pid: s.depth for pid, s in self._states.items()},
+        )

@@ -1,0 +1,144 @@
+"""Delivery schedulers: adversarial control over message ordering.
+
+Asynchronous impossibility and worst-case arguments are all about *which*
+``n - t`` messages arrive first.  A :class:`DeliveryScheduler` adds extra,
+possibly targeted delay on top of the latency model, letting experiments
+construct the schedules the paper reasons about — e.g. starving a process
+of ``k`` specific proposals so that its view leaves ``C¹_k``, or delaying
+the underlying consensus to show the fast paths still decide.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from ..types import ProcessId
+
+
+class DeliveryScheduler(abc.ABC):
+    """Hook deciding extra delay for each message, after latency sampling."""
+
+    @abc.abstractmethod
+    def extra_delay(
+        self,
+        rng: random.Random,
+        src: ProcessId,
+        dst: ProcessId,
+        payload: Any,
+        time: float,
+    ) -> float:
+        """Additional delay (``>= 0``) for this message."""
+
+
+class FairScheduler(DeliveryScheduler):
+    """No interference: delivery order is governed by latency alone."""
+
+    def extra_delay(self, rng, src, dst, payload, time) -> float:
+        return 0.0
+
+
+class DelaySenders(DeliveryScheduler):
+    """Delay every message originating from a set of processes.
+
+    Starving receivers of these senders' proposals shapes the first quorum:
+    with ``extra`` larger than any other end-to-end latency, the first
+    ``n - |senders|`` messages at every process come from the others.
+    """
+
+    def __init__(self, senders: Iterable[ProcessId], extra: float) -> None:
+        if extra < 0:
+            raise ValueError("extra delay must be non-negative")
+        self.senders = frozenset(senders)
+        self.extra = extra
+
+    def extra_delay(self, rng, src, dst, payload, time) -> float:
+        return self.extra if src in self.senders else 0.0
+
+
+class DelayMatching(DeliveryScheduler):
+    """Delay messages selected by an arbitrary predicate.
+
+    The predicate receives ``(src, dst, payload)``; use it to slow a single
+    protocol layer (e.g. only IDB envelopes, or only service replies) while
+    leaving the rest of the traffic untouched.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[ProcessId, ProcessId, Any], bool],
+        extra: float,
+    ) -> None:
+        if extra < 0:
+            raise ValueError("extra delay must be non-negative")
+        self.predicate = predicate
+        self.extra = extra
+
+    def extra_delay(self, rng, src, dst, payload, time) -> float:
+        return self.extra if self.predicate(src, dst, payload) else 0.0
+
+
+class RandomJitterScheduler(DeliveryScheduler):
+    """Add uniform random jitter to every message (stress interleavings)."""
+
+    def __init__(self, max_jitter: float) -> None:
+        if max_jitter < 0:
+            raise ValueError("max_jitter must be non-negative")
+        self.max_jitter = max_jitter
+
+    def extra_delay(self, rng, src, dst, payload, time) -> float:
+        return rng.uniform(0.0, self.max_jitter)
+
+
+class ComposedScheduler(DeliveryScheduler):
+    """Sum the extra delays of several schedulers."""
+
+    def __init__(self, schedulers: Iterable[DeliveryScheduler]) -> None:
+        self.schedulers = list(schedulers)
+
+    def extra_delay(self, rng, src, dst, payload, time) -> float:
+        return sum(
+            s.extra_delay(rng, src, dst, payload, time) for s in self.schedulers
+        )
+
+
+class PartitionScheduler(DeliveryScheduler):
+    """A temporary network partition (legal in the asynchronous model).
+
+    Messages crossing group boundaries while the partition is active
+    (``start <= send time < end``) are held back until just after ``end``;
+    intra-group traffic is unaffected.  Since the paper's model puts no
+    bound on delivery time, a partition is just a very asymmetric schedule
+    — safety must hold throughout, and liveness resumes at the heal.
+
+    Args:
+        group_of: maps a process id to its partition group.
+        start: partition start time.
+        end: heal time (must be ``>= start``).
+        jitter: random extra delay after the heal, avoiding a thundering
+            herd of simultaneous deliveries.
+    """
+
+    def __init__(
+        self,
+        group_of: Callable[[ProcessId], int],
+        start: float,
+        end: float,
+        jitter: float = 0.5,
+    ) -> None:
+        if end < start:
+            raise ValueError("partition must end after it starts")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.group_of = group_of
+        self.start = start
+        self.end = end
+        self.jitter = jitter
+
+    def extra_delay(self, rng, src, dst, payload, time) -> float:
+        if self.start <= time < self.end and self.group_of(src) != self.group_of(dst):
+            held_until = self.end + rng.uniform(0.0, self.jitter)
+            return held_until - time
+        return 0.0

@@ -1,0 +1,201 @@
+"""Synchronous round-based simulation with crash failures.
+
+The comparison row "Mostefaoui et.al [11]" of the paper's Table 1 lives in
+a different system model: *synchronous* rounds and *crash* failures, where
+one-step decision is possible with only ``n > t`` processes.  This engine
+provides that model:
+
+* execution proceeds in lock-step rounds; every process broadcasts one
+  message per round and receives the round's messages from all processes
+  that actually sent to it;
+* a crashing process stops at a scheduled round, after its message reached
+  only an adversary-chosen subset of recipients — the classic source of
+  asymmetric views in synchronous crash consensus.
+
+Protocols implement :class:`SyncProtocol`: ``first_message()`` produces the
+round-1 broadcast, ``on_round(round, received)`` consumes one round's
+deliveries and returns the next broadcast (or ``None`` to fall silent) and
+optionally a decision.  The engine never lets a crashed process speak
+again, and reports per-process decisions with the deciding round.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import SimulationError
+from ..types import ProcessId, SystemConfig, Value
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """When and how a process crashes.
+
+    Attributes:
+        round: the round during which the crash happens (1-based); the
+            process participates fully in earlier rounds.
+        delivered_to: recipients that still receive its final-round
+            message; ``None`` means an adversary-chosen random subset.
+    """
+
+    round: int
+    delivered_to: frozenset[ProcessId] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SyncDecision:
+    """A decision made in the synchronous model."""
+
+    value: Value
+    round: int
+
+
+class SyncProtocol(abc.ABC):
+    """A protocol for the lock-step synchronous model."""
+
+    def __init__(self, process_id: ProcessId, config: SystemConfig) -> None:
+        self.process_id = process_id
+        self.config = config
+
+    @abc.abstractmethod
+    def first_message(self) -> Any:
+        """The message broadcast in round 1."""
+
+    @abc.abstractmethod
+    def on_round(
+        self, round_: int, received: Mapping[ProcessId, Any]
+    ) -> tuple[Any, Value | None]:
+        """Consume round ``round_``'s deliveries.
+
+        Returns:
+            ``(next_message, decision)`` — ``next_message`` is broadcast in
+            the following round (``None`` = send nothing), ``decision`` is
+            a value to decide now (``None`` = keep going).  The engine
+            records only the first decision and keeps running the protocol
+            so late processes still receive its floods.
+        """
+
+
+class SynchronousSimulation:
+    """Run synchronous protocols under a crash schedule.
+
+    Args:
+        config: system parameters; at most ``t`` crash events allowed.
+        protocols: one protocol per process.
+        crashes: crash schedule (subset of processes).
+        seed: randomises adversary-chosen delivery subsets.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocols: Mapping[ProcessId, SyncProtocol],
+        crashes: Mapping[ProcessId, CrashEvent] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if set(protocols) != set(config.processes):
+            raise SimulationError(
+                "protocols must cover exactly the process ids of the config"
+            )
+        crashes = dict(crashes or {})
+        if len(crashes) > config.t:
+            raise SimulationError(
+                f"{len(crashes)} crashes exceed the bound t={config.t}"
+            )
+        self.config = config
+        self.protocols = dict(protocols)
+        self.crashes = crashes
+        self.rng = random.Random(seed)
+
+    @property
+    def faulty(self) -> frozenset[ProcessId]:
+        return frozenset(self.crashes)
+
+    @property
+    def correct(self) -> list[ProcessId]:
+        return [p for p in self.config.processes if p not in self.crashes]
+
+    def run(self, max_rounds: int) -> "SyncRunResult":
+        """Execute up to ``max_rounds`` rounds."""
+        decisions: dict[ProcessId, SyncDecision] = {}
+        crashed: set[ProcessId] = set()
+        outbox: dict[ProcessId, Any] = {
+            pid: protocol.first_message() for pid, protocol in self.protocols.items()
+        }
+        for round_ in range(1, max_rounds + 1):
+            deliveries: dict[ProcessId, dict[ProcessId, Any]] = {
+                pid: {} for pid in self.config.processes
+            }
+            for sender, message in outbox.items():
+                if message is None or sender in crashed:
+                    continue
+                event = self.crashes.get(sender)
+                if event is not None and event.round == round_:
+                    recipients = event.delivered_to
+                    if recipients is None:
+                        cut = self.rng.randint(0, self.config.n)
+                        recipients = frozenset(
+                            self.rng.sample(range(self.config.n), cut)
+                        )
+                    crashed.add(sender)
+                elif event is not None and event.round < round_:
+                    crashed.add(sender)
+                    continue
+                else:
+                    recipients = frozenset(self.config.processes)
+                for dst in recipients:
+                    deliveries[dst][sender] = message
+            next_outbox: dict[ProcessId, Any] = {}
+            for pid, protocol in self.protocols.items():
+                if pid in crashed:
+                    continue
+                message, decision = protocol.on_round(round_, deliveries[pid])
+                next_outbox[pid] = message
+                if decision is not None and pid not in decisions:
+                    decisions[pid] = SyncDecision(decision, round_)
+            outbox = next_outbox
+            if all(pid in decisions for pid in self.correct):
+                break
+        return SyncRunResult(
+            config=self.config,
+            decisions=decisions,
+            faulty=self.faulty,
+            rounds=round_,
+        )
+
+
+@dataclass
+class SyncRunResult:
+    """Outcome of a synchronous run."""
+
+    config: SystemConfig
+    decisions: dict[ProcessId, SyncDecision]
+    faulty: frozenset[ProcessId]
+    rounds: int
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def correct_decisions(self) -> dict[ProcessId, SyncDecision]:
+        return {p: d for p, d in self.decisions.items() if p not in self.faulty}
+
+    def agreement_holds(self) -> bool:
+        return len({d.value for d in self.correct_decisions.values()}) <= 1
+
+    def all_correct_decided(self) -> bool:
+        return all(
+            p in self.decisions for p in self.config.processes if p not in self.faulty
+        )
+
+    @property
+    def decided_value(self) -> Value:
+        values = {d.value for d in self.correct_decisions.values()}
+        if len(values) != 1:
+            raise SimulationError(f"no single decided value: {values!r}")
+        return next(iter(values))
+
+    @property
+    def max_decision_round(self) -> int:
+        return max((d.round for d in self.correct_decisions.values()), default=0)

@@ -1,0 +1,90 @@
+"""Execution tracing.
+
+A :class:`Tracer` collects structured records emitted through
+:class:`~repro.runtime.effects.Log` effects plus runtime-generated records
+(deliveries, decisions).  Traces power the Figure-1 path-reproduction bench
+and make failed property tests diagnosable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One trace record."""
+
+    time: float
+    pid: int
+    event: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Accumulates trace events; cheap no-op when disabled.
+
+    Args:
+        enabled: when False, :meth:`record` discards everything, keeping
+            hot benchmark loops free of tracing overhead.
+        capacity: optional hard cap on stored events (oldest kept).
+    """
+
+    def __init__(self, enabled: bool = True, capacity: int | None = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, pid: int, event: str, data: dict[str, Any] | None = None) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            return
+        self.events.append(TraceEvent(time, pid, event, dict(data or {})))
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_event(self, event: str) -> list[TraceEvent]:
+        """All records with the given event name."""
+        return [e for e in self.events if e.event == event]
+
+    def by_pid(self, pid: int) -> list[TraceEvent]:
+        """All records emitted by (or about) one process."""
+        return [e for e in self.events if e.pid == pid]
+
+    def format(self, limit: int | None = None) -> str:
+        """Human-readable rendering, one line per record."""
+        lines = []
+        for e in self.events[: limit if limit is not None else len(self.events)]:
+            detail = " ".join(f"{k}={v!r}" for k, v in e.data.items())
+            lines.append(f"[t={e.time:8.3f}] p{e.pid:<3} {e.event:<28} {detail}")
+        return "\n".join(lines)
+
+    def format_timeline(
+        self, pids: list[int], events: tuple[str, ...] = ("decide",), width: int = 60
+    ) -> str:
+        """ASCII timeline: one lane per process, markers at event times.
+
+        Args:
+            pids: which processes to render (one lane each).
+            events: which event names to mark (first letter used as glyph).
+            width: characters spanning the trace's time range.
+        """
+        marked = [e for e in self.events if e.event in events and e.pid in pids]
+        if not marked:
+            return "(no matching events)"
+        t_max = max(e.time for e in marked) or 1.0
+        lanes = []
+        for pid in pids:
+            lane = ["·"] * (width + 1)
+            for e in marked:
+                if e.pid == pid:
+                    lane[round(e.time / t_max * width)] = e.event[0].upper()
+            lanes.append(f"p{pid:<3} |" + "".join(lane) + "|")
+        scale = f"     0{' ' * (width - len(f'{t_max:.1f}') - 1)}t={t_max:.1f}"
+        return "\n".join(lanes + [scale])

@@ -1,0 +1,46 @@
+"""Underlying consensus: the paper's §2.2 abstraction and a real stack.
+
+Two interchangeable implementations of
+:class:`~repro.underlying.base.UnderlyingConsensus`:
+
+* **oracle** — the abstraction itself as a trusted harness service;
+* **multivalued** — Bracha RBC + common-coin binary agreement + ACS
+  (``n > 3t``), fully message-passing with zero trusted components.
+"""
+
+from .aba import DELIVER_TAG as ABA_DELIVER_TAG
+from .aba import AbaAux, AbaDecided, AbaEst, BinaryAgreement
+from .acs import DELIVER_TAG as ACS_DELIVER_TAG
+from .acs import CommonSubset
+from .base import UC_DECIDE_TAG, UnderlyingConsensus
+from .coin import CommonCoin
+from .multivalued import MultivaluedConsensus, extract_decision
+from .oracle import (
+    SERVICE_NAME as ORACLE_SERVICE_NAME,
+)
+from .oracle import (
+    OracleConsensus,
+    OracleDecision,
+    OracleProposal,
+    OracleService,
+)
+
+__all__ = [
+    "UnderlyingConsensus",
+    "UC_DECIDE_TAG",
+    "OracleService",
+    "OracleConsensus",
+    "OracleProposal",
+    "OracleDecision",
+    "ORACLE_SERVICE_NAME",
+    "CommonCoin",
+    "BinaryAgreement",
+    "AbaEst",
+    "AbaAux",
+    "AbaDecided",
+    "ABA_DELIVER_TAG",
+    "CommonSubset",
+    "ACS_DELIVER_TAG",
+    "MultivaluedConsensus",
+    "extract_decision",
+]

@@ -1,0 +1,233 @@
+"""Asynchronous binary Byzantine agreement with a common coin (``n > 3t``).
+
+This is the signature-free round-based algorithm of Mostéfaoui, Moumen and
+Raynal (PODC 2014), the standard building block for asynchronous BFT
+stacks.  Each round ``r``:
+
+1. **BV-broadcast** — broadcast ``EST(r, est)``; relay any ``EST(r, v)``
+   seen from ``t + 1`` distinct processes (once per value); a value seen
+   from ``2t + 1`` distinct processes enters ``bin_values[r]`` — the set of
+   values provably estimated by at least one correct process.
+2. When ``bin_values[r]`` first becomes non-empty, broadcast ``AUX(r, w)``
+   for one of its values.
+3. Wait for ``AUX(r, ·)`` messages from ``n − t`` distinct processes whose
+   values all lie in ``bin_values[r]``; call the value set ``vals``.
+4. Draw the common coin ``s = coin(r)``.  If ``vals == {b}``: set
+   ``est = b`` and **decide** ``b`` when ``b == s``.  Otherwise set
+   ``est = s``.  Enter round ``r + 1``.
+
+A decided process broadcasts ``DECIDED(b)`` once and *keeps participating*
+(the harness stops the world when every correct process has decided, so no
+in-protocol halting dance is needed); receiving ``DECIDED(b)`` from
+``t + 1`` distinct processes — at least one of them correct — lets a
+process adopt the decision immediately.
+
+Safety is coin-independent; termination relies on the coin eventually
+matching the single surviving estimate (expected two rounds with a fair
+coin).  Decision surfaces as ``Deliver(tag="aba-decide", …)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ResilienceError
+from ..runtime.effects import Broadcast, Deliver, Effect
+from ..runtime.protocol import Protocol
+from ..types import ProcessId, SystemConfig
+from .coin import CommonCoin
+
+DELIVER_TAG = "aba-decide"
+
+#: Byzantine processes could inflate per-round state by quoting absurd round
+#: numbers; rounds further ahead of a process's current round are ignored.
+ROUND_HORIZON = 64
+
+
+@dataclass(frozen=True, slots=True)
+class AbaEst:
+    """BV-broadcast estimate message for one round."""
+
+    round: int
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class AbaAux:
+    """Auxiliary vote: one value from the sender's ``bin_values``."""
+
+    round: int
+    value: int
+
+
+@dataclass(frozen=True, slots=True)
+class AbaDecided:
+    """One-shot decision announcement."""
+
+    value: int
+
+
+class BinaryAgreement(Protocol):
+    """One instance of common-coin binary agreement.
+
+    Args:
+        process_id: hosting process.
+        config: must satisfy ``n > 3t``.
+        coin: the shared common coin.
+        instance: instance label mixed into the coin (so parallel instances
+            draw independent coins).
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        coin: CommonCoin,
+        instance: Any = 0,
+    ) -> None:
+        if not config.satisfies(3):
+            raise ResilienceError("BinaryAgreement", config.n, config.t, "n > 3t")
+        super().__init__(process_id, config)
+        self.coin = coin
+        self.instance = instance
+        self.est: int | None = None
+        self.round = 0
+        self.decided: int | None = None
+        self._est_sent: dict[int, set[int]] = {}
+        self._est_from: dict[tuple[int, int], set[ProcessId]] = {}
+        self._bin_values: dict[int, set[int]] = {}
+        self._aux_sent: set[int] = set()
+        self._aux_from: dict[int, dict[ProcessId, int]] = {}
+        self._rounds_done: set[int] = set()
+        self._decided_from: dict[int, set[ProcessId]] = {}
+        self._announced = False
+
+    # -- input action ----------------------------------------------------------------
+
+    def propose(self, value: int) -> list[Effect]:
+        """Start the instance with binary input ``value``."""
+        if value not in (0, 1):
+            raise ValueError(f"binary agreement input must be 0 or 1, got {value!r}")
+        if self.est is not None:
+            return []
+        self.est = value
+        return self._enter_round()
+
+    @property
+    def has_proposed(self) -> bool:
+        return self.est is not None
+
+    # -- round machinery -----------------------------------------------------------------
+
+    def _enter_round(self) -> list[Effect]:
+        effects = self._broadcast_est(self.round, self.est)
+        effects.extend(self._maybe_send_aux(self.round))
+        effects.extend(self._try_complete(self.round))
+        return effects
+
+    def _broadcast_est(self, round_: int, value: int) -> list[Effect]:
+        sent = self._est_sent.setdefault(round_, set())
+        if value in sent:
+            return []
+        sent.add(value)
+        return [Broadcast(AbaEst(round_, value))]
+
+    def _maybe_send_aux(self, round_: int) -> list[Effect]:
+        if round_ != self.round or round_ in self._aux_sent:
+            return []
+        bin_values = self._bin_values.get(round_)
+        if not bin_values:
+            return []
+        self._aux_sent.add(round_)
+        return [Broadcast(AbaAux(round_, min(bin_values)))]
+
+    def _try_complete(self, round_: int) -> list[Effect]:
+        if round_ != self.round or round_ in self._rounds_done:
+            return []
+        bin_values = self._bin_values.get(round_, set())
+        if not bin_values:
+            return []
+        votes = self._aux_from.get(round_, {})
+        valid = {s: v for s, v in votes.items() if v in bin_values}
+        if len(valid) < self.quorum:
+            return []
+        vals = set(valid.values())
+        self._rounds_done.add(round_)
+        s = self.coin.bit(self.instance, round_)
+        effects: list[Effect] = [
+            self.log("aba-round", round=round_, vals=sorted(vals), coin=s)
+        ]
+        if len(vals) == 1:
+            (b,) = vals
+            self.est = b
+            if b == s:
+                effects.extend(self._decide(b))
+        else:
+            self.est = s
+        self.round = round_ + 1
+        effects.extend(self._enter_round())
+        return effects
+
+    def _decide(self, value: int) -> list[Effect]:
+        if self._announced:
+            return []
+        self._announced = True
+        self.decided = value
+        return [
+            Broadcast(AbaDecided(value)),
+            Deliver(DELIVER_TAG, self.process_id, value),
+        ]
+
+    # -- message handlers ------------------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if isinstance(payload, AbaEst):
+            return self._on_est(sender, payload)
+        if isinstance(payload, AbaAux):
+            return self._on_aux(sender, payload)
+        if isinstance(payload, AbaDecided):
+            return self._on_decided(sender, payload)
+        return []
+
+    def _valid(self, round_: int, value: int) -> bool:
+        return (
+            isinstance(round_, int)
+            and isinstance(value, int)
+            and value in (0, 1)
+            and 0 <= round_ <= self.round + ROUND_HORIZON
+        )
+
+    def _on_est(self, sender: ProcessId, message: AbaEst) -> list[Effect]:
+        if not self._valid(message.round, message.value):
+            return []
+        senders = self._est_from.setdefault((message.round, message.value), set())
+        senders.add(sender)
+        effects: list[Effect] = []
+        if len(senders) >= self.t + 1:
+            effects.extend(self._broadcast_est(message.round, message.value))
+        if len(senders) >= 2 * self.t + 1:
+            bin_values = self._bin_values.setdefault(message.round, set())
+            if message.value not in bin_values:
+                bin_values.add(message.value)
+                effects.extend(self._maybe_send_aux(message.round))
+                effects.extend(self._try_complete(message.round))
+        return effects
+
+    def _on_aux(self, sender: ProcessId, message: AbaAux) -> list[Effect]:
+        if not self._valid(message.round, message.value):
+            return []
+        votes = self._aux_from.setdefault(message.round, {})
+        votes.setdefault(sender, message.value)
+        return self._try_complete(message.round)
+
+    def _on_decided(self, sender: ProcessId, message: AbaDecided) -> list[Effect]:
+        if message.value not in (0, 1):
+            return []
+        senders = self._decided_from.setdefault(message.value, set())
+        senders.add(sender)
+        if len(senders) >= self.t + 1 and not self._announced:
+            if self.est is None:
+                self.est = message.value
+            return self._decide(message.value)
+        return []

@@ -1,0 +1,131 @@
+"""Asynchronous Common Subset (ACS) — agreeing on who contributed.
+
+The HoneyBadgerBFT-style construction over the two lower layers:
+
+* every process reliably broadcasts its proposal
+  (:class:`~repro.broadcast.bracha.BrachaBroadcast`);
+* for each process ``j`` a binary-agreement instance
+  (:class:`~repro.underlying.aba.BinaryAgreement`) decides whether ``j``'s
+  proposal makes it into the common subset — a process votes 1 for ``j``
+  once it RBC-delivers ``j``'s proposal, and votes 0 for all undecided
+  instances once ``n − t`` instances have decided 1;
+* the result is the set ``S = {j : ABA_j = 1}`` together with the
+  RBC-delivered value of every member (delivery of members is guaranteed:
+  ABA only decides 1 if some correct process voted 1, i.e. delivered, and
+  Bracha broadcast is total).
+
+All correct processes obtain the same ``S`` (ABA agreement) with the same
+values (RBC agreement), and ``|S| ≥ n − t``.  The subset surfaces as
+``Deliver(tag="acs-decide", value={pid: value, …})``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..broadcast.bracha import BrachaBroadcast
+from ..broadcast.bracha import DELIVER_TAG as RBC_DELIVER_TAG
+from ..runtime.composite import CompositeProtocol
+from ..runtime.effects import Deliver, Effect
+from ..types import ProcessId, SystemConfig, Value
+from .aba import DELIVER_TAG as ABA_DELIVER_TAG
+from .aba import BinaryAgreement
+from .coin import CommonCoin
+
+DELIVER_TAG = "acs-decide"
+
+
+class CommonSubset(CompositeProtocol):
+    """One process's ACS endpoint.
+
+    Args:
+        process_id: hosting process.
+        config: must satisfy ``n > 3t`` (inherited from both substrates).
+        coin: common coin shared by the embedded ABA instances.
+        instance: label namespacing the coin draws of this ACS.
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        coin: CommonCoin,
+        instance: Any = 0,
+    ) -> None:
+        super().__init__(process_id, config)
+        self.instance = instance
+        self._rbc = self.add_child("rbc", BrachaBroadcast(process_id, config))
+        self._abas: dict[ProcessId, BinaryAgreement] = {
+            j: self.add_child(
+                f"aba{j}",
+                BinaryAgreement(process_id, config, coin, instance=(instance, j)),
+            )
+            for j in config.processes
+        }
+        self._values: dict[ProcessId, Value] = {}
+        self._aba_result: dict[ProcessId, int] = {}
+        self._voted: set[ProcessId] = set()
+        self._zero_filled = False
+        self._completed = False
+        self._proposed = False
+
+    # -- input action ----------------------------------------------------------------
+
+    def propose(self, value: Value) -> list[Effect]:
+        """Contribute ``value`` to the common subset."""
+        if self._proposed:
+            return []
+        self._proposed = True
+        return self.child_call("rbc", self._rbc.rbc_send(value))
+
+    @property
+    def has_proposed(self) -> bool:
+        return self._proposed
+
+    # -- child upcalls ----------------------------------------------------------------
+
+    def on_child_output(self, name: str, effect) -> list[Effect]:
+        if not isinstance(effect, Deliver):
+            return []
+        if name == "rbc" and effect.tag == RBC_DELIVER_TAG:
+            return self._on_rbc_deliver(effect.sender, effect.value)
+        if name.startswith("aba") and effect.tag == ABA_DELIVER_TAG:
+            return self._on_aba_decide(int(name[3:]), effect.value)
+        return []
+
+    def _vote(self, j: ProcessId, value: int) -> list[Effect]:
+        if j in self._voted:
+            return []
+        self._voted.add(j)
+        return self.child_call(f"aba{j}", self._abas[j].propose(value))
+
+    def _on_rbc_deliver(self, origin: ProcessId, value: Value) -> list[Effect]:
+        self._values.setdefault(origin, value)
+        effects: list[Effect] = []
+        if not self._zero_filled:
+            effects.extend(self._vote(origin, 1))
+        effects.extend(self._maybe_complete())
+        return effects
+
+    def _on_aba_decide(self, j: ProcessId, value: int) -> list[Effect]:
+        self._aba_result[j] = value
+        effects: list[Effect] = []
+        ones = sum(1 for v in self._aba_result.values() if v == 1)
+        if ones >= self.quorum and not self._zero_filled:
+            self._zero_filled = True
+            for other in self.config.processes:
+                effects.extend(self._vote(other, 0))
+        effects.extend(self._maybe_complete())
+        return effects
+
+    def _maybe_complete(self) -> list[Effect]:
+        if self._completed:
+            return []
+        if len(self._aba_result) < self.n:
+            return []
+        members = [j for j, v in self._aba_result.items() if v == 1]
+        if any(j not in self._values for j in members):
+            return []  # totality of RBC will fill these in
+        self._completed = True
+        subset = {j: self._values[j] for j in sorted(members)}
+        return [Deliver(DELIVER_TAG, self.process_id, subset)]

@@ -1,0 +1,54 @@
+"""The underlying-consensus abstraction (paper §2.2).
+
+DEX assumes "the underlying consensus primitive that ensures agreement,
+termination and unanimity, but provides no guarantees about its running
+time".  This module fixes the interface; two interchangeable
+implementations ship with the library:
+
+* :class:`repro.underlying.oracle.OracleConsensus` — the abstraction
+  itself, realised as a trusted harness service (fast, deterministic,
+  step-cost configurable).  This is what the paper assumes and what the
+  benchmarks use by default.
+* :class:`repro.underlying.multivalued.MultivaluedConsensus` — a real,
+  signature-free Byzantine consensus built from Bracha reliable broadcast,
+  common-coin binary agreement and an asynchronous common subset
+  (``n > 3t``), so that no part of the reproduction is a stub.
+
+Both expose ``propose(value)`` (the paper's ``UC_propose``) and announce
+the decision with a ``Deliver(tag=UC_DECIDE_TAG, …)`` upcall (the paper's
+``UC_decide``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..runtime.effects import Effect
+from ..runtime.protocol import Protocol
+from ..types import Value
+
+#: Upcall tag carrying the underlying consensus decision to the parent.
+UC_DECIDE_TAG = "uc-decide"
+
+
+class UnderlyingConsensus(Protocol):
+    """Interface of the underlying consensus primitive.
+
+    Contract (all under at most ``t`` Byzantine processes):
+
+    * **Agreement** — no two correct processes decide differently;
+    * **Termination** — if every correct process proposes, every correct
+      process eventually decides;
+    * **Unanimity** — if all correct processes propose ``v``, the decision
+      is ``v``;
+    * no timing guarantees whatsoever.
+    """
+
+    @abc.abstractmethod
+    def propose(self, value: Value) -> list[Effect]:
+        """``UC_propose(value)`` — at most one call per instance."""
+
+    @property
+    @abc.abstractmethod
+    def has_proposed(self) -> bool:
+        """True once :meth:`propose` was invoked."""

@@ -1,0 +1,84 @@
+"""Concrete multivalued Byzantine consensus (``n > 3t``).
+
+The top of the real underlying-consensus stack: run the asynchronous
+common subset (:class:`~repro.underlying.acs.CommonSubset`) on the
+proposals and decide a deterministic function of the agreed subset — the
+most frequent value, ties broken towards the largest.
+
+* **Agreement** — all correct processes obtain the same subset with the
+  same values, and the extraction rule is deterministic.
+* **Termination** — inherited from ACS/ABA/RBC.
+* **Unanimity** — if every correct process proposes ``v``, the subset has
+  at least ``n − t`` members of which at most ``t`` are Byzantine;
+  ``n − 2t > t`` makes ``v`` the strict plurality, so the rule picks ``v``.
+
+This protocol plugs into DEX anywhere the oracle abstraction does — the
+``uc`` child slot accepts either — so the reproduction can run end-to-end
+with zero trusted components.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from ..runtime.composite import CompositeProtocol
+from ..runtime.effects import Deliver, Effect
+from ..types import ProcessId, SystemConfig, Value, largest
+from .acs import DELIVER_TAG as ACS_DELIVER_TAG
+from .acs import CommonSubset
+from .base import UC_DECIDE_TAG, UnderlyingConsensus
+from .coin import CommonCoin
+
+
+class MultivaluedConsensus(CompositeProtocol, UnderlyingConsensus):
+    """Multivalued consensus over an asynchronous common subset.
+
+    Args:
+        process_id: hosting process.
+        config: must satisfy ``n > 3t``.
+        coin: the shared common coin (see :mod:`repro.underlying.coin`).
+        instance: instance label for coin namespacing.
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        coin: CommonCoin | None = None,
+        instance: Any = 0,
+    ) -> None:
+        super().__init__(process_id, config)
+        self._acs = self.add_child(
+            "acs", CommonSubset(process_id, config, coin or CommonCoin(), instance)
+        )
+        self._decided = False
+
+    def propose(self, value: Value) -> list[Effect]:
+        """``UC_propose(value)``."""
+        return self.child_call("acs", self._acs.propose(value))
+
+    @property
+    def has_proposed(self) -> bool:
+        return self._acs.has_proposed
+
+    def on_child_output(self, name: str, effect) -> list[Effect]:
+        if (
+            name == "acs"
+            and isinstance(effect, Deliver)
+            and effect.tag == ACS_DELIVER_TAG
+            and not self._decided
+        ):
+            self._decided = True
+            value = extract_decision(effect.value)
+            return [Deliver(UC_DECIDE_TAG, self.process_id, value)]
+        return []
+
+
+def extract_decision(subset: dict[ProcessId, Value]) -> Value:
+    """The deterministic decision rule: plurality value, ties to the largest."""
+    if not subset:
+        raise ValueError("the agreed subset cannot be empty (|S| >= n - t)")
+    counts = Counter(subset.values())
+    best = max(counts.values())
+    return largest(v for v, c in counts.items() if c == best)

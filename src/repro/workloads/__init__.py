@@ -1,0 +1,35 @@
+"""Workload generators: input vectors and failure patterns."""
+
+from .failures import (
+    FailureSweep,
+    crash_faults,
+    equivocating_faults,
+    garbage_faults,
+    silent_faults,
+)
+from .inputs import (
+    AdversarialBoundaryWorkload,
+    ContentionWorkload,
+    CorrelatedWorkload,
+    ZipfWorkload,
+    as_view,
+    split,
+    unanimous,
+    with_frequency_gap,
+)
+
+__all__ = [
+    "unanimous",
+    "split",
+    "with_frequency_gap",
+    "ContentionWorkload",
+    "CorrelatedWorkload",
+    "ZipfWorkload",
+    "AdversarialBoundaryWorkload",
+    "as_view",
+    "FailureSweep",
+    "silent_faults",
+    "crash_faults",
+    "equivocating_faults",
+    "garbage_faults",
+]

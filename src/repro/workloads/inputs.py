@@ -1,0 +1,212 @@
+"""Input-vector workload generators.
+
+The paper's motivation (§1.1) is that consensus-based applications usually
+receive "good" inputs: in a replicated state machine with little client
+contention, almost all servers propose the same request.  The generators
+here span that spectrum so coverage/latency experiments can sweep it:
+
+* :func:`unanimous` — everyone proposes the same value (the classic
+  one-step situation);
+* :class:`ContentionWorkload` — each process independently proposes the
+  favourite value with probability ``1 − p`` and a contending value
+  otherwise (``p`` is the contention rate);
+* :class:`ZipfWorkload` — skewed multi-value popularity, modelling hot
+  keys;
+* :class:`AdversarialBoundaryWorkload` — inputs engineered to sit exactly
+  on a condition boundary ``C_k \\ C_{k+1}`` (the inputs experiment E3
+  uses to demonstrate adaptiveness).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from ..conditions.views import View
+from ..types import Value
+
+
+def unanimous(value: Value, n: int) -> list[Value]:
+    """All ``n`` processes propose ``value``."""
+    return [value] * n
+
+
+def split(value_a: Value, value_b: Value, n: int, count_b: int) -> list[Value]:
+    """``n − count_b`` proposals of ``value_a`` followed by ``count_b`` of
+    ``value_b`` (a fixed-margin contended vector)."""
+    if not 0 <= count_b <= n:
+        raise ValueError(f"count_b must be in [0, {n}], got {count_b}")
+    return [value_a] * (n - count_b) + [value_b] * count_b
+
+
+def with_frequency_gap(value_a: Value, value_b: Value, n: int, gap: int) -> list[Value]:
+    """A two-value vector whose frequency gap ``#a − #b`` is exactly ``gap``.
+
+    Used to construct boundary inputs: ``gap = 4t + 2k + 1`` is the
+    smallest member of the frequency pair's ``C¹_k``.
+    """
+    if gap < 0 or (n - gap) % 2 != 0 or gap > n:
+        raise ValueError(
+            f"cannot realise gap {gap} with n={n}: need gap <= n and n - gap even"
+        )
+    count_b = (n - gap) // 2
+    return split(value_a, value_b, n, count_b)
+
+
+class ContentionWorkload:
+    """i.i.d. proposals: favourite with probability ``1 − p``, else a
+    uniformly random contender.
+
+    ``p = 0`` reproduces the unanimous case; ``p → 1`` approaches uniform
+    contention.  This is the replicated-state-machine model of §1.1 where
+    ``p`` is the probability a server saw a concurrent competing request.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        favourite: Value = 1,
+        contenders: Sequence[Value] = (2, 3),
+        p: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"contention rate p must be in [0, 1], got {p}")
+        if not contenders:
+            raise ValueError("need at least one contending value")
+        self.n = n
+        self.favourite = favourite
+        self.contenders = list(contenders)
+        self.p = p
+        self._rng = random.Random(seed)
+
+    def vector(self) -> list[Value]:
+        """Sample one input vector."""
+        return [
+            self.favourite
+            if self._rng.random() >= self.p
+            else self._rng.choice(self.contenders)
+            for _ in range(self.n)
+        ]
+
+    def vectors(self, count: int) -> list[list[Value]]:
+        """Sample ``count`` vectors."""
+        return [self.vector() for _ in range(count)]
+
+
+class ZipfWorkload:
+    """Proposals drawn from a Zipf-like popularity distribution over
+    ``values`` (rank ``r`` has weight ``1 / r**alpha``)."""
+
+    def __init__(
+        self,
+        n: int,
+        values: Sequence[Value],
+        alpha: float = 1.5,
+        seed: int = 0,
+    ) -> None:
+        if not values:
+            raise ValueError("need at least one value")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.n = n
+        self.values = list(values)
+        weights = [1.0 / (rank**alpha) for rank in range(1, len(values) + 1)]
+        total = sum(weights)
+        self.weights = [w / total for w in weights]
+        self._rng = random.Random(seed)
+
+    def vector(self) -> list[Value]:
+        """Sample one input vector."""
+        return self._rng.choices(self.values, weights=self.weights, k=self.n)
+
+    def vectors(self, count: int) -> list[list[Value]]:
+        return [self.vector() for _ in range(count)]
+
+
+class CorrelatedWorkload:
+    """Proposals correlated by group — models client-to-replica proximity.
+
+    Processes are split into groups; each slot, every *group* samples one
+    opinion (favourite with probability ``1 − p``, else a contender), and
+    the group's members all propose it.  Compared with i.i.d. contention,
+    correlated disagreement produces large minority blocks — exactly the
+    inputs that leave the frequency conditions fastest, so this workload
+    is the pessimistic counterpart of :class:`ContentionWorkload`.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        groups: int = 2,
+        favourite: Value = 1,
+        contenders: Sequence[Value] = (2, 3),
+        p: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"contention rate p must be in [0, 1], got {p}")
+        if groups < 1 or groups > n:
+            raise ValueError(f"groups must be in [1, {n}], got {groups}")
+        if not contenders:
+            raise ValueError("need at least one contending value")
+        self.n = n
+        self.groups = groups
+        self.favourite = favourite
+        self.contenders = list(contenders)
+        self.p = p
+        self._rng = random.Random(seed)
+
+    def group_of(self, pid: int) -> int:
+        """The group a process belongs to (contiguous blocks)."""
+        return pid * self.groups // self.n
+
+    def vector(self) -> list[Value]:
+        """Sample one input vector (one opinion per group)."""
+        opinions = [
+            self.favourite
+            if self._rng.random() >= self.p
+            else self._rng.choice(self.contenders)
+            for _ in range(self.groups)
+        ]
+        return [opinions[self.group_of(pid)] for pid in range(self.n)]
+
+    def vectors(self, count: int) -> list[list[Value]]:
+        return [self.vector() for _ in range(count)]
+
+
+class AdversarialBoundaryWorkload:
+    """Inputs lying exactly in ``C_freq(d) \\ C_freq(d+1)`` boundaries.
+
+    For the frequency pair, ``boundary_vector(k)`` returns a vector in
+    ``C¹_k`` but not in ``C¹_{k+1}``: one-step decision is guaranteed iff
+    the actual number of faults is at most ``k`` — the sharp adaptiveness
+    frontier of experiment E3.
+    """
+
+    def __init__(self, n: int, t: int, value_a: Value = 1, value_b: Value = 2) -> None:
+        self.n = n
+        self.t = t
+        self.value_a = value_a
+        self.value_b = value_b
+
+    def one_step_boundary(self, k: int) -> list[Value]:
+        """A vector with frequency gap exactly ``4t + 2k + 1`` or ``+2``
+        (whichever parity ``n`` allows) — inside ``C¹_k``, outside
+        ``C¹_{k+1}``."""
+        gap = 4 * self.t + 2 * k + 1
+        if (self.n - gap) % 2 != 0:
+            gap += 1
+        return with_frequency_gap(self.value_a, self.value_b, self.n, gap)
+
+    def two_step_boundary(self, k: int) -> list[Value]:
+        """Same for the two-step sequence (gap exactly above ``2t + 2k``)."""
+        gap = 2 * self.t + 2 * k + 1
+        if (self.n - gap) % 2 != 0:
+            gap += 1
+        return with_frequency_gap(self.value_a, self.value_b, self.n, gap)
+
+
+def as_view(inputs: Sequence[Value]) -> View:
+    """The input vector as a :class:`~repro.conditions.views.View`."""
+    return View(inputs)

@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import SystemConfig
+
+
+@pytest.fixture
+def config7() -> SystemConfig:
+    """n=7, t=1 — the smallest system for the frequency pair (n > 6t)."""
+    return SystemConfig(7, 1)
+
+
+@pytest.fixture
+def config13() -> SystemConfig:
+    """n=13, t=2 — two tolerated faults under the frequency pair."""
+    return SystemConfig(13, 2)
+
+
+@pytest.fixture
+def config4() -> SystemConfig:
+    """n=4, t=0 — degenerate fault-free system."""
+    return SystemConfig(4, 0)
+
+
+def kinds_of(result):
+    """Set of decision kinds among correct processes of a run."""
+    return {d.kind for d in result.correct_decisions.values()}
+
+
+def steps_of(result):
+    """Set of decision steps among correct processes of a run."""
+    return {d.step for d in result.correct_decisions.values()}

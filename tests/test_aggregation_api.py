@@ -1,0 +1,100 @@
+"""Tests for the batch-run API (Scenario.run_many) and CI statistics,
+plus the correlated workload generator."""
+
+import pytest
+
+from repro.harness import Scenario, Silent, dex_freq, twostep
+from repro.metrics.collectors import RunAggregate
+from repro.types import DecisionKind
+from repro.workloads.inputs import CorrelatedWorkload
+from repro.workloads import unanimous
+
+
+class TestRunMany:
+    def test_aggregates_across_seeds(self):
+        aggregate = Scenario(dex_freq(), unanimous(1, 7)).run_many(range(5))
+        assert aggregate.runs == 5
+        assert aggregate.label == "dex-freq"
+        assert aggregate.mean_max_step == 1.0
+        assert aggregate.kind_fraction(DecisionKind.ONE_STEP) == 1.0
+
+    def test_unanimity_tracking(self):
+        aggregate = Scenario(dex_freq(), unanimous(1, 7)).run_many(
+            range(3), expected_value=1
+        )
+        assert aggregate.unanimity_violations == 0
+        wrong = Scenario(dex_freq(), unanimous(1, 7)).run_many(
+            range(3), expected_value=2
+        )
+        assert wrong.unanimity_violations == 3
+
+    def test_faults_carried_through(self):
+        aggregate = Scenario(
+            dex_freq(), unanimous(1, 7), faults={6: Silent()}
+        ).run_many(range(4))
+        assert aggregate.runs == 4
+        assert aggregate.agreement_violations == 0
+
+    def test_uc_step_cost_carried_through(self):
+        from repro.sim.latency import ConstantLatency
+        from repro.workloads.inputs import split
+
+        aggregate = Scenario(
+            twostep(), split(1, 2, 4, 2), uc_step_cost=7,
+            latency=ConstantLatency(1.0),
+        ).run_many(range(2))
+        assert aggregate.max_steps == [7, 7]
+
+
+class TestConfidenceInterval:
+    def test_degenerate_cases(self):
+        aggregate = RunAggregate()
+        assert aggregate.confidence_interval() == (0.0, 0.0)
+        aggregate.max_steps = [3]
+        assert aggregate.confidence_interval() == (3.0, 3.0)
+
+    def test_contains_mean(self):
+        aggregate = RunAggregate()
+        aggregate.max_steps = [1, 1, 2, 4, 4, 2, 1, 1]
+        low, high = aggregate.confidence_interval()
+        assert low <= aggregate.mean_max_step <= high
+        assert low < high
+
+    def test_narrows_with_z(self):
+        aggregate = RunAggregate()
+        aggregate.max_steps = [1, 2, 3, 4]
+        low95, high95 = aggregate.confidence_interval(1.96)
+        low68, high68 = aggregate.confidence_interval(1.0)
+        assert (high68 - low68) < (high95 - low95)
+
+
+class TestCorrelatedWorkload:
+    def test_groups_share_opinions(self):
+        workload = CorrelatedWorkload(9, groups=3, p=1.0, seed=1)
+        vector = workload.vector()
+        assert vector[0] == vector[1] == vector[2]
+        assert vector[3] == vector[4] == vector[5]
+        assert vector[6] == vector[7] == vector[8]
+
+    def test_zero_contention_unanimous(self):
+        workload = CorrelatedWorkload(8, groups=4, p=0.0, seed=2)
+        assert workload.vector() == [1] * 8
+
+    def test_group_of_contiguous(self):
+        workload = CorrelatedWorkload(10, groups=2)
+        assert [workload.group_of(p) for p in range(10)] == [0] * 5 + [1] * 5
+
+    def test_deterministic(self):
+        a = CorrelatedWorkload(9, groups=3, p=0.5, seed=7).vectors(4)
+        b = CorrelatedWorkload(9, groups=3, p=0.5, seed=7).vectors(4)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedWorkload(5, groups=0)
+        with pytest.raises(ValueError):
+            CorrelatedWorkload(5, groups=6)
+        with pytest.raises(ValueError):
+            CorrelatedWorkload(5, p=2.0)
+        with pytest.raises(ValueError):
+            CorrelatedWorkload(5, contenders=[])

@@ -1,0 +1,131 @@
+"""Tests for coverage analysis and Table 1 regeneration."""
+
+import pytest
+
+from repro.analysis.coverage import (
+    baseline_coverage,
+    bosco_one_step_guaranteed,
+    brasileiro_one_step_guaranteed,
+    correct_count,
+    dex_one_step_guaranteed,
+    dex_two_step_guaranteed,
+    exact_space_coverage,
+    pair_coverage,
+)
+from repro.analysis.tables import (
+    dex_condition_examples,
+    paper_table1,
+    validate_algorithm,
+)
+from repro.conditions.frequency import FrequencyPair
+from repro.conditions.generators import VectorSampler
+from repro.conditions.views import View
+from repro.harness import bosco_weak, dex_freq
+from repro.types import SystemConfig
+from repro.workloads.inputs import split, unanimous, with_frequency_gap
+
+
+class TestGuaranteeFormulas:
+    def test_correct_count_excludes_faulty(self):
+        vector = View.of(1, 1, 1, 2)
+        assert correct_count(vector, 1, faulty=[0]) == 2
+        assert correct_count(vector, 1, faulty=[3]) == 3
+
+    def test_dex_one_step_levels(self):
+        pair = FrequencyPair(13, 2)
+        vector = View(with_frequency_gap(1, 2, 13, 11))  # level 1
+        assert dex_one_step_guaranteed(pair, vector, 0)
+        assert dex_one_step_guaranteed(pair, vector, 1)
+        assert not dex_one_step_guaranteed(pair, vector, 2)
+
+    def test_dex_two_step_wider_than_one_step(self):
+        pair = FrequencyPair(13, 2)
+        sampler = VectorSampler([1, 2], 13, seed=0)
+        for _ in range(50):
+            vector = sampler.uniform_vector()
+            for f in range(3):
+                if dex_one_step_guaranteed(pair, vector, f):
+                    assert dex_two_step_guaranteed(pair, vector, f)
+
+    def test_bosco_guarantee_unanimous_no_faults(self):
+        config = SystemConfig(13, 2)
+        assert bosco_one_step_guaranteed(View(unanimous(1, 13)), config, 0)
+
+    def test_bosco_guarantee_fails_on_thin_majority(self):
+        config = SystemConfig(13, 2)
+        vector = View(with_frequency_gap(1, 2, 13, 5))
+        assert not bosco_one_step_guaranteed(vector, config, 0)
+
+    def test_brasileiro_guarantee(self):
+        config = SystemConfig(4, 1)
+        assert brasileiro_one_step_guaranteed(View(unanimous(1, 4)), config, 0)
+        assert not brasileiro_one_step_guaranteed(View(split(1, 2, 4, 1)), config, 0)
+        # the dissenter being the faulty process restores the guarantee
+        assert brasileiro_one_step_guaranteed(
+            View(split(1, 2, 4, 1)), config, 1, faulty=[3]
+        )
+
+
+class TestCoverageCurves:
+    def test_coverage_decreases_with_f(self):
+        pair = FrequencyPair(13, 2)
+        sampler = VectorSampler([1, 2], 13, seed=1)
+        vectors = [sampler.skewed_vector(1, 0.8) for _ in range(300)]
+        points = pair_coverage(pair, vectors, range(3))
+        assert points[0].one_step >= points[1].one_step >= points[2].one_step
+        assert points[0].two_step >= points[1].two_step >= points[2].two_step
+
+    def test_two_step_at_least_one_step(self):
+        pair = FrequencyPair(13, 2)
+        sampler = VectorSampler([1, 2, 3], 13, seed=2)
+        vectors = [sampler.uniform_vector() for _ in range(200)]
+        for point in pair_coverage(pair, vectors, range(3)):
+            assert point.two_step >= point.one_step
+
+    def test_dex_covers_at_least_bosco(self):
+        """The paper's headline claim (§1.2): the frequency-pair algorithm
+        has more chances to decide in one or two steps than BOSCO."""
+        n, t = 13, 2
+        config = SystemConfig(n, t)
+        pair = FrequencyPair(n, t)
+        sampler = VectorSampler([1, 2], n, seed=3)
+        vectors = [sampler.skewed_vector(1, 0.85) for _ in range(400)]
+        dex_points = pair_coverage(pair, vectors, range(t + 1))
+        bosco_points = baseline_coverage("bosco", config, vectors, range(t + 1))
+        for dex_point, bosco_point in zip(dex_points, bosco_points):
+            assert dex_point.one_step >= bosco_point.one_step
+            assert dex_point.two_step >= bosco_point.one_step
+
+    def test_exact_space_coverage_small(self):
+        pair = FrequencyPair(7, 1)
+        points = exact_space_coverage(pair, [1, 2], [0, 1])
+        assert 0.0 < points[0].two_step < 1.0
+        assert points[0].one_step >= points[1].one_step
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            baseline_coverage("pbft", SystemConfig(7, 1), [], [0])
+
+
+class TestTable1:
+    def test_paper_table_has_all_rows(self):
+        rows = paper_table1()
+        assert len(rows) == 7  # 6 async implemented (minus twostep) + sync row
+        algorithms = [r["algorithm"] for r in rows]
+        assert "dex-freq" in algorithms
+        assert "izumi" in algorithms
+        assert "mostefaoui (sync)" in algorithms
+
+    def test_validate_dex_freq(self):
+        outcome = validate_algorithm(dex_freq(), n=7, seeds=range(2))
+        assert outcome.ok, outcome.detail
+
+    def test_validate_bosco_weak(self):
+        outcome = validate_algorithm(bosco_weak(), n=6, seeds=range(2))
+        assert outcome.ok, outcome.detail
+
+    def test_condition_examples_shape(self):
+        rows = dex_condition_examples(13)
+        assert len(rows) == 4
+        assert rows[0]["input"] == "unanimous"
+        assert rows[0]["freq 1-step level"] == "2"

@@ -1,0 +1,110 @@
+"""Tests for the applications: replicated state machine, atomic commit."""
+
+import pytest
+
+from repro.apps.atomic_commit import ABORT, COMMIT, AtomicCommitCoordinator
+from repro.apps.rsm import KeyValueStore, ReplicatedStateMachine, command_stream
+from repro.harness import Silent, dex_freq, twostep
+
+
+class TestKeyValueStore:
+    def test_apply_set(self):
+        store = KeyValueStore()
+        store.apply(("set", "x", 1))
+        store.apply(("set", "x", 2))
+        assert store.data == {"x": 2}
+        assert store.log == [("set", "x", 1), ("set", "x", 2)]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ValueError):
+            KeyValueStore().apply(("del", "x", 0))
+
+
+class TestCommandStream:
+    def test_deterministic(self):
+        assert command_stream(5, seed=1) == command_stream(5, seed=1)
+
+    def test_length_and_shape(self):
+        commands = command_stream(7, keys=["k"], seed=2)
+        assert len(commands) == 7
+        assert all(c[0] == "set" and c[1] == "k" for c in commands)
+
+
+class TestReplicatedStateMachine:
+    def test_low_contention_orders_everything(self):
+        rsm = ReplicatedStateMachine(dex_freq(), n=7, contention=0.0, seed=1)
+        commands = command_stream(6, seed=3)
+        report = rsm.run(commands)
+        assert report.slots == 6
+        assert not report.divergence
+        assert sorted(report.applied) == sorted(commands)
+
+    def test_zero_contention_is_all_one_step(self):
+        rsm = ReplicatedStateMachine(dex_freq(), n=7, contention=0.0, seed=2)
+        report = rsm.run(command_stream(4, seed=4))
+        assert report.mean_slot_steps == 1.0
+
+    def test_contention_raises_latency(self):
+        low = ReplicatedStateMachine(dex_freq(), n=7, contention=0.0, seed=5)
+        high = ReplicatedStateMachine(dex_freq(), n=7, contention=1.0, seed=5)
+        commands = command_stream(8, seed=6)
+        assert low.run(commands).mean_slot_steps <= high.run(list(commands)).mean_slot_steps
+
+    def test_with_faulty_replica(self):
+        rsm = ReplicatedStateMachine(
+            dex_freq(), n=7, contention=0.2, faults={6: Silent()}, seed=7
+        )
+        report = rsm.run(command_stream(5, seed=8))
+        assert not report.divergence
+        assert report.slots == 5
+
+    def test_state_matches_log(self):
+        rsm = ReplicatedStateMachine(twostep(), n=4, contention=0.5, seed=9)
+        report = rsm.run(command_stream(6, seed=10))
+        replay = KeyValueStore()
+        for command in report.applied:
+            replay.apply(command)
+        assert replay.data == report.state
+
+    def test_contention_validation(self):
+        with pytest.raises(ValueError):
+            ReplicatedStateMachine(dex_freq(), n=7, contention=1.5)
+
+
+class TestAtomicCommit:
+    def test_all_yes_commits_one_step(self):
+        coordinator = AtomicCommitCoordinator(n=11, vote_yes_probability=1.0, seed=1)
+        report = coordinator.run(5)
+        assert report.committed == 5
+        assert report.one_step_commit_rate == 1.0
+        assert report.overridden_aborts == 0
+
+    def test_all_no_aborts(self):
+        coordinator = AtomicCommitCoordinator(n=11, vote_yes_probability=0.0, seed=2)
+        report = coordinator.run(5)
+        assert report.aborted == 5
+        assert report.commit_rate == 0.0
+
+    def test_mixed_votes_terminate_and_count(self):
+        coordinator = AtomicCommitCoordinator(n=11, vote_yes_probability=0.7, seed=3)
+        report = coordinator.run(10)
+        assert report.committed + report.aborted == 10
+        assert report.aggregate.runs == 10
+
+    def test_overridden_aborts_tracked(self):
+        # with one abort vote among 11, consensus still commits (privileged
+        # value outweighs), and the report flags the override
+        coordinator = AtomicCommitCoordinator(n=11, vote_yes_probability=0.93, seed=4)
+        report = coordinator.run(20)
+        if report.overridden_aborts:
+            assert report.committed >= report.overridden_aborts
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            AtomicCommitCoordinator(n=11, vote_yes_probability=1.2)
+
+    def test_deterministic(self):
+        a = AtomicCommitCoordinator(n=11, vote_yes_probability=0.8, seed=5).run(5)
+        b = AtomicCommitCoordinator(n=11, vote_yes_probability=0.8, seed=5).run(5)
+        assert a.committed == b.committed
+        assert a.aggregate.max_steps == b.aggregate.max_steps

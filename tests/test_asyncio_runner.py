@@ -1,0 +1,84 @@
+"""Tests for the asyncio runtime: same protocols, real event loop."""
+
+import pytest
+
+from repro.harness import Equivocate, Scenario, Silent, dex_freq, twostep
+from repro.runtime.asyncio_runner import AsyncioRunner
+from repro.types import DecisionKind, SystemConfig
+from repro.workloads.inputs import split, unanimous
+
+
+class TestScenarioRunAsync:
+    def test_unanimous_one_step(self):
+        result = Scenario(dex_freq(), unanimous(1, 7), seed=1).run_async(timeout=15)
+        assert not result.timed_out
+        assert result.decided_value == 1
+        assert result.max_correct_step == 1
+        assert {d.kind for d in result.correct_decisions.values()} == {
+            DecisionKind.ONE_STEP
+        }
+
+    def test_contended_falls_back_and_agrees(self):
+        result = Scenario(dex_freq(), split(1, 2, 7, 3), seed=2).run_async(timeout=15)
+        assert not result.timed_out
+        assert result.agreement_holds()
+        assert result.decided_value in (1, 2)
+
+    def test_with_silent_fault(self):
+        result = Scenario(
+            dex_freq(), unanimous(1, 7), faults={6: Silent()}, seed=3
+        ).run_async(timeout=15)
+        assert not result.timed_out
+        assert result.decided_value == 1
+
+    def test_with_equivocator(self):
+        result = Scenario(
+            dex_freq(), unanimous(1, 7), faults={6: Equivocate(1, 2)}, seed=4
+        ).run_async(timeout=15)
+        assert not result.timed_out
+        assert result.agreement_holds()
+
+    def test_twostep_baseline(self):
+        result = Scenario(twostep(), [1, 2, 3, 4], seed=5).run_async(timeout=15)
+        assert not result.timed_out
+        assert result.agreement_holds()
+
+    def test_real_uc_stack(self):
+        result = Scenario(
+            dex_freq(), split(1, 2, 7, 3), uc="real", seed=6
+        ).run_async(timeout=20)
+        assert not result.timed_out
+        assert result.agreement_holds()
+
+
+class TestRunnerMechanics:
+    def test_wrong_cover_rejected(self):
+        from repro.runtime.protocol import Protocol
+
+        class Nop(Protocol):
+            def on_message(self, sender, payload):
+                return []
+
+        config = SystemConfig(3, 0)
+        with pytest.raises(Exception):
+            AsyncioRunner(config, {0: Nop(0, config)})
+
+    def test_timeout_reported(self):
+        from repro.runtime.protocol import Protocol
+
+        class Mute(Protocol):
+            def on_message(self, sender, payload):
+                return []
+
+        config = SystemConfig(2, 0)
+        runner = AsyncioRunner(
+            config, {pid: Mute(pid, config) for pid in config.processes}
+        )
+        result = runner.run_sync(timeout=0.2)
+        assert result.timed_out
+        assert result.decisions == {}
+
+    def test_message_stats_collected(self):
+        result = Scenario(dex_freq(), unanimous(1, 7), seed=7).run_async(timeout=15)
+        assert result.stats.messages_sent > 0
+        assert result.stats.messages_delivered > 0

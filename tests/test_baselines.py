@@ -1,0 +1,152 @@
+"""Tests for the baselines: BOSCO (weak/strong), Brasileiro, two-step."""
+
+import pytest
+
+from repro.baselines.bosco import BoscoConsensus
+from repro.errors import ConfigurationError, ResilienceError
+from repro.harness import (
+    Crash,
+    Equivocate,
+    Scenario,
+    Silent,
+    bosco_strong,
+    bosco_weak,
+    brasileiro,
+    twostep,
+)
+from repro.sim.latency import ConstantLatency
+from repro.types import DecisionKind, SystemConfig
+from repro.workloads.inputs import split, unanimous
+
+from .conftest import kinds_of, steps_of
+
+
+class TestBoscoConstruction:
+    def test_weak_requires_n_gt_5t(self):
+        with pytest.raises(ResilienceError):
+            BoscoConsensus(0, SystemConfig(5, 1), 1, "weak")
+        BoscoConsensus(0, SystemConfig(6, 1), 1, "weak")
+
+    def test_strong_requires_n_gt_7t(self):
+        with pytest.raises(ResilienceError):
+            BoscoConsensus(0, SystemConfig(7, 1), 1, "strong")
+        BoscoConsensus(0, SystemConfig(8, 1), 1, "strong")
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            BoscoConsensus(0, SystemConfig(8, 1), 1, "medium")
+
+
+class TestBoscoWeak:
+    def test_one_step_on_unanimous_no_faults(self):
+        result = Scenario(bosco_weak(), unanimous(1, 6), seed=0).run()
+        assert kinds_of(result) == {DecisionKind.FAST}
+        assert steps_of(result) == {1}
+
+    def test_three_steps_on_contention(self):
+        result = Scenario(
+            bosco_weak(), split(1, 2, 6, 3), seed=1, latency=ConstantLatency(1.0)
+        ).run()
+        assert kinds_of(result) == {DecisionKind.UNDERLYING}
+        assert steps_of(result) == {3}  # vote (1) + oracle UC (2)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agreement_with_equivocator(self, seed):
+        result = Scenario(
+            bosco_weak(),
+            unanimous(1, 6),
+            faults={5: Equivocate(1, 2)},
+            seed=seed,
+        ).run()
+        assert result.agreement_holds()
+        assert result.decided_value == 1
+
+    def test_weak_one_step_not_guaranteed_under_fault(self):
+        """The weak variant only claims one-step with zero failures; under a
+        fault some run should fall back (not a hard guarantee, so we check
+        it at least terminates + agrees across seeds and count fallbacks)."""
+        fallbacks = 0
+        for seed in range(6):
+            result = Scenario(
+                bosco_weak(), unanimous(1, 6), faults={5: Silent()}, seed=seed
+            ).run()
+            assert result.agreement_holds()
+            if DecisionKind.UNDERLYING in kinds_of(result):
+                fallbacks += 1
+        # n=6, t=1: quorum 5, threshold > (6+3)/2 = 4.5 -> need all 5 of 5.
+        # With the faulty proposer silent, every vote is 1, so BOSCO still
+        # fast-decides; fallbacks occur only for laggards. Just assert runs
+        # completed; the strong variant's guarantee is tested separately.
+        assert fallbacks >= 0
+
+
+class TestBoscoStrong:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_one_step_on_agreed_correct_proposals_with_faults(self, seed):
+        """Strongly one-step: unanimity among correct processes suffices,
+        regardless of the Byzantine one."""
+        n = 15  # t = 2 for n > 7t
+        result = Scenario(
+            bosco_strong(),
+            unanimous(1, n),
+            faults={13: Equivocate(2, 3), 14: Silent()},
+            seed=seed,
+        ).run()
+        assert result.decided_value == 1
+        assert kinds_of(result) == {DecisionKind.FAST}
+        assert steps_of(result) == {1}
+
+    def test_contended_falls_back(self):
+        result = Scenario(bosco_strong(), split(1, 2, 8, 4), seed=2).run()
+        assert kinds_of(result) == {DecisionKind.UNDERLYING}
+
+
+class TestBrasileiro:
+    def test_one_step_on_unanimous(self):
+        result = Scenario(brasileiro(), unanimous(1, 4), seed=0).run()
+        assert kinds_of(result) == {DecisionKind.FAST}
+        assert steps_of(result) == {1}
+
+    def test_fallback_on_contention(self):
+        result = Scenario(brasileiro(), split(1, 2, 4, 2), seed=1).run()
+        assert result.agreement_holds()
+        assert DecisionKind.UNDERLYING in kinds_of(result)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_crash_faults_tolerated(self, seed):
+        result = Scenario(
+            brasileiro(), unanimous(1, 7), t=2,
+            faults={5: Crash(budget=3), 6: Silent()},
+            seed=seed,
+        ).run()
+        assert result.agreement_holds()
+        assert result.decided_value == 1
+
+    def test_byzantine_faults_rejected_by_harness(self):
+        with pytest.raises(ConfigurationError, match="crash-model"):
+            Scenario(brasileiro(), unanimous(1, 4), faults={3: Equivocate(1, 2)})
+
+
+class TestTwoStep:
+    def test_always_two_steps(self):
+        for inputs in (unanimous(1, 4), split(1, 2, 4, 2), [1, 2, 3, 4]):
+            result = Scenario(
+                twostep(), inputs, seed=0, latency=ConstantLatency(1.0)
+            ).run()
+            assert kinds_of(result) == {DecisionKind.UNDERLYING}
+            assert steps_of(result) == {2}
+
+    def test_unanimity(self):
+        result = Scenario(twostep(), unanimous("v", 4), seed=1).run()
+        assert result.decided_value == "v"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agreement_with_fault(self, seed):
+        result = Scenario(
+            twostep(), [1, 2, 1, 2], faults={3: Silent()}, seed=seed
+        ).run()
+        assert result.agreement_holds()
+
+    def test_works_with_real_uc(self):
+        result = Scenario(twostep(), [1, 1, 2, 1], uc="real", seed=2).run()
+        assert result.agreement_holds()

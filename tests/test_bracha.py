@@ -1,0 +1,105 @@
+"""Tests for Bracha reliable broadcast (validity, agreement, totality)."""
+
+import pytest
+
+from repro.broadcast.bracha import (
+    DELIVER_TAG,
+    BrachaBroadcast,
+    RbcInit,
+    RbcReady,
+)
+from repro.errors import ResilienceError
+from repro.runtime.effects import Send
+from repro.runtime.protocol import Protocol
+from repro.sim.runner import Simulation
+from repro.types import SystemConfig
+
+
+def rbc_system(config, byzantine=None, seed=0):
+    byzantine = byzantine or {}
+    protocols = {}
+    for pid in config.processes:
+        protocols[pid] = byzantine.get(pid) or BrachaBroadcast(
+            pid, config, initial_value=("m", pid)
+        )
+    return Simulation(config, protocols, faulty=frozenset(byzantine), seed=seed)
+
+
+def delivered(result, pid):
+    return {d.sender: d.value for d in result.outputs[pid] if d.tag == DELIVER_TAG}
+
+
+class TestResilience:
+    def test_requires_n_gt_3t(self):
+        with pytest.raises(ResilienceError):
+            BrachaBroadcast(0, SystemConfig(3, 1))
+        BrachaBroadcast(0, SystemConfig(4, 1))
+
+    def test_echo_quorum_majority(self):
+        node = BrachaBroadcast(0, SystemConfig(7, 2))
+        assert node.echo_quorum == 5  # > (7+2)/2 = 4.5
+
+
+class TestProperties:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_validity_and_totality_all_correct(self, seed):
+        config = SystemConfig(4, 1)
+        result = rbc_system(config, seed=seed).run_to_quiescence()
+        for pid in config.processes:
+            got = delivered(result, pid)
+            assert set(got) == set(config.processes)
+            assert all(got[j] == ("m", j) for j in got)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_under_equivocating_sender(self, seed):
+        config = SystemConfig(7, 2)
+
+        class TwoFacedInit(Protocol):
+            def on_start(self):
+                return [
+                    Send(dst, RbcInit("A" if dst < 4 else "B"))
+                    for dst in self.config.processes
+                ]
+
+            def on_message(self, sender, payload):
+                return []
+
+        byz = {6: TwoFacedInit(6, config)}
+        result = rbc_system(config, byzantine=byz, seed=seed).run_to_quiescence()
+        values = {
+            delivered(result, pid)[6]
+            for pid in range(6)
+            if 6 in delivered(result, pid)
+        }
+        assert len(values) <= 1
+
+    def test_deliver_once_per_origin(self):
+        config = SystemConfig(4, 1)
+        result = rbc_system(config, seed=1).run_to_quiescence()
+        for pid in config.processes:
+            origins = [d.sender for d in result.outputs[pid] if d.tag == DELIVER_TAG]
+            assert len(origins) == len(set(origins))
+
+    def test_forged_ready_insufficient(self):
+        config = SystemConfig(4, 1)
+
+        class ReadyForger(Protocol):
+            def on_start(self):
+                return [
+                    Send(dst, RbcReady("FAKE", 0)) for dst in self.config.processes
+                ]
+
+            def on_message(self, sender, payload):
+                return []
+
+        byz = {3: ReadyForger(3, config)}
+        result = rbc_system(config, byzantine=byz, seed=2).run_to_quiescence()
+        for pid in range(3):
+            assert delivered(result, pid).get(0) == ("m", 0)
+
+    def test_delivered_origins_accessor(self):
+        config = SystemConfig(4, 1)
+        sim = rbc_system(config, seed=3)
+        sim.run_to_quiescence()
+        node = sim._states[0].protocol
+        assert node.delivered_origins == frozenset(config.processes)

@@ -1,0 +1,191 @@
+"""Tests for the Byzantine behavior framework and mutators."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.byzantine.adversary import (
+    CrashBehavior,
+    MutatingBehavior,
+    SilentBehavior,
+    TwoFacedBehavior,
+    expand_broadcasts,
+)
+from repro.byzantine.behaviors import (
+    RandomGarbageBehavior,
+    compose_mutators,
+    dropping_mutator,
+    equivocating_mutator,
+    rewrite_value,
+    split_mutator,
+)
+from repro.runtime.composite import Envelope
+from repro.runtime.effects import Broadcast, Decide, Send
+from repro.runtime.protocol import Protocol
+from repro.types import DecisionKind, SystemConfig
+
+
+@dataclass(frozen=True)
+class Msg:
+    value: int
+
+
+@dataclass(frozen=True)
+class NoValue:
+    data: int
+
+
+class Chatty(Protocol):
+    """Broadcasts its value at start; decides on any message."""
+
+    def __init__(self, pid, config, value=0):
+        super().__init__(pid, config)
+        self.value = value
+
+    def on_start(self):
+        return [Broadcast(Msg(self.value))]
+
+    def on_message(self, sender, payload):
+        return [Decide(payload, DecisionKind.FAST), Broadcast(Msg(self.value))]
+
+
+CONFIG = SystemConfig(4, 1)
+
+
+class TestExpandBroadcasts:
+    def test_expands_in_id_order(self):
+        effects = expand_broadcasts([Broadcast(Msg(1))], CONFIG)
+        assert [e.dst for e in effects] == [0, 1, 2, 3]
+
+    def test_leaves_sends_alone(self):
+        effects = expand_broadcasts([Send(2, Msg(1))], CONFIG)
+        assert effects == [Send(2, Msg(1))]
+
+
+class TestRewriteValue:
+    def test_rewrites_value_field(self):
+        assert rewrite_value(Msg(1), 9) == Msg(9)
+
+    def test_descends_envelopes(self):
+        wrapped = Envelope("a", Envelope("b", Msg(1)))
+        assert rewrite_value(wrapped, 9) == Envelope("a", Envelope("b", Msg(9)))
+
+    def test_payload_without_value_unchanged(self):
+        assert rewrite_value(NoValue(3), 9) == NoValue(3)
+
+    def test_non_dataclass_unchanged(self):
+        assert rewrite_value("raw", 9) == "raw"
+
+
+class TestMutators:
+    def test_split_mutator_by_parity(self):
+        mutate = split_mutator("A", "B")
+        assert mutate(0, Msg(1)) == Msg("A")
+        assert mutate(1, Msg(1)) == Msg("B")
+
+    def test_equivocating_mutator_custom(self):
+        mutate = equivocating_mutator(lambda dst: dst * 10)
+        assert mutate(3, Msg(0)) == Msg(30)
+
+    def test_dropping_mutator(self):
+        mutate = dropping_mutator({1, 2})
+        assert mutate(1, Msg(0)) is None
+        assert mutate(0, Msg(0)) == Msg(0)
+
+    def test_compose_short_circuits_on_drop(self):
+        mutate = compose_mutators(dropping_mutator({0}), split_mutator("A", "B"))
+        assert mutate(0, Msg(1)) is None
+        assert mutate(2, Msg(1)) == Msg("A")
+
+
+class TestSilent:
+    def test_never_sends(self):
+        behavior = SilentBehavior(0, CONFIG)
+        assert behavior.on_start() == []
+        assert behavior.on_message(1, Msg(0)) == []
+
+
+class TestCrashBehavior:
+    def test_budget_cuts_broadcast(self):
+        behavior = CrashBehavior(Chatty(0, CONFIG, 5), budget=2)
+        effects = behavior.on_start()
+        sends = [e for e in effects if isinstance(e, Send)]
+        assert [e.dst for e in sends] == [0, 1]
+
+    def test_crashed_stays_crashed(self):
+        behavior = CrashBehavior(Chatty(0, CONFIG, 5), budget=1)
+        behavior.on_start()
+        assert behavior.crashed
+        assert behavior.on_message(1, Msg(0)) == []
+
+    def test_inner_decides_are_suppressed(self):
+        behavior = CrashBehavior(Chatty(0, CONFIG, 5), budget=100)
+        effects = behavior.on_message(1, Msg(0))
+        assert not any(isinstance(e, Decide) for e in effects)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            CrashBehavior(Chatty(0, CONFIG), budget=-1)
+
+
+class TestMutatingBehavior:
+    def test_per_destination_values(self):
+        behavior = MutatingBehavior(Chatty(0, CONFIG, 5), split_mutator("A", "B"))
+        sends = [e for e in behavior.on_start() if isinstance(e, Send)]
+        assert sends[0].payload == Msg("A")
+        assert sends[1].payload == Msg("B")
+
+    def test_drops_are_honoured(self):
+        behavior = MutatingBehavior(Chatty(0, CONFIG, 5), dropping_mutator({0, 1, 2, 3}))
+        assert [e for e in behavior.on_start() if isinstance(e, Send)] == []
+
+    def test_decides_suppressed(self):
+        behavior = MutatingBehavior(Chatty(0, CONFIG, 5), lambda d, p: p)
+        effects = behavior.on_message(1, Msg(9))
+        assert not any(isinstance(e, Decide) for e in effects)
+
+
+class TestTwoFaced:
+    def test_each_group_sees_one_face(self):
+        behavior = TwoFacedBehavior(Chatty(0, CONFIG, "A"), Chatty(0, CONFIG, "B"))
+        sends = [e for e in behavior.on_start() if isinstance(e, Send)]
+        for send in sends:
+            expected = "A" if send.dst % 2 == 0 else "B"
+            assert send.payload == Msg(expected)
+
+    def test_custom_grouping(self):
+        behavior = TwoFacedBehavior(
+            Chatty(0, CONFIG, "A"),
+            Chatty(0, CONFIG, "B"),
+            group_of=lambda dst: "a" if dst < 2 else "b",
+        )
+        sends = [e for e in behavior.on_start() if isinstance(e, Send)]
+        assert {e.dst for e in sends if e.payload == Msg("A")} == {0, 1}
+        assert {e.dst for e in sends if e.payload == Msg("B")} == {2, 3}
+
+    def test_both_faces_receive_messages(self):
+        behavior = TwoFacedBehavior(Chatty(0, CONFIG, "A"), Chatty(0, CONFIG, "B"))
+        effects = behavior.on_message(1, Msg(0))
+        # both faces rebroadcast, each filtered to its own group
+        payloads = {e.payload for e in effects if isinstance(e, Send)}
+        assert payloads == {Msg("A"), Msg("B")}
+
+
+class TestRandomGarbage:
+    def test_deterministic_given_seed(self):
+        a = RandomGarbageBehavior(0, CONFIG, [Msg(0)], [1, 2, 3], seed=5)
+        b = RandomGarbageBehavior(0, CONFIG, [Msg(0)], [1, 2, 3], seed=5)
+        assert a.on_start() == b.on_start()
+
+    def test_sends_wire_shaped_payloads(self):
+        behavior = RandomGarbageBehavior(0, CONFIG, [Msg(0)], [7], fanout=5, seed=1)
+        sends = [e for e in behavior.on_start() if isinstance(e, Send)]
+        assert len(sends) == 5
+        assert all(isinstance(e.payload, Msg) for e in sends)
+        assert all(e.payload.value == 7 for e in sends)
+
+    def test_requires_templates_and_values(self):
+        with pytest.raises(ValueError):
+            RandomGarbageBehavior(0, CONFIG, [], [1])
+        with pytest.raises(ValueError):
+            RandomGarbageBehavior(0, CONFIG, [Msg(0)], [])

@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_fault, _parse_inputs, _parse_value, main
+from repro.harness import Collapse, Crash, Equivocate, Garbage, Silent, Spoiler
+
+
+class TestParsing:
+    def test_parse_value(self):
+        assert _parse_value("3") == 3
+        assert _parse_value("COMMIT") == "COMMIT"
+
+    def test_parse_inputs(self):
+        assert _parse_inputs("1,2,x") == [1, 2, "x"]
+        assert _parse_inputs("1,,2") == [1, 2]
+
+    def test_parse_fault_kinds(self):
+        assert isinstance(_parse_fault("5:silent")[1], Silent)
+        pid, crash = _parse_fault("2:crash:4")
+        assert pid == 2 and isinstance(crash, Crash) and crash.budget == 4
+        _, eq = _parse_fault("6:equivocate:1:2")
+        assert isinstance(eq, Equivocate) and (eq.value_a, eq.value_b) == (1, 2)
+        assert isinstance(_parse_fault("3:garbage")[1], Garbage)
+        assert isinstance(_parse_fault("3:spoiler:2")[1], Spoiler)
+        assert isinstance(_parse_fault("3:collapse:2")[1], Collapse)
+
+    def test_parse_fault_errors(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_fault("5")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_fault("5:unknown")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_fault("5:equivocate:1")
+
+
+class TestCommands:
+    def test_run_unanimous(self, capsys):
+        code = main(["run", "-i", "1,1,1,1,1,1,1", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "one-step" in out
+        assert "agreement=ok" in out
+
+    def test_run_with_fault_and_algorithm(self, capsys):
+        code = main([
+            "run", "-a", "bosco-weak", "-i", "1,1,1,1,1,1",
+            "-f", "5:silent", "--seed", "2",
+        ])
+        assert code == 0
+        assert "bosco-weak" in capsys.readouterr().out
+
+    def test_run_trace(self, capsys):
+        code = main(["run", "-i", "1,1,1,1,1,1,1", "--trace", "--seed", "1"])
+        assert code == 0
+        assert "decide" in capsys.readouterr().out
+
+    def test_run_bad_algorithm(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "-a", "paxos", "-i", "1,1,1"])
+
+    def test_run_configuration_error_exit_code(self, capsys):
+        # 6 processes cannot host dex-freq with t = 1
+        code = main(["run", "-i", "1,1,1,1,1,1", "--t", "1"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_table1_static(self, capsys):
+        code = main(["table1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dex-freq" in out
+        assert "6t+1" in out
+
+    def test_coverage(self, capsys):
+        code = main(["coverage", "--n", "13", "--t", "2", "--q", "0.9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dex-freq 1-step" in out
+
+    def test_legality_freq(self, capsys):
+        code = main(["legality", "--pair", "freq", "--n", "7", "--t", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "legal=yes" in out
+
+    def test_legality_prv(self, capsys):
+        code = main(["legality", "--pair", "prv", "--n", "6", "--t", "1"])
+        assert code == 0
+
+    def test_conditions_explicit_input(self, capsys):
+        code = main(["conditions", "-i", "1,1,1,1,1,1,1,1,1,1,1,1,1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "gap" in out
+
+    def test_conditions_examples(self, capsys):
+        code = main(["conditions", "--n", "13"])
+        assert code == 0
+        assert "unanimous" in capsys.readouterr().out
+
+
+class TestRunMany:
+    def test_runs_flag_aggregates(self, capsys):
+        code = main(["run", "-i", "1,1,1,1,1,1,1", "--runs", "3", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "mean slowest step" in out
+        assert "95% CI" in out
+
+    def test_runs_with_real_uc(self, capsys):
+        code = main([
+            "run", "-i", "1,1,1,1,2,2,2", "--uc", "real", "--seed", "2",
+        ])
+        assert code == 0
+        assert "agreement=ok" in capsys.readouterr().out

@@ -1,0 +1,133 @@
+"""Cross-validation of the closed-form coverage formulas.
+
+Three independent computations of the same quantities must agree:
+exact weighted enumeration over ``{fav, con}^n``, the binomial closed
+forms, and the Monte-Carlo estimators of :mod:`repro.analysis.coverage`.
+"""
+
+import itertools
+import math
+
+import pytest
+
+from repro.analysis.closed_form import (
+    bosco_one_step,
+    count_exceeds_probability,
+    dex_freq_one_step,
+    dex_freq_two_step,
+    dex_prv_one_step,
+    gap_exceeds_probability,
+)
+from repro.analysis.coverage import (
+    baseline_coverage,
+    pair_coverage,
+)
+from repro.conditions.frequency import FrequencyPair
+from repro.conditions.generators import VectorSampler
+from repro.conditions.views import View
+from repro.types import SystemConfig
+
+
+def enumerate_probability(n, q, predicate):
+    """Exact probability of ``predicate(vector)`` over weighted {1, 2}^n."""
+    total = 0.0
+    for bits in itertools.product([1, 2], repeat=n):
+        vector = View(bits)
+        x = bits.count(1)
+        weight = (q**x) * ((1 - q) ** (n - x))
+        if predicate(vector):
+            total += weight
+    return total
+
+
+class TestAgainstExactEnumeration:
+    @pytest.mark.parametrize("q", [0.5, 0.8, 0.95])
+    @pytest.mark.parametrize("d", [0, 2, 4])
+    def test_gap_probability(self, q, d):
+        n = 9
+        exact = enumerate_probability(n, q, lambda v: v.frequency_gap() > d)
+        assert math.isclose(gap_exceeds_probability(n, q, d), exact, abs_tol=1e-12)
+
+    @pytest.mark.parametrize("q", [0.3, 0.7])
+    @pytest.mark.parametrize("d", [1, 3, 5])
+    def test_count_probability(self, q, d):
+        n = 9
+        exact = enumerate_probability(n, q, lambda v: v.count(1) > d)
+        assert math.isclose(count_exceeds_probability(n, q, d), exact, abs_tol=1e-12)
+
+    @pytest.mark.parametrize("q", [0.6, 0.9])
+    def test_bosco_formula_f0(self, q):
+        n, t = 9, 1
+        config = SystemConfig(n, t)
+
+        def guaranteed(vector):
+            best = max(vector.count(1), vector.count(2))
+            return 2 * (best - t) > n + 3 * t
+
+        exact = enumerate_probability(n, q, guaranteed)
+        assert math.isclose(bosco_one_step(n, t, 0, q), exact, abs_tol=1e-12)
+
+
+class TestAgainstMonteCarlo:
+    """The sampled coverage of E1 must sit inside ~4σ binomial bounds of
+    the closed form (seeded, so this is deterministic, not flaky)."""
+
+    N, T = 13, 2
+    SAMPLES = 4000
+
+    def _vectors(self, q, seed):
+        sampler = VectorSampler([1, 2], self.N, seed=seed)
+        return [sampler.skewed_vector(1, q) for _ in range(self.SAMPLES)]
+
+    def _tolerance(self, p):
+        sigma = math.sqrt(max(p * (1 - p), 1e-9) / self.SAMPLES)
+        return 4 * sigma + 1e-9
+
+    @pytest.mark.parametrize("q", [0.9, 0.8])
+    @pytest.mark.parametrize("f", [0, 1, 2])
+    def test_dex_freq_coverage(self, q, f):
+        pair = FrequencyPair(self.N, self.T)
+        vectors = self._vectors(q, seed=int(q * 100) + f)
+        point = pair_coverage(pair, vectors, [f])[0]
+        expected = dex_freq_one_step(self.N, self.T, f, q)
+        assert abs(point.one_step - expected) <= self._tolerance(expected)
+        expected2 = dex_freq_two_step(self.N, self.T, f, q)
+        assert abs(point.two_step - expected2) <= self._tolerance(expected2)
+
+    @pytest.mark.parametrize("q", [0.9, 0.7])
+    def test_bosco_coverage(self, q):
+        config = SystemConfig(self.N, self.T)
+        vectors = self._vectors(q, seed=int(q * 1000))
+        for f in range(self.T + 1):
+            point = baseline_coverage("bosco", config, vectors, [f])[0]
+            expected = bosco_one_step(self.N, self.T, f, q)
+            assert abs(point.one_step - expected) <= self._tolerance(expected)
+
+
+class TestFormulaProperties:
+    def test_monotone_in_f(self):
+        for q in (0.5, 0.8, 0.95):
+            values = [dex_freq_one_step(13, 2, f, q) for f in range(3)]
+            assert values == sorted(values, reverse=True)
+
+    def test_two_step_dominates_one_step(self):
+        for q in (0.5, 0.8, 0.95):
+            for f in range(3):
+                assert dex_freq_two_step(13, 2, f, q) >= dex_freq_one_step(13, 2, f, q)
+
+    def test_prv_dominates_on_favourite_heavy(self):
+        # the privileged pair is strictly easier to satisfy at high q
+        assert dex_prv_one_step(13, 2, 0, 0.9) > dex_freq_one_step(13, 2, 0, 0.9)
+
+    def test_extreme_q(self):
+        assert gap_exceeds_probability(13, 1.0, 12) == pytest.approx(1.0)
+        assert gap_exceeds_probability(13, 1.0, 13) == pytest.approx(0.0)
+        assert count_exceeds_probability(13, 0.0, 0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gap_exceeds_probability(0, 0.5, 1)
+        with pytest.raises(ValueError):
+            gap_exceeds_probability(5, 1.5, 1)
+        with pytest.raises(ValueError):
+            bosco_one_step(5, 1, 9, 0.5)

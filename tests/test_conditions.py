@@ -1,0 +1,171 @@
+"""Unit tests for conditions: C_freq, C_prv, sequences and pairs (§3.3, §3.4)."""
+
+import pytest
+
+from repro.conditions.base import ConditionSequence, PredicateCondition
+from repro.conditions.frequency import FrequencyCondition, FrequencyPair
+from repro.conditions.privileged import PrivilegedCondition, PrivilegedPair
+from repro.conditions.views import View
+from repro.errors import ConfigurationError
+from repro.workloads.inputs import split, unanimous, with_frequency_gap
+
+
+class TestFrequencyCondition:
+    def test_membership_by_gap(self):
+        condition = FrequencyCondition(2)
+        assert condition.contains(View.of(1, 1, 1, 1, 2))  # gap 3 > 2
+        assert not condition.contains(View.of(1, 1, 2, 2))  # gap 0
+
+    def test_strict_inequality(self):
+        condition = FrequencyCondition(2)
+        assert not condition.contains(View.of(1, 1, 1, 2))  # gap exactly 2
+        assert condition.contains(View.of(1, 1, 1, 1, 2))  # gap 3
+
+    def test_unanimous_always_in_small_d(self):
+        assert FrequencyCondition(6).contains(View(unanimous(1, 7)))
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyCondition(-1)
+
+    def test_repr(self):
+        assert repr(FrequencyCondition(4)) == "C_freq(4)"
+
+
+class TestPrivilegedCondition:
+    def test_membership_by_count(self):
+        condition = PrivilegedCondition("m", 2)
+        assert condition.contains(View.of("m", "m", "m", "x"))
+        assert not condition.contains(View.of("m", "m", "x", "x"))
+
+    def test_other_values_irrelevant(self):
+        condition = PrivilegedCondition("m", 1)
+        assert condition.contains(View.of("m", "m", "a", "b", "c"))
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivilegedCondition("m", -1)
+
+
+class TestConditionSequence:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConditionSequence([])
+
+    def test_level_of_finds_largest_k(self):
+        seq = ConditionSequence(
+            [FrequencyCondition(0), FrequencyCondition(2), FrequencyCondition(4)]
+        )
+        vector = View(with_frequency_gap(1, 2, 7, 3))  # gap 3
+        assert seq.level_of(vector) == 1  # 3 > 0, 3 > 2, not > 4
+
+    def test_level_of_none_outside_c0(self):
+        seq = ConditionSequence([FrequencyCondition(4)])
+        assert seq.level_of(View(split(1, 2, 6, 3))) is None
+
+    def test_level_of_full_sequence(self):
+        seq = ConditionSequence([FrequencyCondition(k) for k in range(3)])
+        assert seq.level_of(View(unanimous(1, 7))) == 2
+
+    def test_predicate_condition(self):
+        condition = PredicateCondition(lambda v: v.known == len(v), "complete")
+        assert condition.contains(View.of(1, 2))
+
+
+class TestFrequencyPair:
+    def test_requires_n_gt_6t(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyPair(6, 1)
+        FrequencyPair(7, 1)  # fine
+
+    def test_p1_threshold(self):
+        pair = FrequencyPair(7, 1)
+        assert pair.p1(View(with_frequency_gap(1, 2, 7, 5)))  # 5 > 4
+        assert not pair.p1(View(with_frequency_gap(1, 2, 7, 3)))
+
+    def test_p2_threshold(self):
+        pair = FrequencyPair(7, 1)
+        assert pair.p2(View(with_frequency_gap(1, 2, 7, 3)))  # 3 > 2
+        assert not pair.p2(View(with_frequency_gap(1, 2, 7, 1)))
+
+    def test_p1_implies_p2(self):
+        pair = FrequencyPair(7, 1)
+        for gap in (1, 3, 5, 7):
+            view = View(with_frequency_gap(1, 2, 7, gap))
+            if pair.p1(view):
+                assert pair.p2(view)
+
+    def test_f_is_first(self):
+        pair = FrequencyPair(7, 1)
+        assert pair.f(View.of(1, 1, 1, 2, 2, 3, 3)) == 1
+
+    def test_f_undefined_on_all_bottom(self):
+        pair = FrequencyPair(7, 1)
+        with pytest.raises(ValueError):
+            pair.f(View.bottoms(7))
+
+    def test_sequences_have_t_plus_one_levels(self):
+        pair = FrequencyPair(13, 2)
+        assert len(pair.one_step_sequence()) == 3
+        assert len(pair.two_step_sequence()) == 3
+
+    def test_sequence_margins_match_paper(self):
+        pair = FrequencyPair(13, 2)
+        one = pair.one_step_sequence()
+        two = pair.two_step_sequence()
+        assert [one[k].d for k in range(3)] == [8, 10, 12]  # 4t + 2k
+        assert [two[k].d for k in range(3)] == [4, 6, 8]  # 2t + 2k
+
+    def test_one_step_level_unanimous(self):
+        pair = FrequencyPair(13, 2)
+        assert pair.one_step_level(View(unanimous(1, 13))) == 2
+
+    def test_adaptiveness_monotone_in_gap(self):
+        pair = FrequencyPair(13, 2)
+        levels = []
+        for gap in (9, 11, 13):
+            levels.append(pair.one_step_level(View(with_frequency_gap(1, 2, 13, gap))))
+        assert levels == sorted(levels, key=lambda x: (x is None, x))
+
+
+class TestPrivilegedPair:
+    def test_requires_n_gt_5t(self):
+        with pytest.raises(ConfigurationError):
+            PrivilegedPair(5, 1, privileged=1)
+        PrivilegedPair(6, 1, privileged=1)
+
+    def test_p1_p2_thresholds(self):
+        pair = PrivilegedPair(6, 1, privileged="m")
+        four_m = View.of("m", "m", "m", "m", "x", "y")
+        three_m = View.of("m", "m", "m", "x", "y", "z")
+        assert pair.p1(four_m)  # 4 > 3t = 3
+        assert not pair.p1(three_m)
+        assert pair.p2(three_m)  # 3 > 2t = 2
+        assert not pair.p2(View.of("m", "m", "x", "y", "z", "w"))
+
+    def test_f_prefers_privileged_above_t(self):
+        pair = PrivilegedPair(6, 1, privileged="m")
+        # m appears twice (> t = 1) but 'x' is more frequent.
+        view = View.of("m", "m", "x", "x", "x", "x")
+        assert pair.f(view) == "m"
+
+    def test_f_falls_back_to_most_frequent(self):
+        pair = PrivilegedPair(6, 1, privileged="m")
+        view = View.of("m", "x", "x", "x", "y", "z")  # m count 1, not > t
+        assert pair.f(view) == "x"
+
+    def test_sequence_margins_match_paper(self):
+        pair = PrivilegedPair(11, 2, privileged="m")
+        one = pair.one_step_sequence()
+        two = pair.two_step_sequence()
+        assert [one[k].d for k in range(3)] == [6, 7, 8]  # 3t + k
+        assert [two[k].d for k in range(3)] == [4, 5, 6]  # 2t + k
+
+    def test_levels_on_commit_heavy_vector(self):
+        pair = PrivilegedPair(11, 2, privileged="C")
+        vector = View(["C"] * 9 + ["A"] * 2)
+        assert pair.one_step_level(vector) == 2  # 9 > 6, 7, 8
+        assert pair.two_step_level(vector) == 2
+
+    def test_repr_mentions_privileged_value(self):
+        assert "COMMIT" in repr(PrivilegedPair(6, 1, privileged="COMMIT"))

@@ -1,0 +1,94 @@
+"""Tests for the adaptive crash-model one-step consensus (Izumi row)."""
+
+import pytest
+
+from repro.baselines.crash_onestep import IzumiCrashConsensus, crash_one_step_level
+from repro.conditions.views import View
+from repro.errors import ConfigurationError, ResilienceError
+from repro.harness import Crash, Equivocate, Scenario, Silent, izumi
+from repro.types import DecisionKind, SystemConfig
+from repro.workloads.inputs import split, unanimous, with_frequency_gap
+
+from .conftest import kinds_of, steps_of
+
+
+class TestConstruction:
+    def test_resilience(self):
+        with pytest.raises(ResilienceError):
+            IzumiCrashConsensus(0, SystemConfig(3, 1), 1)
+        IzumiCrashConsensus(0, SystemConfig(4, 1), 1)
+
+    def test_byzantine_faults_rejected(self):
+        with pytest.raises(ConfigurationError, match="crash-model"):
+            Scenario(izumi(), unanimous(1, 7), faults={6: Equivocate(1, 2)})
+
+
+class TestConditionLevels:
+    def test_adaptive_sequence_shape(self):
+        t = 2
+        # C_k = C_freq(t + 2k): thresholds 2, 4, 6
+        assert crash_one_step_level(View(with_frequency_gap(1, 2, 9, 3)), t) == 0
+        assert crash_one_step_level(View(with_frequency_gap(1, 2, 9, 5)), t) == 1
+        assert crash_one_step_level(View(with_frequency_gap(1, 2, 9, 7)), t) == 2
+        assert crash_one_step_level(View(with_frequency_gap(1, 2, 9, 1)), t) is None
+
+    def test_wider_than_dex_freq(self):
+        """The crash-model conditions are much wider than the Byzantine
+        ones (t + 2k vs 4t + 2k): the price of Byzantine tolerance made
+        quantitative."""
+        from repro.conditions.frequency import FrequencyPair
+
+        n, t = 13, 2
+        pair = FrequencyPair(n, t)
+        vector = View(with_frequency_gap(1, 2, n, 7))
+        assert crash_one_step_level(vector, t) == 2
+        assert pair.one_step_level(vector) is None
+
+
+class TestDecisions:
+    def test_unanimous_one_step(self):
+        result = Scenario(izumi(), unanimous(1, 7), seed=0).run()
+        assert kinds_of(result) == {DecisionKind.ONE_STEP}
+        assert steps_of(result) == {1}
+
+    def test_moderate_skew_still_one_step(self):
+        # gap 3 > t = 2 (n=7, t=2): in C_0 — one-step with no crashes
+        inputs = with_frequency_gap(1, 2, 7, 3)
+        result = Scenario(izumi(), inputs, seed=1).run()
+        assert result.decided_value == 1
+        assert DecisionKind.ONE_STEP in kinds_of(result)
+
+    def test_even_split_falls_back(self):
+        result = Scenario(izumi(), split(1, 2, 8, 4), seed=2).run()
+        assert result.agreement_holds()
+        assert DecisionKind.UNDERLYING in kinds_of(result)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_with_crashes(self, seed):
+        inputs = with_frequency_gap(1, 2, 7, 3)
+        result = Scenario(
+            izumi(), inputs, faults={5: Crash(budget=2), 6: Silent()}, seed=seed
+        ).run()
+        assert result.agreement_holds()
+        assert result.all_correct_decided()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unanimity_with_crashes(self, seed):
+        result = Scenario(
+            izumi(), unanimous(9, 7), faults={6: Crash(budget=3)}, seed=seed
+        ).run()
+        assert result.decided_value == 9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma4_analogue(self, seed):
+        """Level-k inputs decide one-step with f <= k silent crashes among
+        the majority proposers."""
+        n, t = 7, 2
+        inputs = with_frequency_gap(1, 2, n, 7)  # level 2
+        faults = {0: Silent(), 1: Silent()}
+        result = Scenario(izumi(), inputs, faults=faults, seed=seed).run()
+        assert kinds_of(result) == {DecisionKind.ONE_STEP}
+
+    def test_works_with_real_uc(self):
+        result = Scenario(izumi(), split(1, 2, 7, 3), uc="real", seed=3).run()
+        assert result.agreement_holds()

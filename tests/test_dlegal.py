@@ -1,0 +1,121 @@
+"""Tests for the d-legality decision procedure — making the paper's
+citation of [10] ("C_freq(d) and C_prv(m,d) are d-legal") executable."""
+
+import pytest
+
+from repro.conditions.dlegal import (
+    DLegalityResult,
+    condition_members,
+    frequent_values,
+    is_d_legal,
+)
+from repro.conditions.frequency import FrequencyCondition
+from repro.conditions.privileged import PrivilegedCondition
+from repro.conditions.views import View, hamming_distance
+
+
+class TestHelpers:
+    def test_frequent_values(self):
+        vector = View.of(1, 1, 1, 2, 2, 3)
+        assert frequent_values(vector, 2) == {1}
+        assert frequent_values(vector, 1) == {1, 2}
+        assert frequent_values(vector, 5) == set()
+
+    def test_condition_members(self):
+        members = condition_members(FrequencyCondition(2), [1, 2], 4)
+        # gap > 2 with n=4 means gap 4: unanimous vectors only
+        assert set(members) == {View.of(1, 1, 1, 1), View.of(2, 2, 2, 2)}
+
+    def test_negative_d_rejected(self):
+        with pytest.raises(ValueError):
+            is_d_legal([], -1)
+
+    def test_empty_condition_trivially_legal(self):
+        result = is_d_legal([], 2)
+        assert result.legal
+        assert result.components == 0
+
+
+class TestPaperCitations:
+    """The paper's §3.3/§3.4 claims: both building blocks are d-legal."""
+
+    @pytest.mark.parametrize("d", [0, 1, 2])
+    def test_frequency_condition_is_d_legal(self, d):
+        members = condition_members(FrequencyCondition(d), [1, 2], 5)
+        result = is_d_legal(members, d)
+        assert result.legal, result.failure
+
+    @pytest.mark.parametrize("d", [0, 1, 2])
+    def test_privileged_condition_is_d_legal(self, d):
+        members = condition_members(PrivilegedCondition(1, d), [1, 2], 5)
+        result = is_d_legal(members, d)
+        assert result.legal, result.failure
+
+    def test_frequency_three_values(self):
+        members = condition_members(FrequencyCondition(1), [1, 2, 3], 4)
+        result = is_d_legal(members, 1)
+        assert result.legal, result.failure
+
+    def test_witness_respects_both_requirements(self):
+        d = 1
+        members = condition_members(FrequencyCondition(d), [1, 2], 5)
+        result = is_d_legal(members, d)
+        for vector, value in result.decision.items():
+            assert vector.count(value) > d
+        # constant on components: any two members within distance d agree
+        for a in members:
+            for b in members:
+                if hamming_distance(a, b) <= d:
+                    assert result.decision[a] == result.decision[b]
+
+
+class TestNonLegalConditions:
+    def test_full_space_not_legal(self):
+        """V^n itself is not d-legal for d >= 1 (consensus unsolvable with
+        arbitrary inputs): the whole space is one component with unanimous
+        vectors of different values in it."""
+        from repro.conditions.generators import all_vectors
+
+        members = list(all_vectors([1, 2], 4))
+        result = is_d_legal(members, 1)
+        assert not result.legal
+        assert "no common value" in result.failure
+
+    def test_too_weak_margin_not_legal(self):
+        """C_freq(d-1) members used with parameter d: the gap-d vectors sit
+        too close to opposite-majority vectors."""
+        members = condition_members(FrequencyCondition(0), [1, 2], 4)
+        result = is_d_legal(members, 2)
+        assert not result.legal
+
+    def test_two_unanimous_vectors_legal_when_far(self):
+        members = [View.of(1, 1, 1, 1), View.of(2, 2, 2, 2)]
+        result = is_d_legal(members, 3)
+        assert result.legal
+        assert result.components == 2
+
+    def test_two_unanimous_vectors_not_legal_when_connected(self):
+        members = [View.of(1, 1, 1, 1), View.of(2, 2, 2, 2)]
+        result = is_d_legal(members, 4)  # distance 4 <= d: one component
+        assert not result.legal
+
+
+class TestAdaptiveSequencesAreDLegal:
+    """Each level C¹_k = C_freq(4t+2k) is (4t+2k)-legal — the underpinning
+    of the adaptive sequences of §3.3."""
+
+    def test_one_step_sequence_levels(self):
+        t = 1
+        for k in range(t + 1):
+            d = 4 * t + 2 * k
+            members = condition_members(FrequencyCondition(d), [1, 2], 7)
+            result = is_d_legal(members, d)
+            assert result.legal, f"level {k}: {result.failure}"
+
+    def test_two_step_sequence_levels(self):
+        t = 1
+        for k in range(t + 1):
+            d = 2 * t + 2 * k
+            members = condition_members(FrequencyCondition(d), [1, 2], 7)
+            result = is_d_legal(members, d)
+            assert result.legal, f"level {k}: {result.failure}"

@@ -1,0 +1,155 @@
+"""Edge-case coverage across modules: error paths, rarely-hit branches,
+and API misuse that must fail loudly."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    LegalityError,
+    ReproError,
+    ResilienceError,
+    SimulationDeadlock,
+    SimulationError,
+)
+from repro.harness import Custom, Garbage, Scenario, dex_freq
+from repro.runtime.composite import CompositeProtocol
+from repro.runtime.protocol import Protocol
+from repro.sim.runner import Simulation
+from repro.types import SystemConfig
+from repro.workloads.inputs import unanimous
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            ConfigurationError,
+            SimulationError,
+            LegalityError,
+            ResilienceError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_resilience_error_fields(self):
+        err = ResilienceError("DEX", 6, 1, "n > 5t")
+        assert err.algorithm == "DEX"
+        assert err.n == 6
+        assert "n > 5t" in str(err)
+
+    def test_deadlock_carries_undecided(self):
+        err = SimulationDeadlock(frozenset({1, 2}))
+        assert err.undecided == frozenset({1, 2})
+        assert "[1, 2]" in str(err)
+
+    def test_legality_error_fields(self):
+        err = LegalityError("LT1", "witness here")
+        assert err.criterion == "LT1"
+        assert "witness here" in str(err)
+
+
+class TestRunResultEdges:
+    def test_decided_value_raises_without_decisions(self):
+        result = Scenario(dex_freq(), unanimous(1, 7), seed=0).build()
+        run = result.run_until(lambda sim: True)  # stop immediately
+        with pytest.raises(SimulationError):
+            run.decided_value
+
+    def test_max_correct_step_empty(self):
+        sim = Scenario(dex_freq(), unanimous(1, 7), seed=0).build()
+        run = sim.run_until(lambda s: True)
+        assert run.max_correct_step == 0
+
+    def test_rerun_continues_from_state(self):
+        sim = Scenario(dex_freq(), unanimous(1, 7), seed=0).build()
+        partial = sim.run_until(lambda s: s.stats.messages_delivered >= 5)
+        assert not partial.all_correct_decided()
+        final = sim.run_until_decided()
+        assert final.all_correct_decided()
+        assert final.decided_value == 1
+
+
+class TestCompositeDefaults:
+    def test_default_own_message_logs(self):
+        class Bare(CompositeProtocol):
+            pass
+
+        effects = Bare(0, SystemConfig(4, 1)).on_message(1, "stray")
+        assert effects[0].event == "unexpected-payload"
+
+    def test_default_child_output_empty(self):
+        bare = CompositeProtocol(0, SystemConfig(4, 1))
+        assert bare.on_child_output("x", None) == []
+
+
+class TestHarnessFaultEdges:
+    def test_custom_fault_factory(self):
+        from repro.byzantine.adversary import SilentBehavior
+
+        made = {}
+
+        def factory(pid, config, make_honest, value):
+            made["pid"] = pid
+            return SilentBehavior(pid, config)
+
+        result = Scenario(
+            dex_freq(), unanimous(1, 7), faults={6: Custom(factory)}, seed=1
+        ).run()
+        assert made["pid"] == 6
+        assert result.decided_value == 1
+
+    def test_custom_fault_model_tag(self):
+        fault = Custom(lambda *a: None, model="crash")
+        assert fault.model == "crash"
+
+    def test_garbage_without_templates_uses_value(self):
+        from repro.harness import AlgorithmSpec
+        from repro.baselines.twostep import TwoStepConsensus
+
+        bare_spec = AlgorithmSpec(
+            name="bare",
+            make=lambda pid, config, value, uc_factory: TwoStepConsensus(
+                pid, config, value, uc_factory
+            ),
+            required_ratio=3,
+        )
+        result = Scenario(
+            bare_spec, [1, 1, 1, 2], faults={3: Garbage()}, seed=2
+        ).run()
+        assert result.agreement_holds()
+
+
+class TestSimulationApiMisuse:
+    def test_protocols_must_match_config(self):
+        config = SystemConfig(3, 0)
+
+        class Nop(Protocol):
+            def on_message(self, sender, payload):
+                return []
+
+        protocols = {pid: Nop(pid, config) for pid in range(4)}
+        with pytest.raises(SimulationError):
+            Simulation(SystemConfig(4, 0), dict(list(protocols.items())[:3]))
+
+    def test_unknown_effect_rejected(self):
+        class Weird(Protocol):
+            def on_start(self):
+                return ["not-an-effect"]
+
+            def on_message(self, sender, payload):
+                return []
+
+        config = SystemConfig(1, 0)
+        sim = Simulation(config, {0: Weird(0, config)})
+        with pytest.raises(SimulationError, match="unknown effect"):
+            sim.run_to_quiescence()
+
+
+class TestScenarioSeedSweep:
+    """A wide safety net: many seeds, assorted faults — cheap but broad."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_mixed_inputs_any_seed(self, seed):
+        inputs = [1, 2, 1, 1, 2, 1, 1]
+        result = Scenario(dex_freq(), inputs, seed=seed).run()
+        assert result.agreement_holds()
+        assert result.all_correct_decided()
+        assert result.decided_value in (1, 2)

@@ -1,0 +1,113 @@
+"""Tests for the analytic expected-step bounds and the crossover solver."""
+
+import pytest
+
+from repro.analysis.expected_steps import (
+    bosco_expected_steps,
+    crossover_contention,
+    dex_freq_expected_steps,
+    twostep_expected_steps,
+)
+from repro.harness import Scenario, dex_freq
+from repro.workloads.inputs import ContentionWorkload
+
+N, T = 13, 2
+
+
+class TestBoundsShape:
+    def test_unanimous_limit(self):
+        # q -> 1: everything decides in one step
+        assert dex_freq_expected_steps(N, T, 0, 1.0) == pytest.approx(1.0)
+        assert bosco_expected_steps(N, T, 0, 1.0) == pytest.approx(1.0)
+
+    def test_coin_flip_limit(self):
+        # q = 0.5: conditions almost never hold; bounds near the fallback
+        assert dex_freq_expected_steps(N, T, 0, 0.5) > 3.3
+        assert bosco_expected_steps(N, T, 0, 0.5) > 2.8
+
+    def test_monotone_in_q(self):
+        values = [dex_freq_expected_steps(N, T, 0, q) for q in (0.5, 0.7, 0.9, 1.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_in_f(self):
+        values = [dex_freq_expected_steps(N, T, f, 0.9) for f in range(T + 1)]
+        assert values == sorted(values)
+
+    def test_uc_cost_scales_fallback(self):
+        cheap = dex_freq_expected_steps(N, T, 0, 0.6, uc_cost=2)
+        pricey = dex_freq_expected_steps(N, T, 0, 0.6, uc_cost=10)
+        assert pricey > cheap
+        assert twostep_expected_steps(10) == 10.0
+
+
+class TestCrossover:
+    def test_dex_crossover_in_range(self):
+        q_star = crossover_contention(N, T, algorithm="dex")
+        assert 0.5 < q_star < 1.0
+        # the bound is indeed at/below 2 beyond the crossover
+        assert dex_freq_expected_steps(N, T, 0, q_star + 0.01) <= 2.0 + 0.05
+        assert dex_freq_expected_steps(N, T, 0, q_star - 0.01) >= 2.0 - 0.05
+
+    def test_bosco_crossover_later_than_dex(self):
+        """DEX's two-step scheme lets it tolerate more contention than
+        BOSCO before losing to the plain two-step design."""
+        q_dex = crossover_contention(N, T, algorithm="dex")
+        q_bosco = crossover_contention(N, T, algorithm="bosco")
+        assert q_dex < q_bosco
+
+    def test_expensive_uc_moves_crossover_down(self):
+        cheap = crossover_contention(N, T, uc_cost=2)
+        pricey = crossover_contention(N, T, uc_cost=8)
+        assert pricey < cheap
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            crossover_contention(N, T, algorithm="paxos")
+
+
+class TestBoundsAgainstMeasurement:
+    @pytest.mark.parametrize("q", [0.95, 0.8])
+    def test_measured_runs_within_per_vector_bound(self, q):
+        """For each sampled vector, the measured slowest step must not
+        exceed that vector's worst-case bound (1 / 2 / 2+uc by condition
+        band) — the per-input statement behind the expectation formula."""
+        from repro.conditions.frequency import FrequencyPair
+        from repro.conditions.views import View
+
+        pair = FrequencyPair(N, T)
+        workload = ContentionWorkload(N, favourite=1, contenders=[2], p=1 - q, seed=7)
+        for seed in range(10):
+            inputs = workload.vector()
+            vector = View(inputs)
+            if pair.one_step_level(vector) is not None:
+                bound = 1
+            elif pair.two_step_level(vector) is not None:
+                bound = 2
+            else:
+                bound = 4
+            result = Scenario(dex_freq(), inputs, seed=seed).run()
+            assert result.max_correct_step <= bound, (inputs, bound)
+
+    def test_expectation_matches_per_vector_average(self):
+        """The closed-form expectation equals the average of per-vector
+        bounds over a large sample (law of large numbers, seeded)."""
+        from repro.conditions.frequency import FrequencyPair
+        from repro.conditions.views import View
+
+        q = 0.85
+        pair = FrequencyPair(N, T)
+        workload = ContentionWorkload(
+            N, favourite=1, contenders=[2], p=1 - q, seed=11
+        )
+        bounds = []
+        for inputs in workload.vectors(4000):
+            vector = View(inputs)
+            if pair.one_step_level(vector) is not None:
+                bounds.append(1)
+            elif pair.two_step_level(vector) is not None:
+                bounds.append(2)
+            else:
+                bounds.append(4)
+        sampled = sum(bounds) / len(bounds)
+        analytic = dex_freq_expected_steps(N, T, 0, q)
+        assert abs(sampled - analytic) < 0.1

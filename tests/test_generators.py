@@ -1,0 +1,109 @@
+"""Unit tests for input-space enumeration and sampling."""
+
+import math
+
+import pytest
+
+from repro.conditions.generators import (
+    VectorSampler,
+    all_vectors,
+    all_views,
+    perturbations,
+)
+from repro.conditions.views import View, hamming_distance
+from repro.types import BOTTOM
+
+
+class TestAllVectors:
+    def test_count(self):
+        assert len(list(all_vectors([0, 1], 4))) == 16
+
+    def test_all_complete(self):
+        assert all(v.is_complete for v in all_vectors([0, 1], 3))
+
+    def test_distinct(self):
+        vectors = list(all_vectors([0, 1, 2], 3))
+        assert len(vectors) == len(set(vectors)) == 27
+
+
+class TestAllViews:
+    def test_count_formula(self):
+        # sum_k C(n,k) * |V|^(n-k)
+        n, v, k = 4, 2, 2
+        expected = sum(math.comb(n, j) * v ** (n - j) for j in range(k + 1))
+        assert len(list(all_views([0, 1], n, k))) == expected
+
+    def test_bottom_budget_respected(self):
+        assert all(
+            view.count(BOTTOM) <= 1 for view in all_views([0, 1], 3, 1)
+        )
+
+    def test_zero_bottoms_equals_vectors(self):
+        assert set(all_views([0, 1], 3, 0)) == set(all_vectors([0, 1], 3))
+
+
+class TestPerturbations:
+    def test_distance_bound(self):
+        base = View.of(1, 1, 1, 1)
+        for view in perturbations(base, [1, 2], 2):
+            assert hamming_distance(view, base) <= 2
+
+    def test_includes_original(self):
+        base = View.of(1, 2)
+        assert base in set(perturbations(base, [1, 2], 1))
+
+    def test_includes_bottom_corruption(self):
+        base = View.of(1, 1)
+        views = set(perturbations(base, [1, 2], 1))
+        assert View.of(BOTTOM, 1) in views
+
+    def test_no_bottom_when_disallowed(self):
+        base = View.of(1, 1)
+        views = set(perturbations(base, [1, 2], 1, allow_bottom=False))
+        assert all(v.count(BOTTOM) == 0 for v in views)
+
+    def test_exhaustive_at_distance_one(self):
+        base = View.of(1, 1)
+        views = set(perturbations(base, [1, 2], 1))
+        # original + per position: {2, ⊥} -> 1 + 2*2 = 5
+        assert len(views) == 5
+
+
+class TestVectorSampler:
+    def test_deterministic_given_seed(self):
+        a = VectorSampler([0, 1, 2], 8, seed=7)
+        b = VectorSampler([0, 1, 2], 8, seed=7)
+        assert [a.uniform_vector() for _ in range(5)] == [
+            b.uniform_vector() for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = VectorSampler([0, 1], 16, seed=1).uniform_vector()
+        b = VectorSampler([0, 1], 16, seed=2).uniform_vector()
+        assert a != b
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            VectorSampler([], 3)
+
+    def test_skewed_vector_bias(self):
+        sampler = VectorSampler([0, 1], 1000, seed=3)
+        vector = sampler.skewed_vector(favourite=1, p=0.9)
+        assert vector.count(1) > 800
+
+    def test_skewed_vector_extremes(self):
+        sampler = VectorSampler([0, 1], 50, seed=3)
+        assert sampler.skewed_vector(favourite=1, p=1.0).count(1) == 50
+        assert sampler.skewed_vector(favourite=1, p=0.0).count(1) == 0
+
+    def test_random_view_bottom_budget(self):
+        sampler = VectorSampler([0, 1], 10, seed=4)
+        base = sampler.uniform_vector()
+        for _ in range(20):
+            assert sampler.random_view(base, 3).count(BOTTOM) <= 3
+
+    def test_corrupted_view_distance(self):
+        sampler = VectorSampler([0, 1], 10, seed=5)
+        base = sampler.uniform_vector()
+        for _ in range(20):
+            assert hamming_distance(sampler.corrupted_view(base, 2), base) <= 2

@@ -1,0 +1,155 @@
+"""Cross-module integration tests: the full stack under combined stress."""
+
+import pytest
+
+from repro.harness import (
+    Crash,
+    Equivocate,
+    Garbage,
+    Scenario,
+    Silent,
+    dex_freq,
+    dex_prv,
+)
+from repro.sim.latency import ConstantLatency, ExponentialLatency
+from repro.sim.scheduler import DelayMatching, DelaySenders, RandomJitterScheduler
+from repro.types import DecisionKind
+from repro.workloads.failures import FailureSweep
+from repro.workloads.inputs import AdversarialBoundaryWorkload, unanimous
+
+from .conftest import kinds_of
+
+
+class TestAdversarialSchedules:
+    """The asynchronous model lets the adversary pick delivery order; these
+    runs verify safety under targeted schedules."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_starved_quorum_still_agrees(self, seed):
+        # delay 2 of the 1-proposers: first quorums look contended
+        inputs = [1, 1, 1, 1, 1, 2, 2]
+        result = Scenario(
+            dex_freq(),
+            inputs,
+            scheduler=DelaySenders([0, 1], extra=30.0),
+            seed=seed,
+        ).run()
+        assert result.agreement_holds()
+        assert result.decided_value in (1, 2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_delayed_idb_layer_only(self, seed):
+        """Slowing only the IDB envelopes must not break the one-step path."""
+        from repro.runtime.composite import Envelope
+
+        result = Scenario(
+            dex_freq(),
+            unanimous(1, 7),
+            scheduler=DelayMatching(
+                lambda s, d, p: isinstance(p, Envelope) and p.component == "idb",
+                extra=50.0,
+            ),
+            seed=seed,
+        ).run()
+        assert result.decided_value == 1
+        assert kinds_of(result) == {DecisionKind.ONE_STEP}
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_heavy_jitter(self, seed):
+        inputs = [1, 1, 1, 2, 2, 1, 1]
+        result = Scenario(
+            dex_freq(),
+            inputs,
+            latency=ExponentialLatency(0.1, 1.0),
+            scheduler=RandomJitterScheduler(3.0),
+            seed=seed,
+        ).run()
+        assert result.agreement_holds()
+
+
+class TestCombinedFaults:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_fault_cocktail(self, seed):
+        n, t = 13, 2
+        inputs = [1] * 10 + [2] * 3
+        result = Scenario(
+            dex_freq(),
+            inputs,
+            t=t,
+            faults={11: Equivocate(1, 2), 12: Garbage(seed=seed)},
+            seed=seed,
+        ).run()
+        assert result.agreement_holds()
+        assert result.all_correct_decided()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_crash_plus_equivocate_real_uc(self, seed):
+        n = 13
+        inputs = [1, 1, 1, 1, 2, 2, 1, 1, 2, 1, 2, 1, 1]
+        result = Scenario(
+            dex_freq(),
+            inputs,
+            faults={11: Crash(budget=4), 12: Equivocate(2, 1)},
+            uc="real",
+            seed=seed,
+        ).run()
+        assert result.agreement_holds()
+
+
+class TestAdaptivenessEndToEnd:
+    """E3's core claim driven end-to-end: a boundary input decides in one
+    step iff the actual failure count is within its condition level."""
+
+    def test_boundary_input_level_sensitivity(self):
+        n, t = 13, 2
+        workload = AdversarialBoundaryWorkload(n, t)
+        inputs = workload.one_step_boundary(1)  # in C¹_1, not C¹_2
+        sweep = FailureSweep(n, t)
+
+        # f = 1 <= level: one-step guaranteed
+        for f in (0, 1):
+            faults = {pid: Silent() for pid in sweep.faulty_ids(f)}
+            result = Scenario(dex_freq(), inputs, t=t, faults=faults, seed=f).run()
+            assert kinds_of(result) == {DecisionKind.ONE_STEP}, f"f={f}"
+
+        # f = 2 > level: no guarantee; must still agree & terminate
+        faults = {pid: Silent() for pid in sweep.faulty_ids(2)}
+        result = Scenario(dex_freq(), inputs, t=t, faults=faults, seed=9).run()
+        assert result.agreement_holds()
+        assert result.all_correct_decided()
+
+    def test_fewer_faults_never_slower_on_boundary(self):
+        n, t = 13, 2
+        workload = AdversarialBoundaryWorkload(n, t)
+        inputs = workload.two_step_boundary(1)
+        sweep = FailureSweep(n, t)
+        worst_by_f = []
+        for f in range(t + 1):
+            faults = {pid: Silent() for pid in sweep.faulty_ids(f)}
+            result = Scenario(
+                dex_freq(), inputs, t=t, faults=faults, seed=20 + f,
+                latency=ConstantLatency(1.0),
+            ).run()
+            worst_by_f.append(result.max_correct_step)
+        assert worst_by_f[0] <= worst_by_f[-1]
+
+
+class TestScaleSweep:
+    @pytest.mark.parametrize("n", [7, 13, 19])
+    def test_dex_freq_scales(self, n):
+        result = Scenario(dex_freq(), unanimous(1, n), seed=n).run()
+        assert result.decided_value == 1
+        assert kinds_of(result) == {DecisionKind.ONE_STEP}
+
+    @pytest.mark.parametrize("n", [6, 11, 16])
+    def test_dex_prv_scales(self, n):
+        result = Scenario(dex_prv("C"), unanimous("C", n), seed=n).run()
+        assert result.decided_value == "C"
+
+    def test_max_faults_at_scale(self):
+        n = 19  # t = 3
+        t = 3
+        faults = {pid: Equivocate(1, 2) for pid in range(n - t, n)}
+        result = Scenario(dex_freq(), unanimous(1, n), t=t, faults=faults, seed=1).run()
+        assert result.decided_value == 1
+        assert kinds_of(result) == {DecisionKind.ONE_STEP}

@@ -1,0 +1,161 @@
+"""Mechanical verification of Theorems 1 and 2 (legality of both pairs).
+
+These tests re-prove the paper's legality theorems exhaustively on bounded
+spaces — every LT1/LT2/LA3/LA4/LU5 instance over ``V^n`` with small ``n``
+and alphabet — and check that the checker itself catches deliberately
+broken pairs.
+"""
+
+import pytest
+
+from repro.conditions.base import ConditionSequence, ConditionSequencePair
+from repro.conditions.frequency import FrequencyCondition, FrequencyPair
+from repro.conditions.legality import (
+    LegalityChecker,
+    completable_within,
+    conflicting_positions,
+)
+from repro.conditions.privileged import PrivilegedPair
+from repro.conditions.views import View
+from repro.errors import LegalityError
+from repro.types import BOTTOM
+
+
+class TestCompletability:
+    def test_conflicting_positions(self):
+        a = View.of(1, 2, BOTTOM)
+        b = View.of(1, 3, 4)
+        assert conflicting_positions(a, b) == 1
+
+    def test_bottoms_never_conflict(self):
+        assert conflicting_positions(View.bottoms(3), View.of(1, 2, 3)) == 0
+
+    def test_completable_within(self):
+        a = View.of(1, 2, BOTTOM)
+        b = View.of(2, 2, 9)
+        assert completable_within(a, b, 1)
+        assert not completable_within(a, b, 0)
+
+
+class TestFrequencyPairLegality:
+    """Theorem 1, re-proved exhaustively for n=7, t=1, V={1, 2}."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        pair = FrequencyPair(7, 1)
+        return LegalityChecker(pair, [1, 2]).check_exhaustive()
+
+    def test_is_legal(self, report):
+        assert report.is_legal, report.violations
+
+    def test_nontrivial_check_count(self, report):
+        assert report.checks > 3_000
+
+    def test_require_legal_passes(self, report):
+        report.require_legal()
+
+
+class TestPrivilegedPairLegality:
+    """Theorem 2, re-proved exhaustively for n=6, t=1, V={1, 2}."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        pair = PrivilegedPair(6, 1, privileged=1)
+        return LegalityChecker(pair, [1, 2]).check_exhaustive()
+
+    def test_is_legal(self, report):
+        assert report.is_legal, report.violations
+
+    def test_three_value_alphabet(self):
+        pair = PrivilegedPair(6, 1, privileged=1)
+        report = LegalityChecker(pair, [1, 2, 3]).check_exhaustive(
+            max_pair_views=600
+        )
+        assert report.is_legal, report.violations
+
+
+class TestSampledLegality:
+    def test_frequency_pair_n13(self):
+        pair = FrequencyPair(13, 2)
+        report = LegalityChecker(pair, [1, 2, 3]).check_sampled(400, seed=11)
+        assert report.is_legal, report.violations
+        assert report.checks > 0
+
+    def test_privileged_pair_n11(self):
+        pair = PrivilegedPair(11, 2, privileged=2)
+        report = LegalityChecker(pair, [1, 2]).check_sampled(400, seed=12)
+        assert report.is_legal, report.violations
+
+
+class _BrokenPair(ConditionSequencePair):
+    """P1 fires on any non-trivial plurality — far too weak for agreement:
+    two views of Byzantine-twisted vectors can then disagree on F."""
+
+    required_ratio = 5
+
+    def p1(self, view):
+        return view.frequency_gap() > 0
+
+    def p2(self, view):
+        return view.frequency_gap() > 2 * self.t
+
+    def f(self, view):
+        top = view.first()
+        if top is None:
+            raise ValueError("undefined")
+        return top
+
+    def one_step_sequence(self):
+        return ConditionSequence(
+            [FrequencyCondition(2 * k) for k in range(self.t + 1)]
+        )
+
+    def two_step_sequence(self):
+        return ConditionSequence(
+            [FrequencyCondition(2 * self.t + 2 * k) for k in range(self.t + 1)]
+        )
+
+
+class _BrokenTermination(ConditionSequencePair):
+    """P1 never fires although C¹ is non-empty — violates LT1."""
+
+    required_ratio = 5
+
+    def p1(self, view):
+        return False
+
+    def p2(self, view):
+        return view.frequency_gap() > 2 * self.t
+
+    def f(self, view):
+        top = view.first()
+        if top is None:
+            raise ValueError("undefined")
+        return top
+
+    def one_step_sequence(self):
+        return ConditionSequence(
+            [FrequencyCondition(4 * self.t + 2 * k) for k in range(self.t + 1)]
+        )
+
+    def two_step_sequence(self):
+        return ConditionSequence(
+            [FrequencyCondition(2 * self.t + 2 * k) for k in range(self.t + 1)]
+        )
+
+
+class TestCheckerCatchesBrokenPairs:
+    def test_broken_agreement_detected(self):
+        report = LegalityChecker(_BrokenPair(7, 1), [1, 2]).check_exhaustive()
+        assert not report.is_legal
+        assert any("LA3" in v for v in report.violations)
+
+    def test_broken_termination_detected(self):
+        report = LegalityChecker(_BrokenTermination(7, 1), [1, 2]).check_exhaustive()
+        assert not report.is_legal
+        assert any("LT1" in v for v in report.violations)
+
+    def test_require_legal_raises(self):
+        report = LegalityChecker(_BrokenPair(7, 1), [1, 2]).check_exhaustive()
+        with pytest.raises(LegalityError):
+            report.require_legal()

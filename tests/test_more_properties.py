@@ -1,0 +1,124 @@
+"""Additional property-based suites: privileged pair under targeted
+attacks, pipeline over random tables, coverage/guarantee consistency, and
+the sync engine under random crash schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import dex_one_step_guaranteed
+from repro.apps.pipeline import run_pipelined
+from repro.baselines.sync_onestep import SyncOneStepConsensus, sync_one_step_level
+from repro.conditions.frequency import FrequencyPair
+from repro.conditions.privileged import PrivilegedPair
+from repro.conditions.views import View
+from repro.harness import Collapse, Scenario, Spoiler, dex_prv
+from repro.sim.synchronous import CrashEvent, SynchronousSimulation
+from repro.types import SystemConfig
+
+seeds = st.integers(min_value=0, max_value=50_000)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    inputs=st.lists(st.sampled_from(["C", "A"]), min_size=6, max_size=6),
+    seed=seeds,
+)
+def test_dex_prv_survives_spoiler(inputs, seed):
+    """The privileged instantiation under the condition-aware spoiler."""
+    result = Scenario(
+        dex_prv("C"), inputs, faults={5: Spoiler(fallback="A")}, seed=seed
+    ).run()
+    assert result.all_correct_decided()
+    assert result.agreement_holds()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    inputs=st.lists(st.sampled_from([1, 2]), min_size=7, max_size=7),
+    seed=seeds,
+)
+def test_dex_freq_survives_collapser(inputs, seed):
+    result = Scenario(
+        dex_freq_spec(), inputs, faults={6: Collapse(2)}, seed=seed
+    ).run()
+    assert result.all_correct_decided()
+    assert result.agreement_holds()
+
+
+def dex_freq_spec():
+    from repro.harness import dex_freq
+
+    return dex_freq()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rivals=st.lists(st.integers(min_value=0, max_value=3), min_size=4, max_size=4),
+    window=st.integers(min_value=1, max_value=4),
+    seed=seeds,
+)
+def test_pipeline_logs_identical(rivals, window, seed):
+    """Random contention pattern per slot: all replica logs identical."""
+    n, slots = 7, 4
+    table = {pid: [f"c{s}" for s in range(slots)] for pid in range(n)}
+    for slot, rival_count in enumerate(rivals):
+        for pid in range(min(rival_count, 3)):
+            table[pid][slot] = f"r{slot}"
+    result, logs = run_pipelined(table, window=window, seed=seed)
+    assert len(set(logs.values())) == 1
+    assert len(logs[0]) == slots
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    inputs=st.lists(st.sampled_from([1, 2, 3]), min_size=13, max_size=13),
+    f=st.integers(min_value=0, max_value=2),
+)
+def test_guarantee_consistency_freq(inputs, f):
+    """coverage.dex_one_step_guaranteed ↔ the pair's level computation."""
+    pair = FrequencyPair(13, 2)
+    vector = View(inputs)
+    level = pair.one_step_level(vector)
+    expected = level is not None and level >= f
+    assert dex_one_step_guaranteed(pair, vector, f) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    count_m=st.integers(min_value=0, max_value=11),
+    f=st.integers(min_value=0, max_value=2),
+)
+def test_guarantee_consistency_prv(count_m, f):
+    """Privileged levels match the closed threshold #m > 3t + k."""
+    pair = PrivilegedPair(11, 2, privileged="m")
+    vector = View(["m"] * count_m + ["x"] * (11 - count_m))
+    level = pair.one_step_level(vector)
+    if count_m > 3 * 2 + f and f <= 2:
+        assert level is not None and level >= f
+    if level is not None:
+        assert count_m > 3 * 2 + level
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    inputs=st.lists(st.sampled_from([1, 2]), min_size=5, max_size=5),
+    crash_round=st.integers(min_value=1, max_value=3),
+    seed=seeds,
+)
+def test_sync_agreement_random_crashes(inputs, crash_round, seed):
+    """Synchronous consensus: agreement + termination for random inputs and
+    a random crash (with adversary-chosen partial delivery)."""
+    config = SystemConfig(5, 2)
+    protocols = {
+        pid: SyncOneStepConsensus(pid, config, inputs[pid])
+        for pid in config.processes
+    }
+    crashes = {4: CrashEvent(round=crash_round)}
+    result = SynchronousSimulation(config, protocols, crashes, seed=seed).run(5)
+    assert result.agreement_holds()
+    assert result.all_correct_decided()
+    # one-round guarantee (level >= f with f = 1 crash)
+    level = sync_one_step_level(View(inputs), config.t)
+    if level is not None and level >= 1 and crash_round >= 2:
+        # crash after round 1: round-1 views are complete
+        assert {d.round for d in result.correct_decisions.values()} == {1}

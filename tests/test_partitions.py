@@ -1,0 +1,102 @@
+"""Tests for partition schedules: safety during, liveness after the heal."""
+
+import pytest
+
+from repro.harness import Equivocate, Scenario, Silent, dex_freq, twostep
+from repro.sim.latency import ConstantLatency
+from repro.sim.scheduler import PartitionScheduler
+from repro.workloads.inputs import split, unanimous
+
+
+def minority_majority(n, cut):
+    """Group 0 = pids < cut, group 1 = the rest."""
+    return lambda pid: 0 if pid < cut else 1
+
+
+class TestPartitionScheduler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionScheduler(minority_majority(7, 3), start=5.0, end=1.0)
+        with pytest.raises(ValueError):
+            PartitionScheduler(minority_majority(7, 3), 0.0, 1.0, jitter=-1)
+
+    def test_cross_traffic_held_until_heal(self):
+        import random
+
+        scheduler = PartitionScheduler(minority_majority(4, 2), 0.0, 10.0, jitter=0.0)
+        rng = random.Random(0)
+        assert scheduler.extra_delay(rng, 0, 3, None, 5.0) == 5.0
+        assert scheduler.extra_delay(rng, 0, 1, None, 5.0) == 0.0
+        assert scheduler.extra_delay(rng, 0, 3, None, 12.0) == 0.0
+
+
+class TestConsensusAcrossPartitions:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dex_decides_after_heal(self, seed):
+        """A 2-5 partition during the whole first phase: the minority
+        cannot assemble quorums until the heal; agreement still holds."""
+        scheduler = PartitionScheduler(minority_majority(7, 2), 0.0, 20.0)
+        result = Scenario(
+            dex_freq(),
+            unanimous(1, 7),
+            seed=seed,
+            latency=ConstantLatency(1.0),
+            scheduler=scheduler,
+        ).run()
+        assert result.agreement_holds()
+        assert result.decided_value == 1
+        # the minority could not have decided before the heal
+        minority_times = [result.decisions[p].time for p in (0, 1)]
+        assert all(t >= 20.0 for t in minority_times)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_contended_input_with_partition_and_fault(self, seed):
+        scheduler = PartitionScheduler(minority_majority(7, 3), 2.0, 15.0)
+        result = Scenario(
+            dex_freq(),
+            split(1, 2, 7, 3),
+            faults={6: Equivocate(1, 2)},
+            seed=seed,
+            scheduler=scheduler,
+        ).run()
+        assert result.agreement_holds()
+        assert result.all_correct_decided()
+
+    def test_majority_side_can_decide_during_partition(self):
+        """5 of 7 processes stay connected: n - t = 6 > 5, so even the
+        majority side must wait for the heal (the paper's quorums span
+        partitions) — unless the partition leaves n - t together."""
+        # leave 6 together: they can reach quorum during the partition
+        scheduler = PartitionScheduler(minority_majority(7, 1), 0.0, 50.0)
+        result = Scenario(
+            dex_freq(),
+            unanimous(1, 7),
+            seed=1,
+            latency=ConstantLatency(1.0),
+            scheduler=scheduler,
+        ).run()
+        majority_times = [result.decisions[p].time for p in range(1, 7)]
+        assert all(t < 50.0 for t in majority_times)
+        assert result.decisions[0].time >= 50.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_twostep_baseline_survives_partition(self, seed):
+        scheduler = PartitionScheduler(minority_majority(4, 2), 0.0, 10.0)
+        result = Scenario(
+            twostep(), [1, 2, 1, 2], seed=seed, scheduler=scheduler
+        ).run()
+        assert result.agreement_holds()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_real_uc_survives_partition(self, seed):
+        scheduler = PartitionScheduler(minority_majority(7, 3), 1.0, 12.0)
+        result = Scenario(
+            dex_freq(),
+            split(1, 2, 7, 3),
+            uc="real",
+            faults={6: Silent()},
+            seed=seed,
+            scheduler=scheduler,
+        ).run()
+        assert result.agreement_holds()
+        assert result.all_correct_decided()

@@ -1,0 +1,127 @@
+"""Property-based tests (hypothesis): the paper's theorems as executable
+properties over random inputs, faults, schedules and seeds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.coverage import dex_one_step_guaranteed, dex_two_step_guaranteed
+from repro.conditions.frequency import FrequencyPair
+from repro.conditions.privileged import PrivilegedPair
+from repro.conditions.views import View
+from repro.harness import Crash, Equivocate, Scenario, Silent, dex_freq, dex_prv
+from repro.types import DecisionKind
+
+N, T = 7, 1
+VALUES = [1, 2, 3]
+
+inputs7 = st.lists(
+    st.sampled_from(VALUES), min_size=N, max_size=N
+)
+fault_strategy = st.sampled_from(
+    [None, Silent(), Crash(budget=3), Equivocate(1, 2), Equivocate(2, 3)]
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@settings(max_examples=40, deadline=None)
+@given(inputs=inputs7, fault=fault_strategy, seed=seeds)
+def test_dex_freq_agreement_and_termination(inputs, fault, seed):
+    """Lemmas 1-2: every correct process decides; no two decide differently —
+    for arbitrary inputs, faults and schedules."""
+    faults = {N - 1: fault} if fault is not None else {}
+    result = Scenario(dex_freq(), inputs, faults=faults, seed=seed).run()
+    assert result.all_correct_decided()
+    assert result.agreement_holds()
+
+
+@settings(max_examples=40, deadline=None)
+@given(inputs=inputs7, fault=fault_strategy, seed=seeds)
+def test_dex_freq_validity(inputs, fault, seed):
+    """The decision is a proposed value (correct-process proposal or the
+    Byzantine face value — never something invented by the protocol)."""
+    faults = {N - 1: fault} if fault is not None else {}
+    result = Scenario(dex_freq(), inputs, faults=faults, seed=seed).run()
+    allowed = set(inputs) | {1, 2, 3}
+    assert result.decided_value in allowed
+
+
+@settings(max_examples=30, deadline=None)
+@given(value=st.sampled_from(VALUES), fault=fault_strategy, seed=seeds)
+def test_dex_freq_unanimity(value, fault, seed):
+    """Lemma 3: all correct processes propose v ⇒ decision is v."""
+    inputs = [value] * N
+    faults = {N - 1: fault} if fault is not None else {}
+    result = Scenario(dex_freq(), inputs, faults=faults, seed=seed).run()
+    assert result.decided_value == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(inputs=inputs7, seed=seeds, f=st.integers(min_value=0, max_value=T))
+def test_lemma4_one_step_when_input_in_condition(inputs, seed, f):
+    """Lemma 4: I ∈ C¹_f and f faults ⇒ every correct process decides in
+    one step (silent faults exercise the 'fewest messages' worst case)."""
+    pair = FrequencyPair(N, T)
+    vector = View(inputs)
+    faults = {pid: Silent() for pid in range(N - f, N)}
+    result = Scenario(dex_freq(), inputs, faults=faults, seed=seed).run()
+    if dex_one_step_guaranteed(pair, vector, f):
+        kinds = {d.kind for d in result.correct_decisions.values()}
+        assert kinds == {DecisionKind.ONE_STEP}
+        assert all(d.step == 1 for d in result.correct_decisions.values())
+    assert result.agreement_holds()
+
+
+@settings(max_examples=30, deadline=None)
+@given(inputs=inputs7, seed=seeds, f=st.integers(min_value=0, max_value=T))
+def test_lemma5_two_step_when_input_in_condition(inputs, seed, f):
+    """Lemma 5: I ∈ C²_f and f faults ⇒ decision within two steps."""
+    pair = FrequencyPair(N, T)
+    vector = View(inputs)
+    faults = {pid: Silent() for pid in range(N - f, N)}
+    result = Scenario(dex_freq(), inputs, faults=faults, seed=seed).run()
+    if dex_two_step_guaranteed(pair, vector, f):
+        assert all(d.step <= 2 for d in result.correct_decisions.values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    inputs=st.lists(st.sampled_from(["C", "A", "B"]), min_size=6, max_size=6),
+    fault=st.sampled_from([None, Silent(), Equivocate("C", "A")]),
+    seed=seeds,
+)
+def test_dex_prv_agreement(inputs, fault, seed):
+    """The privileged-value instantiation upholds the same consensus
+    properties (n=6, t=1, m='C')."""
+    faults = {5: fault} if fault is not None else {}
+    result = Scenario(dex_prv("C"), inputs, faults=faults, seed=seed).run()
+    assert result.all_correct_decided()
+    assert result.agreement_holds()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    count_c=st.integers(min_value=0, max_value=6),
+    seed=seeds,
+)
+def test_dex_prv_privileged_guarantee(count_c, seed):
+    """#_C(I) > 3t ⇒ one-step decision of C with f = 0 (Lemma 4 for P_prv)."""
+    inputs = ["C"] * count_c + ["A"] * (6 - count_c)
+    result = Scenario(dex_prv("C"), inputs, seed=seed).run()
+    pair = PrivilegedPair(6, 1, "C")
+    if pair.one_step_level(View(inputs)) is not None:
+        assert result.decided_value == "C"
+        assert all(
+            d.kind is DecisionKind.ONE_STEP
+            for d in result.correct_decisions.values()
+        )
+    assert result.agreement_holds()
+
+
+@settings(max_examples=20, deadline=None)
+@given(inputs=inputs7, seed=seeds)
+def test_simulation_determinism(inputs, seed):
+    """Identical (inputs, seed) produce identical decisions and traffic."""
+    a = Scenario(dex_freq(), inputs, seed=seed).run()
+    b = Scenario(dex_freq(), inputs, seed=seed).run()
+    assert a.decisions == b.decisions
+    assert a.stats.messages_sent == b.stats.messages_sent

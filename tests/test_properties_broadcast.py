@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) for the broadcast and agreement
+substrates: IDB, Bracha RBC and binary agreement under randomised
+equivocation patterns, schedules and seeds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.bracha import BrachaBroadcast
+from repro.broadcast.bracha import DELIVER_TAG as RBC_TAG
+from repro.broadcast.idb import DELIVER_TAG as IDB_TAG
+from repro.broadcast.idb import IdbInit, IdenticalBroadcast
+from repro.runtime.effects import Send
+from repro.runtime.protocol import Protocol
+from repro.sim.runner import Simulation
+from repro.types import SystemConfig
+from repro.underlying.aba import BinaryAgreement
+from repro.underlying.coin import CommonCoin
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+class _ArbitraryInitSender(Protocol):
+    """Byzantine broadcaster: an arbitrary per-destination value map."""
+
+    def __init__(self, pid, config, value_map):
+        super().__init__(pid, config)
+        self.value_map = value_map
+
+    def on_start(self):
+        return [
+            Send(dst, IdbInit(self.value_map[dst]))
+            for dst in self.config.processes
+        ]
+
+    def on_message(self, sender, payload):
+        return []
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    value_map=st.lists(st.sampled_from(["A", "B", "C"]), min_size=9, max_size=9),
+    seed=seeds,
+)
+def test_idb_agreement_under_arbitrary_equivocation(value_map, seed):
+    """IDB agreement: whatever per-destination value pattern the Byzantine
+    sender uses, no two correct processes Id-Receive different messages
+    from it (n=9, t=2)."""
+    config = SystemConfig(9, 2)
+    byz = 8
+    protocols = {}
+    for pid in config.processes:
+        if pid == byz:
+            protocols[pid] = _ArbitraryInitSender(pid, config, value_map)
+        else:
+            protocols[pid] = IdenticalBroadcast(pid, config, initial_value=pid)
+    result = Simulation(config, protocols, faulty={byz}, seed=seed).run_to_quiescence()
+    accepted = set()
+    for pid in range(8):
+        for deliver in result.outputs[pid]:
+            if deliver.tag == IDB_TAG and deliver.sender == byz:
+                accepted.add(deliver.value)
+    assert len(accepted) <= 1
+    # correct senders are always delivered exactly, at every process
+    for pid in range(8):
+        got = {d.sender: d.value for d in result.outputs[pid] if d.tag == IDB_TAG}
+        for origin in range(8):
+            assert got.get(origin) == origin
+
+
+class _RbcArbitraryInit(Protocol):
+    def __init__(self, pid, config, value_map):
+        super().__init__(pid, config)
+        self.value_map = value_map
+
+    def on_start(self):
+        from repro.broadcast.bracha import RbcInit
+
+        return [
+            Send(dst, RbcInit(self.value_map[dst]))
+            for dst in self.config.processes
+        ]
+
+    def on_message(self, sender, payload):
+        return []
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    value_map=st.lists(st.sampled_from(["A", "B"]), min_size=7, max_size=7),
+    seed=seeds,
+)
+def test_rbc_agreement_and_totality(value_map, seed):
+    """Bracha RBC: per-origin agreement under arbitrary equivocation, and
+    totality — if any correct process delivered the Byzantine origin, all
+    eventually do (n=7, t=2)."""
+    config = SystemConfig(7, 2)
+    byz = 6
+    protocols = {}
+    for pid in config.processes:
+        if pid == byz:
+            protocols[pid] = _RbcArbitraryInit(pid, config, value_map)
+        else:
+            protocols[pid] = BrachaBroadcast(pid, config, initial_value=pid)
+    result = Simulation(config, protocols, faulty={byz}, seed=seed).run_to_quiescence()
+    per_process = {
+        pid: {d.sender: d.value for d in result.outputs[pid] if d.tag == RBC_TAG}
+        for pid in range(6)
+    }
+    byz_values = {view[byz] for view in per_process.values() if byz in view}
+    assert len(byz_values) <= 1
+    # totality: delivery of the Byzantine origin is all-or-nothing
+    delivered_count = sum(1 for view in per_process.values() if byz in view)
+    assert delivered_count in (0, 6)
+    # correct origins always delivered everywhere
+    for view in per_process.values():
+        for origin in range(6):
+            assert view.get(origin) == origin
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    inputs=st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=4),
+    seed=seeds,
+    coin_seed=seeds,
+)
+def test_aba_agreement_and_validity(inputs, seed, coin_seed):
+    """Binary agreement: decided value is some correct process's input and
+    all correct processes agree (n=4, t=1, fault-free grid — faults are
+    covered by the deterministic tests)."""
+    from repro.runtime.effects import Decide, Deliver
+    from repro.types import DecisionKind
+    from repro.underlying.aba import DELIVER_TAG
+
+    config = SystemConfig(4, 1)
+    coin = CommonCoin(coin_seed)
+
+    class Node(Protocol):
+        def __init__(self, pid, config, value):
+            super().__init__(pid, config)
+            self.aba = BinaryAgreement(pid, config, coin)
+            self.value = value
+
+        def _forward(self, effects):
+            out = []
+            for e in effects:
+                if isinstance(e, Deliver) and e.tag == DELIVER_TAG:
+                    out.append(Decide(e.value, DecisionKind.UNDERLYING))
+                else:
+                    out.append(e)
+            return out
+
+        def on_start(self):
+            return self._forward(self.aba.propose(self.value))
+
+        def on_message(self, sender, payload):
+            return self._forward(self.aba.on_message(sender, payload))
+
+    protocols = {pid: Node(pid, config, inputs[pid]) for pid in config.processes}
+    result = Simulation(config, protocols, seed=seed).run_until_decided()
+    assert result.agreement_holds()
+    assert result.decided_value in set(inputs)

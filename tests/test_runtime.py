@@ -1,0 +1,176 @@
+"""Unit tests for the sans-IO runtime: effects, protocol guard, composition."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.runtime.composite import CompositeProtocol, Envelope
+from repro.runtime.effects import (
+    Broadcast,
+    Decide,
+    Deliver,
+    Log,
+    Send,
+    ServiceCall,
+    logs,
+)
+from repro.runtime.protocol import Protocol, guarded
+from repro.types import DecisionKind, SystemConfig
+
+
+@dataclass(frozen=True)
+class Ping:
+    value: int
+
+
+class Echoer(Protocol):
+    """Replies to every Ping with a Ping back (test fixture)."""
+
+    def on_message(self, sender, payload):
+        if isinstance(payload, Ping):
+            return [Send(sender, Ping(payload.value + 1))]
+        raise TypeError(f"unexpected {payload!r}")
+
+
+class TestEffects:
+    def test_service_call_pushed_builds_path(self):
+        call = ServiceCall("svc", "req")
+        pushed = call.pushed("uc")
+        assert pushed.reply_path == ("uc",)
+        assert pushed.pushed("outer").reply_path == ("outer", "uc")
+
+    def test_logs_helper_filters(self):
+        effects = [Send(0, Ping(1)), Log("a"), Decide(1, DecisionKind.FAST), Log("b")]
+        assert [e.event for e in logs(effects)] == ["a", "b"]
+
+    def test_effects_are_frozen(self):
+        effect = Send(1, Ping(0))
+        with pytest.raises(Exception):
+            effect.dst = 2
+
+
+class TestProtocolBasics:
+    def test_helpers(self):
+        p = Echoer(3, SystemConfig(7, 2))
+        assert p.n == 7
+        assert p.t == 2
+        assert p.quorum == 5
+        assert p.process_id == 3
+
+    def test_log_tags_pid(self):
+        p = Echoer(3, SystemConfig(7, 2))
+        record = p.log("event", extra=1)
+        assert record.data["pid"] == 3
+        assert record.data["extra"] == 1
+
+    def test_default_on_start_empty(self):
+        assert Echoer(0, SystemConfig(4, 1)).on_start() == []
+
+
+class TestGuarded:
+    def test_passes_good_messages(self):
+        p = Echoer(0, SystemConfig(4, 1))
+        effects = guarded(p, 1, Ping(5))
+        assert effects == [Send(1, Ping(6))]
+
+    def test_swallows_handler_exceptions(self):
+        p = Echoer(0, SystemConfig(4, 1))
+        effects = guarded(p, 1, "garbage")
+        assert len(effects) == 1
+        assert isinstance(effects[0], Log)
+        assert effects[0].event == "malformed-message-dropped"
+
+    def test_records_sender_in_drop_log(self):
+        p = Echoer(0, SystemConfig(4, 1))
+        (record,) = guarded(p, 2, object())
+        assert record.data["sender"] == 2
+
+
+class _Child(Protocol):
+    """Child that broadcasts on poke and delivers on 'up'."""
+
+    def poke(self):
+        return [Broadcast(Ping(0)), ServiceCall("svc", "x")]
+
+    def on_message(self, sender, payload):
+        if payload == "up":
+            return [Deliver("child-up", sender, payload)]
+        return [Send(sender, payload)]
+
+
+class _Parent(CompositeProtocol):
+    def __init__(self, pid, config):
+        super().__init__(pid, config)
+        self.kid = self.add_child("kid", _Child(pid, config))
+        self.upcalls = []
+
+    def poke(self):
+        return self.child_call("kid", self.kid.poke())
+
+    def on_own_message(self, sender, payload):
+        return [Log("parent-got", {"payload": payload})]
+
+    def on_child_output(self, name, effect):
+        self.upcalls.append((name, effect))
+        return [Log("upcall", {"from": name})]
+
+
+class TestComposite:
+    def setup_method(self):
+        self.parent = _Parent(0, SystemConfig(4, 1))
+
+    def test_child_sends_are_enveloped(self):
+        effects = self.parent.poke()
+        broadcast = [e for e in effects if isinstance(e, Broadcast)][0]
+        assert broadcast.payload == Envelope("kid", Ping(0))
+
+    def test_child_service_calls_get_reply_path(self):
+        effects = self.parent.poke()
+        call = [e for e in effects if isinstance(e, ServiceCall)][0]
+        assert call.reply_path == ("kid",)
+
+    def test_envelope_routing_to_child(self):
+        effects = self.parent.on_message(2, Envelope("kid", Ping(7)))
+        assert effects == [Send(2, Envelope("kid", Ping(7)))]
+
+    def test_child_deliver_becomes_upcall(self):
+        effects = self.parent.on_message(2, Envelope("kid", "up"))
+        assert self.parent.upcalls
+        name, deliver = self.parent.upcalls[0]
+        assert name == "kid"
+        assert deliver.tag == "child-up"
+        assert any(isinstance(e, Log) and e.event == "upcall" for e in effects)
+
+    def test_unknown_component_logged(self):
+        (record,) = self.parent.on_message(1, Envelope("nope", Ping(0)))
+        assert isinstance(record, Log)
+        assert record.event == "unknown-component"
+
+    def test_plain_payload_goes_to_own_handler(self):
+        (record,) = self.parent.on_message(1, "hello")
+        assert record.event == "parent-got"
+
+    def test_duplicate_child_name_rejected(self):
+        with pytest.raises(ValueError):
+            self.parent.add_child("kid", _Child(0, SystemConfig(4, 1)))
+
+    def test_child_lookup(self):
+        assert self.parent.child("kid") is self.parent.kid
+
+    def test_nested_composites_envelope_twice(self):
+        config = SystemConfig(4, 1)
+
+        class Outer(CompositeProtocol):
+            def __init__(self):
+                super().__init__(0, config)
+                self.inner = self.add_child("inner", _Parent(0, config))
+
+            def poke(self):
+                return self.child_call("inner", self.inner.poke())
+
+        outer = Outer()
+        effects = outer.poke()
+        broadcast = [e for e in effects if isinstance(e, Broadcast)][0]
+        assert broadcast.payload == Envelope("inner", Envelope("kid", Ping(0)))
+        call = [e for e in effects if isinstance(e, ServiceCall)][0]
+        assert call.reply_path == ("inner", "kid")

@@ -1,0 +1,134 @@
+"""Tests for the targeted (condition-aware) adversaries."""
+
+import pytest
+
+from repro.byzantine.targeted import GapCollapser, SpoilerBehavior
+from repro.core.dex import DexProposal
+from repro.harness import Collapse, Scenario, Silent, Spoiler, dex_freq
+from repro.types import DecisionKind, SystemConfig
+from repro.workloads.inputs import unanimous, with_frequency_gap
+
+from .conftest import kinds_of
+
+
+class TestSpoilerBehavior:
+    def test_waits_for_threshold(self):
+        config = SystemConfig(7, 1)
+        spoiler = SpoilerBehavior(6, config, fallback=2)
+        for sender in range(4):
+            assert spoiler.on_message(sender, DexProposal(1)) == []
+        effects = spoiler.on_message(4, DexProposal(1))  # 5 = n - t - 1
+        assert effects
+        assert spoiler._attacked
+
+    def test_attacks_once(self):
+        config = SystemConfig(7, 1)
+        spoiler = SpoilerBehavior(6, config, fallback=2, watch_threshold=1)
+        assert spoiler.on_message(0, DexProposal(1))
+        assert spoiler.on_message(1, DexProposal(1)) == []
+
+    def test_picks_runner_up(self):
+        config = SystemConfig(7, 1)
+        spoiler = SpoilerBehavior(6, config, fallback=9, watch_threshold=3)
+        spoiler.on_message(0, DexProposal(1))
+        spoiler.on_message(1, DexProposal(1))
+        effects = spoiler.on_message(2, DexProposal(2))
+        values = {
+            e.payload.value
+            for e in effects
+            if isinstance(getattr(e, "payload", None), DexProposal)
+        }
+        assert values == {2}
+
+    def test_fallback_on_unanimity(self):
+        config = SystemConfig(7, 1)
+        spoiler = SpoilerBehavior(6, config, fallback=9, watch_threshold=2)
+        spoiler.on_message(0, DexProposal(1))
+        effects = spoiler.on_message(1, DexProposal(1))
+        values = {
+            e.payload.value
+            for e in effects
+            if isinstance(getattr(e, "payload", None), DexProposal)
+        }
+        assert values == {9}
+
+    def test_ignores_garbage(self):
+        config = SystemConfig(7, 1)
+        spoiler = SpoilerBehavior(6, config, fallback=2)
+        assert spoiler.on_message(0, "garbage") == []
+
+
+class TestSafetyUnderTargetedAttacks:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_spoiler_cannot_break_agreement(self, seed):
+        inputs = with_frequency_gap(1, 2, 7, 3)
+        result = Scenario(
+            dex_freq(), inputs, faults={6: Spoiler(fallback=2)}, seed=seed
+        ).run()
+        assert result.agreement_holds()
+        assert result.all_correct_decided()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_collapser_cannot_break_agreement(self, seed):
+        inputs = with_frequency_gap(1, 2, 13, 9)
+        result = Scenario(
+            dex_freq(),
+            inputs,
+            t=2,
+            faults={11: Collapse(2), 12: Collapse(2)},
+            seed=seed,
+        ).run()
+        assert result.agreement_holds()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unanimity_survives_spoiler(self, seed):
+        result = Scenario(
+            dex_freq(), unanimous(1, 7), faults={6: Spoiler(fallback=2)}, seed=seed
+        ).run()
+        assert result.decided_value == 1
+
+    def test_lemma4_holds_against_collapsers(self):
+        """A level-k input keeps its one-step guarantee against the worst
+        condition-aware attack, for f <= k."""
+        n, t = 13, 2
+        inputs = with_frequency_gap(1, 2, n, 11)  # level 1
+        for seed in range(4):
+            result = Scenario(
+                dex_freq(), inputs, t=t, faults={0: Collapse(2)}, seed=seed
+            ).run()
+            assert kinds_of(result) == {DecisionKind.ONE_STEP}
+
+
+class TestAttackEffectiveness:
+    """The spoiler must actually be stronger than a silent fault — this is
+    what makes it a meaningful worst-case for the coverage experiments."""
+
+    def test_spoiler_degrades_more_than_silence(self):
+        n, t = 13, 2
+        # gap 11, faults among the majority proposers: a silent fault costs
+        # the views 1 gap point (9 > 4t still one-step), a collapser costs 2
+        # (7 <= 4t, fast path dead) — the separating regime.
+        inputs = with_frequency_gap(1, 2, n, 11)
+        fast_with_silent = fast_with_spoiler = 0
+        seeds = range(8)
+        for seed in seeds:
+            silent = Scenario(
+                dex_freq(), inputs, t=t, faults={0: Silent(), 1: Silent()}, seed=seed
+            ).run()
+            spoiled = Scenario(
+                dex_freq(),
+                inputs,
+                t=t,
+                faults={0: Collapse(2), 1: Collapse(2)},
+                seed=seed,
+            ).run()
+            fast_with_silent += all(
+                d.kind is DecisionKind.ONE_STEP
+                for d in silent.correct_decisions.values()
+            )
+            fast_with_spoiler += all(
+                d.kind is DecisionKind.ONE_STEP
+                for d in spoiled.correct_decisions.values()
+            )
+            assert spoiled.agreement_holds()
+        assert fast_with_spoiler < fast_with_silent

@@ -1,0 +1,114 @@
+"""Unit tests for repro.types."""
+
+import pickle
+
+import pytest
+
+from repro.types import (
+    BOTTOM,
+    Decision,
+    DecisionKind,
+    RunStats,
+    SystemConfig,
+    largest,
+    order_key,
+)
+
+
+class TestSystemConfig:
+    def test_basic_properties(self):
+        config = SystemConfig(7, 1)
+        assert config.n == 7
+        assert config.t == 1
+        assert config.quorum == 6
+        assert list(config.processes) == list(range(7))
+
+    def test_satisfies_resilience_bounds(self):
+        config = SystemConfig(7, 1)
+        assert config.satisfies(5)
+        assert config.satisfies(6)
+        assert not config.satisfies(7)
+
+    def test_zero_faults_allowed(self):
+        config = SystemConfig(3, 0)
+        assert config.quorum == 3
+        assert config.satisfies(100)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            SystemConfig(0, 0)
+
+    def test_rejects_negative_t(self):
+        with pytest.raises(ValueError):
+            SystemConfig(5, -1)
+
+    def test_rejects_t_at_least_n(self):
+        with pytest.raises(ValueError):
+            SystemConfig(3, 3)
+
+
+class TestBottom:
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_is_singleton_after_pickle(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_distinct_from_none(self):
+        assert BOTTOM is not None
+
+
+class TestDecisionKind:
+    def test_expedited_flags(self):
+        assert DecisionKind.ONE_STEP.is_expedited
+        assert DecisionKind.TWO_STEP.is_expedited
+        assert DecisionKind.FAST.is_expedited
+        assert not DecisionKind.UNDERLYING.is_expedited
+
+
+class TestRunStats:
+    def test_record_decision_keeps_first(self):
+        stats = RunStats()
+        first = Decision(1, DecisionKind.ONE_STEP, 1)
+        second = Decision(2, DecisionKind.UNDERLYING, 4)
+        stats.record_decision(0, first)
+        stats.record_decision(0, second)
+        assert stats.decisions[0] is first
+
+    def test_max_decision_step(self):
+        stats = RunStats()
+        stats.record_decision(0, Decision(1, DecisionKind.ONE_STEP, 1))
+        stats.record_decision(1, Decision(1, DecisionKind.UNDERLYING, 4))
+        assert stats.max_decision_step == 4
+
+    def test_max_decision_step_empty(self):
+        assert RunStats().max_decision_step == 0
+
+    def test_decided_values(self):
+        stats = RunStats()
+        stats.record_decision(0, Decision(1, DecisionKind.ONE_STEP, 1))
+        stats.record_decision(1, Decision(1, DecisionKind.TWO_STEP, 2))
+        assert stats.decided_values == {1}
+
+
+class TestOrdering:
+    def test_largest_homogeneous_uses_native_order(self):
+        assert largest([3, 10, 9]) == 10
+        assert largest(["a", "c", "b"]) == "c"
+
+    def test_largest_heterogeneous_is_total(self):
+        # Byzantine-injected mixed types must not raise.
+        result = largest([1, "x", (2, 3)])
+        assert result in {1, "x", (2, 3)}
+
+    def test_largest_heterogeneous_is_deterministic(self):
+        values = [1, "x", (2, 3)]
+        assert largest(values) == largest(list(reversed(values)))
+
+    def test_largest_empty_raises(self):
+        with pytest.raises(ValueError):
+            largest([])
+
+    def test_order_key_is_total_over_mixed_types(self):
+        keys = sorted([order_key(1), order_key("1"), order_key(None)])
+        assert len(keys) == 3

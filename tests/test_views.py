@@ -1,0 +1,208 @@
+"""Unit + property tests for the view algebra (paper §3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conditions.views import (
+    View,
+    hamming_distance,
+    merge_compatible,
+    views_of,
+)
+from repro.types import BOTTOM
+
+values = st.integers(min_value=0, max_value=3)
+entries = st.one_of(values, st.just(BOTTOM))
+
+
+def view_strategy(n_min=1, n_max=9):
+    return st.lists(entries, min_size=n_min, max_size=n_max).map(View)
+
+
+class TestConstruction:
+    def test_bottoms(self):
+        view = View.bottoms(4)
+        assert len(view) == 4
+        assert view.known == 0
+        assert not view.is_complete
+
+    def test_of_literal(self):
+        view = View.of(1, BOTTOM, 2)
+        assert view[0] == 1
+        assert view[1] is BOTTOM
+        assert view[2] == 2
+
+    def test_with_entry_is_functional(self):
+        view = View.of(1, 2)
+        other = view.with_entry(0, 9)
+        assert view[0] == 1
+        assert other[0] == 9
+
+    def test_equality_and_hash(self):
+        assert View.of(1, 2) == View.of(1, 2)
+        assert hash(View.of(1, 2)) == hash(View.of(1, 2))
+        assert View.of(1, 2) != View.of(2, 1)
+
+    def test_repr_marks_bottom(self):
+        assert "⊥" in repr(View.of(1, BOTTOM))
+
+
+class TestCounting:
+    def test_count_ignores_bottom_for_values(self):
+        view = View.of(1, 1, BOTTOM, 2)
+        assert view.count(1) == 2
+        assert view.count(2) == 1
+        assert view.count(3) == 0
+
+    def test_count_bottom(self):
+        assert View.of(1, BOTTOM, BOTTOM).count(BOTTOM) == 2
+
+    def test_known_is_paper_cardinality(self):
+        assert View.of(1, BOTTOM, 2).known == 2
+        assert View.bottoms(3).known == 0
+
+    def test_values_set(self):
+        assert View.of(1, 2, 2, BOTTOM).values() == {1, 2}
+
+
+class TestFirstSecond:
+    def test_first_most_frequent(self):
+        assert View.of(1, 1, 2).first() == 1
+
+    def test_first_tie_picks_largest(self):
+        # Paper: "If two or more values appear most often, the largest one
+        # is selected."
+        assert View.of(1, 2).first() == 2
+        assert View.of(3, 3, 5, 5).first() == 5
+
+    def test_first_of_all_bottom_is_none(self):
+        assert View.bottoms(3).first() is None
+
+    def test_second(self):
+        assert View.of(1, 1, 1, 2, 2, 3).second() == 2
+
+    def test_second_tie_picks_largest(self):
+        assert View.of(1, 1, 1, 2, 3).second() == 3
+
+    def test_second_single_value_is_none(self):
+        assert View.of(1, 1, BOTTOM).second() is None
+
+    def test_frequency_gap(self):
+        assert View.of(1, 1, 1, 2).frequency_gap() == 2
+        assert View.of(1, 2).frequency_gap() == 0
+
+    def test_frequency_gap_single_value(self):
+        assert View.of(7, 7, 7).frequency_gap() == 3
+
+    def test_frequency_gap_all_bottom(self):
+        assert View.bottoms(4).frequency_gap() == 0
+
+
+class TestContainment:
+    def test_contained_in_basic(self):
+        assert View.of(1, BOTTOM).contained_in(View.of(1, 2))
+        assert not View.of(1, 3).contained_in(View.of(1, 2))
+
+    def test_containment_is_reflexive(self):
+        view = View.of(1, 2, BOTTOM)
+        assert view.contained_in(view)
+
+    def test_bottom_contained_in_everything(self):
+        assert View.bottoms(2).contained_in(View.of(5, 6))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            View.of(1).contained_in(View.of(1, 2))
+
+
+class TestDistance:
+    def test_hamming_basic(self):
+        assert hamming_distance(View.of(1, 2, 3), View.of(1, 9, 3)) == 1
+
+    def test_bottom_counts_as_symbol(self):
+        assert hamming_distance(View.of(1, BOTTOM), View.of(1, 2)) == 1
+        assert hamming_distance(View.of(BOTTOM, BOTTOM), View.bottoms(2)) == 0
+
+    def test_symmetry(self):
+        a, b = View.of(1, 2, BOTTOM), View.of(2, 2, 3)
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_distance(View.of(1), View.of(1, 2))
+
+
+class TestMerge:
+    def test_compatible_views_merge(self):
+        merged = merge_compatible(View.of(1, BOTTOM, 3), View.of(BOTTOM, 2, 3))
+        assert merged == View.of(1, 2, 3)
+
+    def test_conflicting_views_return_none(self):
+        assert merge_compatible(View.of(1, 2), View.of(1, 3)) is None
+
+    def test_merge_with_bottoms(self):
+        merged = merge_compatible(View.bottoms(2), View.of(1, BOTTOM))
+        assert merged == View.of(1, BOTTOM)
+
+
+class TestFillAndViews:
+    def test_fill_bottoms_from(self):
+        view = View.of(1, BOTTOM, BOTTOM)
+        complete = View.of(9, 8, 7)
+        assert view.fill_bottoms_from(complete) == View.of(1, 8, 7)
+
+    def test_views_of_counts(self):
+        vector = View.of(1, 2, 3)
+        all_views = list(views_of(vector, 1))
+        # C(3,0) + C(3,1) = 4 views
+        assert len(all_views) == 4
+        assert vector in all_views
+
+    def test_views_of_zero_bottoms(self):
+        vector = View.of(1, 2)
+        assert list(views_of(vector, 0)) == [vector]
+
+
+# -- property-based laws -----------------------------------------------------------
+
+
+@settings(max_examples=80)
+@given(view_strategy())
+def test_known_plus_bottoms_is_length(view):
+    assert view.known + view.count(BOTTOM) == len(view)
+
+
+@settings(max_examples=80)
+@given(view_strategy())
+def test_first_is_a_maximal_count_value(view):
+    top = view.first()
+    if top is None:
+        assert view.known == 0
+    else:
+        assert all(view.count(top) >= view.count(v) for v in view.values())
+
+
+@settings(max_examples=80)
+@given(view_strategy())
+def test_gap_nonnegative_and_bounded(view):
+    assert 0 <= view.frequency_gap() <= view.known
+
+
+@settings(max_examples=60)
+@given(view_strategy(n_min=2, n_max=8), st.data())
+def test_contained_views_merge(view, data):
+    # Erase a random subset -> the sub-view merges back with the original.
+    mask = data.draw(st.lists(st.booleans(), min_size=len(view), max_size=len(view)))
+    sub = View(BOTTOM if m else e for e, m in zip(view, mask))
+    assert sub.contained_in(view)
+    merged = merge_compatible(sub, view)
+    assert merged == view
+
+
+@settings(max_examples=60)
+@given(view_strategy(n_min=1, n_max=8))
+def test_distance_triangle_with_fill(view):
+    complete = View(0 if e is BOTTOM else e for e in view)
+    assert hamming_distance(view, complete) == view.count(BOTTOM)
+    assert view.fill_bottoms_from(complete) == complete
