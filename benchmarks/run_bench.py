@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Standalone hot-path benchmark entry point.
+
+Runs the instance-scaling (E14 axis), predicate and coverage-enumeration
+benchmarks and writes ``benchmarks/results/BENCH_hotpath.json``.  The same
+suite is reachable as ``python -m repro bench``; the logic lives in
+:mod:`repro.metrics.bench` so both entry points stay one-liners.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--repeats N] [--sizes 7,13,31]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.metrics.bench import DEFAULT_SIZES, write_hotpath_bench  # noqa: E402
+
+RESULTS = pathlib.Path(__file__).parent / "results" / "BENCH_hotpath.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--sizes",
+        type=lambda s: tuple(int(x) for x in s.split(",")),
+        default=DEFAULT_SIZES,
+        help="comma-separated instance sizes for the scaling group",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=RESULTS)
+    args = parser.parse_args(argv)
+    path = write_hotpath_bench(out=args.out, sizes=args.sizes, repeats=args.repeats)
+    print(json.dumps(json.loads(path.read_text()), indent=2))
+    print(f"\nwrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

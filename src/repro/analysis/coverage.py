@@ -32,14 +32,14 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from ..conditions.base import ConditionSequencePair
-from ..conditions.generators import all_vectors
+from ..conditions.generators import all_vectors, multiset_vectors
 from ..conditions.views import View
-from ..types import SystemConfig, Value
+from ..types import BOTTOM, SystemConfig, Value
 
 
 def correct_count(vector: View, value: Value, faulty: Iterable[int]) -> int:
     """Copies of ``value`` among the non-faulty entries of ``vector``."""
-    faulty_set = set(faulty)
+    faulty_set = frozenset(faulty)
     return sum(
         1 for i, v in enumerate(vector) if v == value and i not in faulty_set
     )
@@ -73,10 +73,15 @@ def bosco_one_step_guaranteed(
         f: actual number of Byzantine processes.
         faulty: which processes are Byzantine; defaults to the last ``f``.
     """
-    faulty_ids = list(faulty) if faulty is not None else list(range(config.n - f, config.n))
-    best = 0
-    for value in vector.values():
-        best = max(best, correct_count(vector, value, faulty_ids))
+    faulty_set = (
+        frozenset(faulty) if faulty is not None else frozenset(range(config.n - f, config.n))
+    )
+    # One pass over the entries: tally correct copies per value, take the max.
+    counts: dict[Value, int] = {}
+    for i, v in enumerate(vector):
+        if v is not BOTTOM and i not in faulty_set:
+            counts[v] = counts.get(v, 0) + 1
+    best = max(counts.values(), default=0)
     # The adversary can keep t honest votes out of the first n − t and makes
     # every Byzantine vote disagree.
     return 2 * (best - config.t) > config.n + 3 * config.t
@@ -104,25 +109,80 @@ class CoveragePoint:
     two_step: float
 
 
+def _level_points(
+    levels: Sequence[tuple[int | None, int | None]],
+    weights: Sequence[int] | None,
+    f_values: Iterable[int],
+) -> list[CoveragePoint]:
+    """Threshold pre-computed ``(one_level, two_level)`` pairs across ``f``.
+
+    ``level ≥ f`` is exactly the Lemma 4/5 guarantee, so each vector's two
+    adaptive levels — computed **once** — answer every failure count; the
+    per-``f`` work is a weighted counting pass.
+    """
+    if weights is None:
+        total = len(levels)
+        weights = [1] * total
+    else:
+        total = sum(weights)
+    points = []
+    for f in f_values:
+        one = 0
+        two = 0
+        for (one_level, two_level), w in zip(levels, weights):
+            if one_level is not None and one_level >= f:
+                one += w
+                two += w  # C¹_f ⊆ C²_f: one-step inputs count as ≤ two-step
+            elif two_level is not None and two_level >= f:
+                two += w
+        points.append(CoveragePoint(f, one / total, two / total))
+    return points
+
+
 def pair_coverage(
-    pair: ConditionSequencePair, vectors: Sequence[View], f_values: Iterable[int]
+    pair: ConditionSequencePair,
+    vectors: Sequence[View],
+    f_values: Iterable[int],
+    weights: Sequence[int] | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> list[CoveragePoint]:
     """Fraction of ``vectors`` guaranteed to decide in ≤1 / ≤2 steps per
     failure count.
 
     ``two_step`` is cumulative — it counts inputs deciding in *at most* two
-    steps (``C¹_f ⊆ C²_f`` for both shipped pairs)."""
-    total = len(vectors)
-    points = []
-    for f in f_values:
-        one = sum(1 for v in vectors if dex_one_step_guaranteed(pair, v, f))
-        two = sum(
-            1
-            for v in vectors
-            if dex_one_step_guaranteed(pair, v, f) or dex_two_step_guaranteed(pair, v, f)
-        )
-        points.append(CoveragePoint(f, one / total, two / total))
-    return points
+    steps (``C¹_f ⊆ C²_f`` for both shipped pairs).  Each vector's adaptive
+    levels are computed once and thresholded across all ``f`` values, not
+    recomputed per ``(vector, f)`` pair.
+
+    Args:
+        weights: optional per-vector multiplicities (used by the multiset
+            enumerator); fractions are then weighted by ``w / sum(weights)``.
+        parallel: compute the per-vector levels on a thread pool (chunked,
+            order-preserving — the points are identical to the serial ones).
+        max_workers: pool size when ``parallel`` (``None`` = default).
+    """
+    if parallel and len(vectors) > 1:
+        from ..sim.parallel import parallel_map
+
+        chunk = max(1, len(vectors) // 32)
+        chunks = [vectors[i : i + chunk] for i in range(0, len(vectors), chunk)]
+        levels = [
+            pair_levels
+            for chunk_levels in parallel_map(
+                lambda vs: [
+                    (pair.one_step_level(v), pair.two_step_level(v)) for v in vs
+                ],
+                chunks,
+                max_workers=max_workers,
+            )
+            for pair_levels in chunk_levels
+        ]
+    else:
+        levels = [
+            (pair.one_step_level(v), pair.two_step_level(v)) for v in vectors
+        ]
+    return _level_points(levels, weights, f_values)
 
 
 def baseline_coverage(
@@ -150,6 +210,19 @@ def baseline_coverage(
 def exact_space_coverage(
     pair: ConditionSequencePair, values: Sequence[Value], f_values: Iterable[int]
 ) -> list[CoveragePoint]:
-    """Exhaustive coverage of the whole space ``V^n`` (small ``n`` only)."""
+    """Exhaustive coverage of the whole space ``V^n``.
+
+    For histogram-invariant pairs (both shipped pairs) the space is
+    enumerated as multisets with multinomial weights —
+    ``C(n+|V|−1, |V|−1)`` checks instead of ``|V|^n`` — which makes exact
+    coverage tractable at e.g. ``n = 31``.  The weighted fractions are
+    identical (the counted integers are the same), not approximations.
+    Custom position-sensitive pairs fall back to full enumeration.
+    """
+    if pair.histogram_invariant:
+        weighted = list(multiset_vectors(values, pair.n))
+        vectors = [v for v, _ in weighted]
+        weights = [w for _, w in weighted]
+        return pair_coverage(pair, vectors, f_values, weights=weights)
     vectors = list(all_vectors(values, pair.n))
     return pair_coverage(pair, vectors, f_values)

@@ -24,10 +24,10 @@ quantifies.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..conditions.incremental import ViewStats
 from ..errors import ResilienceError
 from ..runtime.composite import CompositeProtocol
 from ..runtime.effects import Broadcast, Decide, Deliver, Effect
@@ -81,7 +81,9 @@ class BoscoConsensus(CompositeProtocol):
         self.variant = variant
         make_uc = uc_factory or (lambda pid, cfg: OracleConsensus(pid, cfg))
         self._uc = self.add_child("uc", make_uc(process_id, config))
-        self._votes: dict[ProcessId, Value] = {}
+        # Incremental tally: votes are binding per sender, so the running
+        # top-count statistics make the one-shot evaluation O(1).
+        self._votes = ViewStats(config.n)
         self._evaluated = False
         self.decided = False
         self.decision_kind: DecisionKind | None = None
@@ -96,22 +98,28 @@ class BoscoConsensus(CompositeProtocol):
             hash(payload.value)
         except TypeError:
             return [self.log("bosco-unhashable-dropped", sender=sender)]
-        self._votes.setdefault(sender, payload.value)
-        if len(self._votes) >= self.quorum and not self._evaluated:
+        self._votes.set_entry(sender, payload.value)
+        if self._votes.known >= self.quorum and not self._evaluated:
             return self._evaluate()
         return []
 
     def _evaluate(self) -> list[Effect]:
-        """The once-only threshold logic, on exactly the first ``n−t`` votes."""
+        """The once-only threshold logic, on exactly the first ``n−t`` votes.
+
+        Both thresholds exceed half of the ``n − t`` votes received, so at
+        most one value can clear either and, when one does, it is the
+        maintained most-frequent value — no scan over the tally needed.
+        """
         self._evaluated = True
-        counts = Counter(self._votes.values())
+        top_value = self._votes.first()
+        top_count = self._votes.first_count
         effects: list[Effect] = []
-        for value, count in counts.items():
-            if 2 * count > self.n + 3 * self.t:
-                effects.extend(self._decide(value, DecisionKind.FAST))
-                break
-        majority = [v for v, c in counts.items() if 2 * c > self.n - self.t]
-        next_proposal = majority[0] if len(majority) == 1 else self.proposal
+        if 2 * top_count > self.n + 3 * self.t:
+            effects.extend(self._decide(top_value, DecisionKind.FAST))
+        if 2 * top_count > self.n - self.t:
+            next_proposal = top_value
+        else:
+            next_proposal = self.proposal
         effects.extend(self.child_call("uc", self._uc.propose(next_proposal)))
         return effects
 

@@ -19,10 +19,10 @@ harness (:mod:`repro.harness`) enforces.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..conditions.incremental import ViewStats
 from ..errors import ResilienceError
 from ..runtime.composite import CompositeProtocol
 from ..runtime.effects import Broadcast, Decide, Deliver, Effect
@@ -63,7 +63,10 @@ class BrasileiroConsensus(CompositeProtocol):
         self.proposal = proposal
         make_uc = uc_factory or (lambda pid, cfg: OracleConsensus(pid, cfg))
         self._uc = self.add_child("uc", make_uc(process_id, config))
-        self._values: dict[ProcessId, Value] = {}
+        # Incremental tally (values are binding per sender): the one-shot
+        # evaluation reads the running top count instead of building a
+        # Counter over all n−t received values.
+        self._values = ViewStats(config.n)
         self._evaluated = False
         self.decided = False
         self.decision_kind: DecisionKind | None = None
@@ -78,16 +81,19 @@ class BrasileiroConsensus(CompositeProtocol):
             hash(payload.value)
         except TypeError:
             return [self.log("brasileiro-unhashable-dropped", sender=sender)]
-        self._values.setdefault(sender, payload.value)
-        if len(self._values) >= self.quorum and not self._evaluated:
+        self._values.set_entry(sender, payload.value)
+        if self._values.known >= self.quorum and not self._evaluated:
             return self._evaluate()
         return []
 
     def _evaluate(self) -> list[Effect]:
+        # Both thresholds need more than half of the n−t received values
+        # (n − 2t > (n−t)/2 ⇔ n > 3t, which the constructor enforces), so
+        # only the maintained most-frequent value can clear them.
         self._evaluated = True
-        counts = Counter(self._values.values())
+        top_value = self._values.first()
+        top_count = self._values.first_count
         effects: list[Effect] = []
-        top_value, top_count = counts.most_common(1)[0]
         if top_count >= self.quorum:  # all n−t received values identical
             effects.extend(self._decide(top_value, DecisionKind.FAST))
         if top_count >= self.n - 2 * self.t:

@@ -31,11 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..conditions.incremental import ViewStats
 from ..conditions.views import View
 from ..errors import ResilienceError
 from ..runtime.composite import CompositeProtocol
 from ..runtime.effects import Broadcast, Decide, Deliver, Effect
-from ..types import BOTTOM, DecisionKind, ProcessId, SystemConfig, Value
+from ..types import DecisionKind, ProcessId, SystemConfig, Value
 from ..underlying.base import UC_DECIDE_TAG, UnderlyingConsensus
 from ..underlying.oracle import OracleConsensus
 
@@ -85,16 +86,18 @@ class IzumiCrashConsensus(CompositeProtocol):
         self.proposal = proposal
         make_uc = uc_factory or (lambda pid, cfg: OracleConsensus(pid, cfg))
         self._uc = self.add_child("uc", make_uc(process_id, config))
-        self._view: list[Value] = [BOTTOM] * config.n
+        # Running view statistics — the predicate re-fires on every arrival
+        # (the crash-model skeleton of DEX), so it pays the same O(1) way.
+        self._stats = ViewStats(config.n)
         self.decided = False
         self.decision_kind: DecisionKind | None = None
 
     @property
     def view(self) -> View:
-        return View(self._view)
+        return self._stats.as_view()
 
     def on_start(self) -> list[Effect]:
-        self._view[self.process_id] = self.proposal
+        self._stats.set_entry(self.process_id, self.proposal)
         return [Broadcast(CrashValue(self.proposal))] + self._check()
 
     def on_own_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
@@ -104,20 +107,21 @@ class IzumiCrashConsensus(CompositeProtocol):
             hash(payload.value)
         except TypeError:
             return [self.log("izumi-unhashable-dropped", sender=sender)]
-        if self._view[sender] is BOTTOM:
-            self._view[sender] = payload.value
+        self._stats.set_entry(sender, payload.value)
+        if self.decided and self._uc.has_proposed:
+            return []
         return self._check()
 
     def _check(self) -> list[Effect]:
-        view = self.view
-        if view.known < self.quorum:
+        stats = self._stats
+        if stats.known < self.quorum:
             return []
         effects: list[Effect] = []
         if not self._uc.has_proposed:
-            effects.extend(self.child_call("uc", self._uc.propose(view.first())))
-        missing = self.n - view.known
-        if not self.decided and view.frequency_gap() > self.t + missing:
-            effects.extend(self._decide(view.first(), DecisionKind.ONE_STEP))
+            effects.extend(self.child_call("uc", self._uc.propose(stats.first())))
+        missing = self.n - stats.known
+        if not self.decided and stats.frequency_gap() > self.t + missing:
+            effects.extend(self._decide(stats.first(), DecisionKind.ONE_STEP))
         return effects
 
     def on_child_output(self, name: str, effect) -> list[Effect]:

@@ -145,6 +145,15 @@ def _build_parser() -> argparse.ArgumentParser:
     conditions = sub.add_parser("conditions", help="condition levels of an input")
     conditions.add_argument("--inputs", "-i", type=_parse_inputs, default=None)
     conditions.add_argument("--n", type=int, default=13)
+
+    bench = sub.add_parser("bench", help="hot-path benchmarks -> BENCH_hotpath.json")
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--sizes", type=lambda s: tuple(int(x) for x in s.split(",")),
+                       default=None,
+                       help="comma-separated instance sizes (default 7,13,19,25,31)")
+    bench.add_argument("--out", default=None,
+                       help="output path (default benchmarks/results/"
+                            "BENCH_hotpath.json under the current directory)")
     return parser
 
 
@@ -262,6 +271,19 @@ def _cmd_conditions(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .metrics.bench import DEFAULT_SIZES, write_hotpath_bench
+
+    path = write_hotpath_bench(
+        out=args.out,
+        sizes=args.sizes or DEFAULT_SIZES,
+        repeats=args.repeats,
+    )
+    print(path.read_text(), end="")
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -272,6 +294,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "coverage": _cmd_coverage,
         "legality": _cmd_legality,
         "conditions": _cmd_conditions,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)

@@ -17,7 +17,14 @@ from .base import (
 )
 from .dlegal import DLegalityResult, condition_members, is_d_legal
 from .frequency import FrequencyCondition, FrequencyPair
-from .generators import VectorSampler, all_vectors, all_views, perturbations
+from .generators import (
+    VectorSampler,
+    all_vectors,
+    all_views,
+    multiset_vectors,
+    perturbations,
+)
+from .incremental import ViewStats
 from .legality import LegalityChecker, LegalityReport, completable_within
 from .privileged import PrivilegedCondition, PrivilegedPair
 from .views import View, hamming_distance, merge_compatible, views_of
@@ -32,8 +39,10 @@ __all__ = [
     "PrivilegedCondition",
     "PrivilegedPair",
     "VectorSampler",
+    "ViewStats",
     "all_vectors",
     "all_views",
+    "multiset_vectors",
     "perturbations",
     "LegalityChecker",
     "LegalityReport",

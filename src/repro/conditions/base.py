@@ -102,6 +102,13 @@ class ConditionSequencePair(abc.ABC):
     #: the pair requires ``n > required_ratio * t``.
     required_ratio: int = 5
 
+    #: True when membership in every condition of both sequences depends only
+    #: on the value histogram of the vector, never on entry positions.  Such
+    #: pairs admit the multiset-weighted exact coverage enumerator
+    #: (:func:`repro.analysis.coverage.exact_space_coverage`), collapsing
+    #: ``|V|^n`` vectors to ``C(n+|V|−1, |V|−1)`` weighted multisets.
+    histogram_invariant: bool = False
+
     def __init__(self, n: int, t: int) -> None:
         if n <= self.required_ratio * t:
             raise ConfigurationError(
@@ -110,6 +117,32 @@ class ConditionSequencePair(abc.ABC):
             )
         self.n = n
         self.t = t
+        self._one_step_sequence_cache: ConditionSequence | None = None
+        self._two_step_sequence_cache: ConditionSequence | None = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Keep the fast paths honest under subclassing.
+
+        A subclass that overrides a *batch* predicate (``p1``/``p2``/``f``)
+        without also overriding the matching ``*_incremental`` hook must
+        not inherit a parent's O(1) fast path — it would silently bypass
+        the override (e.g. an ablation pair with ``p2 ≡ False`` deciding
+        two-step anyway).  Such hooks are reset to the batch-adapter
+        default.  Likewise ``histogram_invariant`` is a per-class *claim*:
+        it is dropped to False unless the subclass redeclares it.
+        """
+        super().__init_subclass__(**kwargs)
+        overridden = [name for name in ("p1", "p2", "f") if name in cls.__dict__]
+        for name in overridden:
+            fast = f"{name}_incremental"
+            if fast not in cls.__dict__:
+                setattr(cls, fast, getattr(ConditionSequencePair, fast))
+        redefines_space = overridden or any(
+            name in cls.__dict__
+            for name in ("one_step_sequence", "two_step_sequence")
+        )
+        if redefines_space and "histogram_invariant" not in cls.__dict__:
+            cls.histogram_invariant = False
 
     # -- run-time parameters (Figure 1) ---------------------------------------
 
@@ -125,6 +158,26 @@ class ConditionSequencePair(abc.ABC):
     def f(self, view: View) -> Value:
         """``F(J)`` — the decision value extracted from view ``J``."""
 
+    # -- incremental fast path (hot-path engine) -------------------------------
+
+    # The protocols feed a mutable :class:`~repro.conditions.incremental.
+    # ViewStats` through these hooks so predicate re-evaluation is O(1) per
+    # arrival.  The defaults snapshot the stats into a ``View`` and defer to
+    # the batch predicates, keeping every custom pair correct without code
+    # changes; the shipped pairs override them with O(1) bodies.
+
+    def p1_incremental(self, stats) -> bool:
+        """``P1`` over running :class:`ViewStats` (default: View fallback)."""
+        return self.p1(stats.as_view())
+
+    def p2_incremental(self, stats) -> bool:
+        """``P2`` over running :class:`ViewStats` (default: View fallback)."""
+        return self.p2(stats.as_view())
+
+    def f_incremental(self, stats) -> Value:
+        """``F`` over running :class:`ViewStats` (default: View fallback)."""
+        return self.f(stats.as_view())
+
     # -- the sequences themselves ---------------------------------------------
 
     @abc.abstractmethod
@@ -138,12 +191,21 @@ class ConditionSequencePair(abc.ABC):
     # -- convenience -----------------------------------------------------------
 
     def one_step_level(self, vector: View) -> int | None:
-        """Largest ``k`` such that one-step decision is guaranteed for ``f ≤ k``."""
-        return self.one_step_sequence().level_of(vector)
+        """Largest ``k`` such that one-step decision is guaranteed for ``f ≤ k``.
+
+        The sequence object is built once and cached — the conditions are
+        pure functions of the constructor arguments, and coverage sweeps
+        call this per vector.
+        """
+        if self._one_step_sequence_cache is None:
+            self._one_step_sequence_cache = self.one_step_sequence()
+        return self._one_step_sequence_cache.level_of(vector)
 
     def two_step_level(self, vector: View) -> int | None:
         """Largest ``k`` such that two-step decision is guaranteed for ``f ≤ k``."""
-        return self.two_step_sequence().level_of(vector)
+        if self._two_step_sequence_cache is None:
+            self._two_step_sequence_cache = self.two_step_sequence()
+        return self._two_step_sequence_cache.level_of(vector)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(n={self.n}, t={self.t})"

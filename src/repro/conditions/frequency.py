@@ -50,6 +50,7 @@ class FrequencyPair(ConditionSequencePair):
     """``P_freq`` — the frequency-based pair of §3.3 (requires ``n > 6t``)."""
 
     required_ratio = 6
+    histogram_invariant = True  # the gap is a pure function of the histogram
 
     def p1(self, view: View) -> bool:
         """``P1_freq(J) ≡ #_1st(J)(J) − #_2nd(J)(J) > 4t``."""
@@ -62,6 +63,21 @@ class FrequencyPair(ConditionSequencePair):
     def f(self, view: View) -> Value:
         """``F_freq(J) = 1st(J)`` (ties pick the largest value)."""
         top = view.first()
+        if top is None:
+            raise ValueError("F is undefined on the all-⊥ view")
+        return top
+
+    def p1_incremental(self, stats) -> bool:
+        """O(1) ``P1`` over running stats: the gap is maintained, not scanned."""
+        return stats.frequency_gap() > 4 * self.t
+
+    def p2_incremental(self, stats) -> bool:
+        """O(1) ``P2`` over running stats."""
+        return stats.frequency_gap() > 2 * self.t
+
+    def f_incremental(self, stats) -> Value:
+        """O(1) ``F``: ``1st(J)`` is maintained with the largest tie-break."""
+        top = stats.first()
         if top is None:
             raise ValueError("F is undefined on the all-⊥ view")
         return top

@@ -16,6 +16,7 @@ samplers used for Monte-Carlo estimates on larger spaces.
 from __future__ import annotations
 
 import itertools
+import math
 import random
 from collections.abc import Iterator, Sequence
 
@@ -27,6 +28,35 @@ def all_vectors(values: Sequence[Value], n: int) -> Iterator[View]:
     """Enumerate the complete input-vector space ``V^n``."""
     for entries in itertools.product(values, repeat=n):
         yield View(entries)
+
+
+def multiset_vectors(
+    values: Sequence[Value], n: int
+) -> Iterator[tuple[View, int]]:
+    """Enumerate ``V^n`` collapsed to value histograms, with multiplicities.
+
+    Yields one representative vector per multiset of ``n`` values over
+    ``values`` (entries in alphabet order), paired with the number of
+    distinct vectors sharing that histogram — the multinomial coefficient
+    ``n! / (k_1! · … · k_|V|!)``.  The weights sum to exactly ``|V|^n``.
+
+    Any histogram-invariant property (the frequency gap, any per-value
+    count — i.e. every condition of the shipped pairs) takes the same
+    truth value on all vectors of a multiset, so exhaustive coverage over
+    ``|V|^n`` vectors collapses to ``C(n+|V|−1, |V|−1)`` weighted checks:
+    an exponential→polynomial reduction (n=31, |V|=2: 2³¹ vectors, 32
+    multisets).
+    """
+    for combo in itertools.combinations_with_replacement(range(len(values)), n):
+        weight = math.factorial(n)
+        start = 0
+        while start < n:
+            stop = start
+            while stop < n and combo[stop] == combo[start]:
+                stop += 1
+            weight //= math.factorial(stop - start)
+            start = stop
+        yield View(values[i] for i in combo), weight
 
 
 def all_views(values: Sequence[Value], n: int, max_bottoms: int) -> Iterator[View]:

@@ -53,6 +53,7 @@ class PrivilegedPair(ConditionSequencePair):
     """
 
     required_ratio = 5
+    histogram_invariant = True  # #_m(I) is a pure function of the histogram
 
     def __init__(self, n: int, t: int, privileged: Value) -> None:
         super().__init__(n, t)
@@ -71,6 +72,23 @@ class PrivilegedPair(ConditionSequencePair):
         if view.count(self.privileged) > self.t:
             return self.privileged
         top = view.first()
+        if top is None:
+            raise ValueError("F is undefined on the all-⊥ view")
+        return top
+
+    def p1_incremental(self, stats) -> bool:
+        """O(1) ``P1`` over running stats: one hash lookup."""
+        return stats.count(self.privileged) > 3 * self.t
+
+    def p2_incremental(self, stats) -> bool:
+        """O(1) ``P2`` over running stats."""
+        return stats.count(self.privileged) > 2 * self.t
+
+    def f_incremental(self, stats) -> Value:
+        """O(1) ``F``: privilege check plus the maintained ``1st(J)``."""
+        if stats.count(self.privileged) > self.t:
+            return self.privileged
+        top = stats.first()
         if top is None:
             raise ValueError("F is undefined on the all-⊥ view")
         return top

@@ -142,10 +142,12 @@ class View:
 
         Returns ``None`` when fewer than two distinct values appear.
         """
-        top = self.first()
-        if top is None:
-            return None
         counts = self._counts()
+        if not counts:
+            # Only the all-⊥ view has no 2nd; testing first() is None here
+            # would wrongly bail when the *value* None is the most frequent.
+            return None
+        top = self.first()
         rest = {v: c for v, c in counts.items() if v != top}
         if not rest:
             return None
@@ -154,13 +156,18 @@ class View:
 
     def frequency_gap(self) -> int:
         """``#_1st(J)(J) - #_2nd(J)(J)``; when ``2nd`` is undefined the gap is
-        the full count of ``1st`` (and 0 for the all-``⊥`` view)."""
-        top = self.first()
-        if top is None:
+        the full count of ``1st`` (and 0 for the all-``⊥`` view).
+
+        Computed from the two largest counts directly, not via
+        :meth:`second` — whose ``None`` return is ambiguous when ``None``
+        itself is a proposed value (it would silently inflate the gap).
+        """
+        counts = sorted(self._counts().values(), reverse=True)
+        if not counts:
             return 0
-        second = self.second()
-        top_count = self.count(top)
-        return top_count - (self.count(second) if second is not None else 0)
+        if len(counts) == 1:
+            return counts[0]
+        return counts[0] - counts[1]
 
     def contained_in(self, other: "View") -> bool:
         """The containment relation ``self ≤ other`` of §3.1."""

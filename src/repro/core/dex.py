@@ -30,11 +30,12 @@ from typing import Any, Callable
 from ..broadcast.idb import DELIVER_TAG as IDB_DELIVER_TAG
 from ..broadcast.idb import IdenticalBroadcast
 from ..conditions.base import ConditionSequencePair
+from ..conditions.incremental import ViewStats
 from ..conditions.views import View
 from ..errors import ConfigurationError, ResilienceError
 from ..runtime.composite import CompositeProtocol
 from ..runtime.effects import Broadcast, Decide, Deliver, Effect
-from ..types import BOTTOM, DecisionKind, ProcessId, SystemConfig, Value
+from ..types import DecisionKind, ProcessId, SystemConfig, Value
 from ..underlying.base import UC_DECIDE_TAG, UnderlyingConsensus
 from ..underlying.oracle import OracleConsensus
 
@@ -95,8 +96,10 @@ class DexConsensus(CompositeProtocol):
         self._idb = self.add_child("idb", IdenticalBroadcast(process_id, config))
         make_uc = uc_factory or (lambda pid, cfg: OracleConsensus(pid, cfg))
         self._uc = self.add_child("uc", make_uc(process_id, config))
-        self._j1: list[Value] = [BOTTOM] * config.n
-        self._j2: list[Value] = [BOTTOM] * config.n
+        # Running statistics instead of raw entry lists: every quantity the
+        # re-evaluated predicates need is maintained in O(1) per arrival.
+        self._stats1 = ViewStats(config.n)
+        self._stats2 = ViewStats(config.n)
         self.decided = False
         self.decision_kind: DecisionKind | None = None
 
@@ -105,12 +108,12 @@ class DexConsensus(CompositeProtocol):
     @property
     def view1(self) -> View:
         """Snapshot of the one-step view ``J1``."""
-        return View(self._j1)
+        return self._stats1.as_view()
 
     @property
     def view2(self) -> View:
         """Snapshot of the two-step (IDB) view ``J2``."""
-        return View(self._j2)
+        return self._stats2.as_view()
 
     @property
     def has_proposed_to_uc(self) -> bool:
@@ -119,8 +122,8 @@ class DexConsensus(CompositeProtocol):
     # -- lines 1-4: Propose ---------------------------------------------------------
 
     def on_start(self) -> list[Effect]:
-        self._j1[self.process_id] = self.proposal  # line 2
-        self._j2[self.process_id] = self.proposal
+        self._stats1.set_entry(self.process_id, self.proposal)  # line 2
+        self._stats2.set_entry(self.process_id, self.proposal)
         effects: list[Effect] = [Broadcast(DexProposal(self.proposal))]  # line 3
         effects.extend(self.child_call("idb", self._idb.id_send(self.proposal)))  # line 4
         return effects
@@ -132,14 +135,17 @@ class DexConsensus(CompositeProtocol):
             return [self.log("dex-ignored", sender=sender, payload=repr(payload))]
         if not _storable(payload.value):
             return [self.log("dex-unhashable-dropped", sender=sender)]
-        if self._j1[sender] is BOTTOM:  # first value per sender is binding
-            self._j1[sender] = payload.value  # line 6
+        self._stats1.set_entry(sender, payload.value)  # line 6 (binding write)
+        if self.decided:
+            return []
         return self._check_one_step()
 
     def _check_one_step(self) -> list[Effect]:
-        view = self.view1
-        if view.known >= self.quorum and not self.decided and self.pair.p1(view):
-            return self._decide(self.pair.f(view), DecisionKind.ONE_STEP)  # line 8
+        stats = self._stats1
+        if stats.known >= self.quorum and self.pair.p1_incremental(stats):
+            return self._decide(
+                self.pair.f_incremental(stats), DecisionKind.ONE_STEP  # line 8
+            )
         return []
 
     # -- lines 10-22: two-step scheme and fallback ----------------------------------------
@@ -156,15 +162,22 @@ class DexConsensus(CompositeProtocol):
     def _on_id_receive(self, origin: ProcessId, value: Value) -> list[Effect]:
         if not _storable(value):
             return [self.log("dex-unhashable-dropped", sender=origin)]
-        if self._j2[origin] is BOTTOM:
-            self._j2[origin] = value  # line 11
+        stats = self._stats2
+        stats.set_entry(origin, value)  # line 11 (binding write)
+        if stats.known < self.quorum:
+            return []
         effects: list[Effect] = []
-        view = self.view2
-        if view.known >= self.quorum and not self._uc.has_proposed:
-            # lines 12-15: activate the underlying consensus exactly once.
-            effects.extend(self.child_call("uc", self._uc.propose(self.pair.f(view))))
-        if view.known >= self.quorum and not self.decided and self.pair.p2(view):
-            effects.extend(self._decide(self.pair.f(view), DecisionKind.TWO_STEP))  # line 17
+        if not self._uc.has_proposed:
+            # lines 12-15: activate the underlying consensus exactly once —
+            # even after a local fast decision, so the fallback of slower
+            # processes sees the same proposal traffic.
+            effects.extend(
+                self.child_call("uc", self._uc.propose(self.pair.f_incremental(stats)))
+            )
+        if not self.decided and self.pair.p2_incremental(stats):
+            effects.extend(
+                self._decide(self.pair.f_incremental(stats), DecisionKind.TWO_STEP)  # line 17
+            )
         return effects
 
     def _on_uc_decide(self, value: Value) -> list[Effect]:

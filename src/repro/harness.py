@@ -481,7 +481,13 @@ class Scenario:
         """Build and run until every correct process decided."""
         return self.build().run_until_decided()
 
-    def run_many(self, seeds, expected_value: Value | None = None):
+    def run_many(
+        self,
+        seeds,
+        expected_value: Value | None = None,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ):
         """Run the scenario once per seed and aggregate the results.
 
         Args:
@@ -489,15 +495,18 @@ class Scenario:
                 identical to this scenario.
             expected_value: when set, decisions differing from it count as
                 unanimity violations in the aggregate.
+            parallel: run the seeds on a thread pool.  Each seed builds its
+                own simulation with its own PRNG and results are folded in
+                seed order, so the aggregate is identical to the serial one.
+            max_workers: pool size when ``parallel`` (``None`` = default).
 
         Returns:
             A :class:`repro.metrics.collectors.RunAggregate`.
         """
         from .metrics.collectors import RunAggregate
 
-        aggregate = RunAggregate(label=self.algorithm.name)
-        for seed in seeds:
-            run = Scenario(
+        def one_run(seed: int) -> RunResult:
+            return Scenario(
                 self.algorithm,
                 self.inputs,
                 t=self.config.t,
@@ -510,6 +519,15 @@ class Scenario:
                 trace=False,
                 max_events=self.max_events,
             ).run()
+
+        if parallel:
+            from .sim.parallel import parallel_map
+
+            runs = parallel_map(one_run, seeds, max_workers=max_workers)
+        else:
+            runs = [one_run(seed) for seed in seeds]
+        aggregate = RunAggregate(label=self.algorithm.name)
+        for run in runs:
             aggregate.add(run, expected_value=expected_value)
         return aggregate
 

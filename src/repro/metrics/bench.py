@@ -1,0 +1,205 @@
+"""Hot-path benchmark suite: quantify the incremental engine.
+
+Importable benchmark logic behind ``python -m repro bench`` and
+``benchmarks/run_bench.py``.  Three measurement groups:
+
+* **instance scaling** (the E14 axis) — wall-clock per simulated consensus
+  instance as ``n`` grows, the end-to-end number the incremental engine and
+  the simulator hot path are accountable for;
+* **predicate microbenchmark** — per-arrival cost of re-evaluating the DEX
+  one-step predicate via :class:`~repro.conditions.incremental.ViewStats`
+  (O(1) amortized) versus rebuilding a batch
+  :class:`~repro.conditions.views.View` per arrival (O(n));
+* **coverage enumeration** — exact ``V^n`` coverage via the
+  multiset-weighted enumerator (``C(n+|V|-1, |V|-1)`` checks) versus brute
+  force (``|V|^n`` checks), at a size where both run, plus the multiset
+  enumerator alone at ``n = 31`` where brute force is out of reach.
+
+Results are written as one JSON document (``BENCH_hotpath.json``) with the
+commit hash, so regressions are diffable across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import subprocess
+import time
+from typing import Any, Sequence
+
+from ..analysis.coverage import exact_space_coverage, pair_coverage
+from ..conditions.frequency import FrequencyPair
+from ..conditions.generators import all_vectors, multiset_vectors
+from ..conditions.incremental import ViewStats
+from ..conditions.views import View
+from ..harness import Scenario, dex_freq
+from ..workloads.inputs import unanimous
+
+#: Default instance sizes for the scaling group (the E14 axis; every size
+#: keeps t = (n-1)//6 ≥ 1 so the DEX resilience n > 6t holds).
+DEFAULT_SIZES = (7, 13, 19, 25, 31)
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall-clock of ``repeats`` calls — the least-noise estimator
+    for a deterministic workload."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _commit_hash() -> str | None:
+    """Current git commit, or None outside a repository / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=pathlib.Path(__file__).parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def bench_instance_scaling(
+    sizes: Sequence[int] = DEFAULT_SIZES, repeats: int = 3, seeds: Sequence[int] = (1, 2, 3)
+) -> list[dict[str, Any]]:
+    """Seconds per simulated dex-freq instance (unanimous inputs) per ``n``."""
+    rows = []
+    for n in sizes:
+        inputs = unanimous(1, n)
+
+        def run_all() -> None:
+            for seed in seeds:
+                Scenario(dex_freq(), inputs, seed=seed).run()
+
+        run_all()  # warm-up: imports, caches
+        per_run = _best_of(repeats, run_all) / len(seeds)
+        sample = Scenario(dex_freq(), inputs, seed=seeds[0]).run()
+        rows.append(
+            {
+                "n": n,
+                "seconds_per_run": per_run,
+                "messages_sent": sample.stats.messages_sent,
+                "max_correct_step": sample.max_correct_step,
+            }
+        )
+    return rows
+
+
+def bench_predicate(n: int = 31, t: int = 5, repeats: int = 5) -> dict[str, Any]:
+    """Per-arrival predicate cost: incremental ViewStats vs batch View.
+
+    Replays the same arrival order (process ``i`` proposes ``i % 2``) both
+    ways; the batch side rebuilds the View and asks for the frequency gap on
+    every arrival, which is what the protocol layer did before the
+    incremental engine.
+    """
+    pair = FrequencyPair(n, t)
+    arrivals = [(i, i % 2) for i in range(n)]
+
+    def incremental() -> None:
+        stats = ViewStats(n)
+        for who, value in arrivals:
+            stats.set_entry(who, value)
+            if stats.known >= n - t:
+                pair.p1_incremental(stats)
+
+    def batch() -> None:
+        entries: list[Any] = [None] * n
+        known = 0
+        for who, value in arrivals:
+            entries[who] = value
+            known += 1
+            if known >= n - t:
+                view = View(v for v in entries if v is not None)
+                view.frequency_gap() > 4 * t
+
+    incremental_s = _best_of(repeats, lambda: [incremental() for _ in range(100)]) / 100
+    batch_s = _best_of(repeats, lambda: [batch() for _ in range(100)]) / 100
+    return {
+        "n": n,
+        "t": t,
+        "incremental_seconds_per_instance": incremental_s,
+        "batch_seconds_per_instance": batch_s,
+        "speedup": batch_s / incremental_s if incremental_s else None,
+    }
+
+
+def bench_coverage(repeats: int = 3) -> dict[str, Any]:
+    """Exact-coverage enumeration: multiset weights vs brute force."""
+    small = FrequencyPair(13, 2)
+    values = [1, 2]
+
+    def brute() -> None:
+        vectors = list(all_vectors(values, small.n))
+        pair_coverage(small, vectors, range(small.t + 1))
+
+    def multiset() -> None:
+        exact_space_coverage(small, values, range(small.t + 1))
+
+    brute_s = _best_of(repeats, brute)
+    multiset_s = _best_of(repeats, multiset)
+
+    big = FrequencyPair(31, 5)
+    big_s = _best_of(repeats, lambda: exact_space_coverage(big, values, range(big.t + 1)))
+    return {
+        "small": {
+            "n": small.n,
+            "values": len(values),
+            "brute_force_vectors": len(values) ** small.n,
+            "multiset_vectors": sum(1 for _ in multiset_vectors(values, small.n)),
+            "brute_force_seconds": brute_s,
+            "multiset_seconds": multiset_s,
+            "speedup": brute_s / multiset_s if multiset_s else None,
+        },
+        "large": {
+            "n": big.n,
+            "values": len(values),
+            "brute_force_vectors": len(values) ** big.n,
+            "multiset_vectors": sum(1 for _ in multiset_vectors(values, big.n)),
+            "multiset_seconds": big_s,
+        },
+    }
+
+
+def run_hotpath_bench(
+    sizes: Sequence[int] = DEFAULT_SIZES, repeats: int = 3
+) -> dict[str, Any]:
+    """Run all three groups and assemble the report document."""
+    return {
+        "benchmark": "hotpath",
+        "commit": _commit_hash(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": time.time(),
+        "instance_scaling": bench_instance_scaling(sizes=sizes, repeats=repeats),
+        "predicate": bench_predicate(repeats=max(repeats, 3)),
+        "coverage": bench_coverage(repeats=repeats),
+    }
+
+
+def write_hotpath_bench(
+    out: pathlib.Path | str | None = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repeats: int = 3,
+) -> pathlib.Path:
+    """Run the suite and persist ``BENCH_hotpath.json``.
+
+    Args:
+        out: output path; defaults to ``benchmarks/results/BENCH_hotpath.json``
+            under the current directory (created if missing).
+    """
+    report = run_hotpath_bench(sizes=sizes, repeats=repeats)
+    if out is None:
+        out = pathlib.Path("benchmarks") / "results" / "BENCH_hotpath.json"
+    path = pathlib.Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

@@ -40,10 +40,20 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` values."""
+    """A deterministic priority queue of :class:`Event` values.
+
+    Internally entries are plain tuples ordered by ``(time, seq)``; the
+    tie-breaker ``seq`` is unique, so comparison never reaches the trailing
+    fields.  Deliver events pushed through :meth:`push_deliver` are stored
+    *flat* — most scheduled messages are never delivered (runs stop once
+    every correct process decided), so materialising an :class:`Event` per
+    push would waste the bulk of the allocations on the hottest loop of a
+    run.  :meth:`pop` builds the :class:`Event` lazily; :meth:`pop_entry`
+    exposes the raw tuple for the simulator's dispatch loop.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[tuple] = []
         self._counter = itertools.count()
         self.pushed = 0
         self.popped = 0
@@ -52,10 +62,34 @@ class EventQueue:
         heapq.heappush(self._heap, (event.time, next(self._counter), event))
         self.pushed += 1
 
+    def push_deliver(
+        self,
+        time: float,
+        dst: ProcessId,
+        sender: ProcessId,
+        payload: Any,
+        depth: int,
+    ) -> None:
+        """Schedule a ``"deliver"`` event without materialising it."""
+        heapq.heappush(
+            self._heap, (time, next(self._counter), dst, sender, payload, depth)
+        )
+        self.pushed += 1
+
     def pop(self) -> Event:
-        _, _, event = heapq.heappop(self._heap)
+        entry = heapq.heappop(self._heap)
         self.popped += 1
-        return event
+        if len(entry) == 3:
+            return entry[2]
+        time, _, dst, sender, payload, depth = entry
+        return Event(time, "deliver", dst, sender, payload, depth)
+
+    def pop_entry(self) -> tuple:
+        """Pop the raw heap entry: ``(time, seq, Event)`` for events pushed
+        whole, ``(time, seq, dst, sender, payload, depth)`` for flat
+        delivers."""
+        self.popped += 1
+        return heapq.heappop(self._heap)
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -1,0 +1,50 @@
+"""Deterministic parallel mapping for batch experiments.
+
+Batch experiments (``Scenario.run_many``, Monte-Carlo coverage sweeps)
+evaluate many independent seeded work items.  This module provides the one
+executor they share: a :class:`~concurrent.futures.ThreadPoolExecutor`
+``map`` that preserves input order.
+
+Why threads and not processes: algorithm specs and underlying-consensus
+factories are closures (see :class:`repro.harness.AlgorithmSpec`), which do
+not pickle, and a simulation's working set is small — the thread pool keeps
+the exact same objects and code path as the serial loop.
+
+Why results are identical to the serial path: each work item builds its own
+:class:`~repro.sim.runner.Simulation` with its own ``random.Random(seed)``,
+so no randomness is shared across items, and ``Executor.map`` yields results
+in submission order — aggregation folds them in the same order as a serial
+``for`` loop would.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map"]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: int | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every item, in parallel, preserving input order.
+
+    Args:
+        fn: the work function; must not share mutable state across items.
+        items: the inputs; consumed eagerly.
+        max_workers: pool size (``None`` = the executor's default).
+
+    Returns:
+        ``[fn(x) for x in items]`` — same values, same order.
+    """
+    items = list(items)
+    if len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(fn, items))

@@ -43,7 +43,7 @@ from ..runtime.protocol import Protocol, guarded
 from ..runtime.services import Service
 from ..types import Decision, ProcessId, RunStats, SystemConfig
 from .events import Event, EventQueue
-from .latency import LatencyModel, UniformLatency
+from .latency import ConstantLatency, LatencyModel, UniformLatency
 from .scheduler import DeliveryScheduler, FairScheduler
 from .trace import Tracer
 
@@ -166,12 +166,35 @@ class Simulation:
             pid: [] for pid in config.processes
         }
         self._started = False
+        self._correct = [p for p in config.processes if p not in faulty]
+        # O(1) stop condition: the set shrinks as correct processes decide,
+        # so the per-event check is a truth test, not an O(n) scan.
+        self._undecided_correct = set(self._correct)
+        # Hot-path specializations, resolved once instead of per message.
+        # The no-op FairScheduler is skipped outright; the two stateless
+        # latency models are inlined with the *same* arithmetic on the same
+        # rng stream, keeping runs bit-identical to the generic path.
+        self._fair_scheduler = type(self.scheduler) is FairScheduler
+        self._uniform_params: tuple[float, float] | None = None
+        if type(self.latency) is UniformLatency:
+            low = self.latency.low
+            span = self.latency.high - low
+            self._uniform_params = (low, span)
+            rand = self.rng.random
+            self._sample_latency = lambda src, dst: low + span * rand()
+        elif type(self.latency) is ConstantLatency:
+            delay = self.latency.delay
+            self._sample_latency = lambda src, dst: delay
+        else:
+            model = self.latency
+            rng = self.rng
+            self._sample_latency = lambda src, dst: model.sample(rng, src, dst)
 
     # -- public API ---------------------------------------------------------------
 
     @property
     def correct(self) -> list[ProcessId]:
-        return [p for p in self.config.processes if p not in self.faulty]
+        return list(self._correct)
 
     def run_until_decided(self) -> RunResult:
         """Run until every correct process has decided.
@@ -193,7 +216,7 @@ class Simulation:
     # -- engine ---------------------------------------------------------------------
 
     def _all_correct_decided(self, sim: "Simulation") -> bool:
-        return all(self._states[p].decision is not None for p in self.correct)
+        return not self._undecided_correct
 
     def _run(self, stop: Callable[["Simulation"], bool] | None) -> RunResult:
         if not self._started:
@@ -204,14 +227,24 @@ class Simulation:
         while self.queue:
             if stop is not None and stop(self):
                 break
-            event = self.queue.pop()
-            self.time = max(self.time, event.time)
+            # Raw heap entries: flat deliver tuples skip Event construction
+            # entirely on the pop side too (see EventQueue.pop_entry).
+            entry = self.queue.pop_entry()
+            time = entry[0]
+            if time > self.time:
+                self.time = time
             processed += 1
             if processed > self.max_events:
                 raise SimulationError(
                     f"exceeded max_events={self.max_events}; likely livelock"
                 )
-            self._dispatch(event)
+            if len(entry) == 3:
+                event = entry[2]
+                self._dispatch_fields(
+                    event.kind, event.dst, event.sender, event.payload, event.depth
+                )
+            else:
+                self._dispatch_fields("deliver", entry[2], entry[3], entry[4], entry[5])
         else:
             if stop is not None and not stop(self):
                 undecided = frozenset(
@@ -221,20 +254,30 @@ class Simulation:
         return self._result()
 
     def _dispatch(self, event: Event) -> None:
-        state = self._states[event.dst]
-        if event.kind == "start":
+        self._dispatch_fields(
+            event.kind, event.dst, event.sender, event.payload, event.depth
+        )
+
+    def _dispatch_fields(
+        self, kind: str, dst: ProcessId, sender: ProcessId, payload: Any, depth: int
+    ) -> None:
+        state = self._states[dst]
+        if kind == "start":
             effects = state.protocol.on_start()
         else:
-            state.depth = max(state.depth, event.depth)
+            if depth > state.depth:
+                state.depth = depth
             self.stats.messages_delivered += 1
-            self.tracer.record(
-                self.time,
-                event.dst,
-                "deliver",
-                {"from": event.sender, "payload": event.payload, "depth": event.depth},
-            )
-            effects = guarded(state.protocol, event.sender, event.payload)
-        self._apply_effects(event.dst, effects, event.depth)
+            if self.tracer.enabled:
+                self.tracer.record(
+                    self.time,
+                    dst,
+                    "deliver",
+                    {"from": sender, "payload": payload, "depth": depth},
+                )
+            effects = guarded(state.protocol, sender, payload)
+        if effects:
+            self._apply_effects(dst, effects, depth)
 
     def _apply_effects(self, pid: ProcessId, effects: list[Effect], depth: int) -> None:
         # ``depth`` is the causal depth of the event being handled; outgoing
@@ -248,14 +291,51 @@ class Simulation:
             if isinstance(effect, Send):
                 self._send(pid, effect.dst, effect.payload, depth + 1)
             elif isinstance(effect, Broadcast):
-                for dst in self.config.processes:
-                    self._send(pid, dst, effect.payload, depth + 1)
+                # Inlined fan-out of _send: one Broadcast becomes n queue
+                # pushes, the single hottest loop of a simulated run.
+                payload = effect.payload
+                message_depth = depth + 1
+                time = self.time
+                push = self.queue.push_deliver
+                params = self._uniform_params
+                if params is not None and self._fair_scheduler:
+                    # Uniform latency, no adversarial delay: sample inline
+                    # with the exact random.Random.uniform arithmetic so the
+                    # rng stream stays bit-identical to the generic path.
+                    low, span = params
+                    rand = self.rng.random
+                    for dst in self.config.processes:
+                        if dst == pid:
+                            push(time, dst, pid, payload, message_depth)
+                        else:
+                            push(
+                                time + low + span * rand(),
+                                dst,
+                                pid,
+                                payload,
+                                message_depth,
+                            )
+                else:
+                    sample = self._sample_latency
+                    fair = self._fair_scheduler
+                    for dst in self.config.processes:
+                        if dst == pid:
+                            delay = 0.0
+                        else:
+                            delay = sample(pid, dst)
+                            if not fair:
+                                delay += self.scheduler.extra_delay(
+                                    self.rng, pid, dst, payload, time
+                                )
+                        push(time + delay, dst, pid, payload, message_depth)
+                self.stats.messages_sent += self.config.n
             elif isinstance(effect, Decide):
                 if state.decision is None:
                     state.decision = Decision(
                         effect.value, effect.kind, step=depth, time=self.time
                     )
                     self.stats.record_decision(pid, state.decision)
+                    self._undecided_correct.discard(pid)
                     self.tracer.record(
                         self.time,
                         pid,
@@ -286,11 +366,10 @@ class Simulation:
         if dst == src:
             delay = 0.0
         else:
-            delay = self.latency.sample(self.rng, src, dst)
-            delay += self.scheduler.extra_delay(self.rng, src, dst, payload, self.time)
-        self.queue.push(
-            Event(self.time + delay, "deliver", dst=dst, sender=src, payload=payload, depth=depth)
-        )
+            delay = self._sample_latency(src, dst)
+            if not self._fair_scheduler:
+                delay += self.scheduler.extra_delay(self.rng, src, dst, payload, self.time)
+        self.queue.push_deliver(self.time + delay, dst, src, payload, depth)
 
     def _call_service(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
         service = self.services.get(call.service)
@@ -303,15 +382,8 @@ class Simulation:
             # outermost envelope ends up on the outside.
             for component in reversed(reply.reply_path):
                 payload = Envelope(component, payload)
-            self.queue.push(
-                Event(
-                    self.time + reply.delay,
-                    "deliver",
-                    dst=reply.dst,
-                    sender=SERVICE_SENDER,
-                    payload=payload,
-                    depth=reply.depth,
-                )
+            self.queue.push_deliver(
+                self.time + reply.delay, reply.dst, SERVICE_SENDER, payload, reply.depth
             )
 
     def _result(self) -> RunResult:

@@ -1,0 +1,330 @@
+"""Equivalence suite for the incremental hot-path engine.
+
+Four pillars, mirroring the engine's layers:
+
+* ``ViewStats`` matches the batch :class:`~repro.conditions.views.View`
+  observations after *every* one of thousands of randomized single-entry
+  updates (including mixed int/str alphabets, ``None`` as a value, and
+  rejected re-binds);
+* the incremental predicate fast paths (``p1_incremental``/``p2_incremental``
+  /``f_incremental``) agree with the batch predicates on random views;
+* the multiset-weighted exhaustive enumerator reproduces brute-force
+  coverage exactly (same integers, hence bit-identical fractions);
+* ``run_many(parallel=True)`` aggregates identically to the serial path,
+  and replaying the frozen seed fixture reproduces the pre-engine
+  decisions bit-for-bit.
+"""
+
+import json
+import pathlib
+import random
+from collections import Counter
+
+import pytest
+
+from repro.analysis.coverage import exact_space_coverage, pair_coverage
+from repro.conditions.frequency import FrequencyPair
+from repro.conditions.generators import all_vectors, multiset_vectors
+from repro.conditions.incremental import ViewStats
+from repro.conditions.privileged import PrivilegedPair
+from repro.conditions.views import View
+from repro.harness import (
+    Collapse,
+    Crash,
+    Equivocate,
+    Scenario,
+    Silent,
+    Spoiler,
+    bosco_strong,
+    bosco_weak,
+    brasileiro,
+    dex_freq,
+    dex_prv,
+    izumi,
+    twostep,
+)
+from repro.types import BOTTOM
+from repro.workloads.inputs import split, unanimous
+
+DATA = pathlib.Path(__file__).parent / "data" / "seed_decisions.json"
+
+ALPHABETS = [
+    [0, 1],
+    [1, 2, 3],
+    list(range(7)),
+    ["a", "b", "c"],
+    [1, 2, "a", "b"],  # mixed: exercises the order_key tie-break fallback
+    [None, 1, 2],  # None is a proposable value, distinct from unbound
+]
+
+
+class TestViewStatsEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_batch_view_after_every_update(self, seed):
+        rng = random.Random(seed)
+        for _ in range(20):
+            n = rng.randint(1, 24)
+            alphabet = rng.choice(ALPHABETS)
+            stats = ViewStats(n)
+            entries = [BOTTOM] * n
+            # Twice as many attempts as slots: roughly half are re-binds,
+            # which must be rejected without perturbing the statistics.
+            for _ in range(2 * n):
+                index = rng.randrange(n)
+                value = rng.choice(alphabet)
+                bound = stats.set_entry(index, value)
+                assert bound == (entries[index] is BOTTOM)
+                if bound:
+                    entries[index] = value
+                view = View(entries)
+                assert stats.known == view.known
+                assert stats.first() == view.first()
+                assert stats.second() == view.second()
+                assert stats.frequency_gap() == view.frequency_gap()
+                assert stats.is_complete == view.is_complete
+                assert stats.count(BOTTOM) == view.count(BOTTOM)
+                for v in alphabet:
+                    assert stats.count(v) == view.count(v)
+                # Expected top-two counts straight from a histogram: asking
+                # the View for count(second()) would inherit the ambiguity
+                # of None-as-a-value, which is exactly what ViewStats avoids.
+                ordered = sorted(
+                    Counter(e for e in entries if e is not BOTTOM).values(),
+                    reverse=True,
+                )
+                assert stats.first_count == (ordered[0] if ordered else 0)
+                assert stats.second_count == (
+                    ordered[1] if len(ordered) > 1 else 0
+                )
+                assert stats.as_view() == view
+                assert stats.entries == tuple(entries)
+
+    def test_rejects_bottom_and_rebinds(self):
+        stats = ViewStats(3)
+        with pytest.raises(ValueError):
+            stats.set_entry(0, BOTTOM)
+        assert stats.set_entry(0, 5)
+        assert not stats.set_entry(0, 7)  # binding first write wins
+        assert stats.count(5) == 1 and stats.count(7) == 0
+
+    def test_from_entries_roundtrip(self):
+        entries = [1, BOTTOM, 2, 1, BOTTOM]
+        stats = ViewStats.from_entries(entries)
+        assert stats.entries == tuple(entries)
+        assert stats.as_view() == View(entries)
+        assert stats.first() == 1 and stats.first_count == 2
+
+    def test_empty_view(self):
+        stats = ViewStats(4)
+        assert stats.first() is None and stats.second() is None
+        assert stats.frequency_gap() == 0
+        assert stats.first_count == 0 and stats.second_count == 0
+
+
+class TestIncrementalPredicates:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fast_paths_match_batch_predicates(self, seed):
+        rng = random.Random(1000 + seed)
+        pairs = [FrequencyPair(13, 2), PrivilegedPair(13, 2, privileged=1)]
+        for _ in range(200):
+            pair = rng.choice(pairs)
+            entries = [
+                rng.choice([BOTTOM, 1, 2, 3]) for _ in range(pair.n)
+            ]
+            stats = ViewStats.from_entries(entries)
+            view = View(entries)
+            assert pair.p1_incremental(stats) == pair.p1(view)
+            assert pair.p2_incremental(stats) == pair.p2(view)
+            if view.known:
+                assert pair.f_incremental(stats) == pair.f(view)
+
+    def test_default_hooks_fall_back_to_batch(self):
+        # A custom pair built on the base class overrides no *_incremental
+        # hook, so the defaults must route through the as_view() adapter —
+        # note it must NOT subclass a shipped pair, whose fast paths it
+        # would inherit.
+        from repro.conditions.base import (
+            ConditionSequence,
+            ConditionSequencePair,
+            PredicateCondition,
+        )
+
+        class OnlyOnes(ConditionSequencePair):
+            def p1(self, view):
+                return view.count(1) == self.n
+
+            def p2(self, view):
+                return view.count(1) >= self.n - self.t
+
+            def f(self, view):
+                return 1
+
+            def one_step_sequence(self):
+                return ConditionSequence(
+                    [PredicateCondition(self.p1)] * (self.t + 1)
+                )
+
+            def two_step_sequence(self):
+                return ConditionSequence(
+                    [PredicateCondition(self.p2)] * (self.t + 1)
+                )
+
+        pair = OnlyOnes(7, 1)
+        assert not pair.histogram_invariant  # base default: full enumeration
+        stats = ViewStats.from_entries([1] * 7)
+        assert pair.p1_incremental(stats)
+        assert pair.f_incremental(stats) == 1
+        stats2 = ViewStats.from_entries([1] * 6 + [2])
+        assert not pair.p1_incremental(stats2)
+        assert pair.p2_incremental(stats2)
+
+
+class TestSubclassSafety:
+    def test_batch_override_disables_inherited_fast_path(self):
+        # The E10 ablation pattern: a shipped-pair subclass that rewrites a
+        # batch predicate must not have it bypassed by the parent's O(1)
+        # fast path.
+        class NoTwoStep(FrequencyPair):
+            def p2(self, view):
+                return False
+
+        pair = NoTwoStep(13, 2)
+        stats = ViewStats.from_entries([1] * 10 + [2] * 3)  # gap 7 > 2t
+        assert FrequencyPair(13, 2).p2_incremental(stats)
+        assert not pair.p2_incremental(stats)
+        # p1 untouched -> the inherited fast path survives
+        assert pair.p1_incremental.__func__ is FrequencyPair.p1_incremental
+
+    def test_histogram_claim_not_inherited_past_overrides(self):
+        class NoTwoStep(FrequencyPair):
+            def p2(self, view):
+                return False
+
+        class Redeclared(FrequencyPair):
+            histogram_invariant = True
+
+            def p2(self, view):
+                return False
+
+        assert not NoTwoStep.histogram_invariant  # claim dropped, safe default
+        assert Redeclared.histogram_invariant  # explicit redeclaration wins
+        assert FrequencyPair.histogram_invariant
+
+
+class TestMultisetCoverage:
+    @pytest.mark.parametrize(
+        "pair",
+        [FrequencyPair(7, 1), PrivilegedPair(7, 1, privileged=1)],
+        ids=["freq", "prv"],
+    )
+    def test_matches_brute_force_exactly(self, pair):
+        values = [1, 2]
+        brute = pair_coverage(
+            pair, list(all_vectors(values, pair.n)), range(pair.t + 1)
+        )
+        multiset = exact_space_coverage(pair, values, range(pair.t + 1))
+        assert multiset == brute  # identical floats, not approximately
+
+    def test_three_values(self):
+        pair = FrequencyPair(7, 1)
+        values = [1, 2, 3]
+        brute = pair_coverage(
+            pair, list(all_vectors(values, pair.n)), range(pair.t + 1)
+        )
+        assert exact_space_coverage(pair, values, range(pair.t + 1)) == brute
+
+    def test_weights_sum_to_space_size(self):
+        for n, values in [(7, [1, 2]), (5, [1, 2, 3]), (31, [1, 2])]:
+            total = sum(w for _, w in multiset_vectors(values, n))
+            assert total == len(values) ** n
+
+    def test_multiset_count_is_stars_and_bars(self):
+        import math
+
+        for n, k in [(7, 2), (5, 3), (31, 2)]:
+            vectors = list(multiset_vectors(list(range(k)), n))
+            assert len(vectors) == math.comb(n + k - 1, k - 1)
+
+    def test_custom_pair_falls_back_to_full_enumeration(self):
+        class PositionSensitive(FrequencyPair):
+            histogram_invariant = False
+
+        pair = PositionSensitive(7, 1)
+        fallback = exact_space_coverage(pair, [1, 2], range(2))
+        reference = exact_space_coverage(FrequencyPair(7, 1), [1, 2], range(2))
+        assert fallback == reference
+
+    def test_parallel_pair_coverage_identical(self):
+        pair = FrequencyPair(7, 1)
+        vectors = list(all_vectors([1, 2], pair.n))
+        serial = pair_coverage(pair, vectors, range(2))
+        parallel = pair_coverage(pair, vectors, range(2), parallel=True)
+        assert serial == parallel
+
+
+class TestParallelRunMany:
+    def test_parallel_aggregate_identical_to_serial(self):
+        scenario = Scenario(dex_freq(), split(1, 2, 13, 3), faults={12: Silent()})
+        serial = scenario.run_many(range(10), expected_value=1)
+        parallel = scenario.run_many(
+            range(10), expected_value=1, parallel=True, max_workers=4
+        )
+        assert parallel.summary() == serial.summary()
+        assert parallel.max_steps == serial.max_steps
+        assert parallel.confidence_interval() == serial.confidence_interval()
+
+    def test_parallel_single_seed_and_empty(self):
+        scenario = Scenario(dex_freq(), unanimous(1, 7))
+        assert scenario.run_many([5], parallel=True).runs == 1
+        assert scenario.run_many([], parallel=True).runs == 0
+
+
+SEED_ALGOS = {
+    "dex-freq": dex_freq,
+    "dex-prv": dex_prv,
+    "bosco-weak": bosco_weak,
+    "bosco-strong": bosco_strong,
+    "izumi": izumi,
+    "brasileiro": brasileiro,
+    "twostep": twostep,
+}
+SEED_FAULTS = {
+    None: lambda n: {},
+    "silent": lambda n: {n - 1: Silent()},
+    "crash": lambda n: {n - 1: Crash(budget=3)},
+    "equivocate": lambda n: {n - 1: Equivocate(1, 2)},
+    "spoiler": lambda n: {n - 1: Spoiler(fallback=2)},
+    "collapse": lambda n: {n - 1: Collapse(2)},
+}
+SEED_INPUTS = {
+    "unanimous": lambda n: unanimous(1, n),
+    "split3": lambda n: split(1, 2, n, 3),
+    "split5": lambda n: split(1, 2, n, 5),
+}
+
+
+class TestSeedDeterminismRegression:
+    """Replay the frozen pre-engine fixture: decisions, decision kinds,
+    step counts and message totals must be bit-identical for fixed seeds."""
+
+    def test_fixture_present_and_plural(self):
+        records = json.loads(DATA.read_text())
+        assert len(records) > 100
+
+    def test_replays_seed_fixture_exactly(self):
+        records = json.loads(DATA.read_text())
+        for rec in records:
+            result = Scenario(
+                SEED_ALGOS[rec["algorithm"]](),
+                SEED_INPUTS[rec["inputs"]](rec["n"]),
+                faults=SEED_FAULTS[rec["fault"]](rec["n"]),
+                seed=rec["seed"],
+            ).run()
+            got = {
+                str(pid): [d.value, d.kind.value, d.step]
+                for pid, d in sorted(result.correct_decisions.items())
+            }
+            assert got == rec["decisions"], (
+                rec["algorithm"], rec["n"], rec["inputs"], rec["fault"], rec["seed"]
+            )
+            assert result.stats.messages_sent == rec["messages_sent"]
