@@ -17,8 +17,10 @@ from collections import Counter
 from ..broadcast.idb import IdbInit
 from ..core.dex import DexProposal
 from ..runtime.composite import Envelope
-from ..runtime.effects import Broadcast, Effect
+from ..runtime.effects import Broadcast, Decide, Deliver, Effect, ServiceCall
+from ..runtime.protocol import Protocol, guarded
 from ..types import ProcessId, SystemConfig, Value
+from ..underlying.oracle import SERVICE_NAME, OracleProposal
 from .adversary import ByzantineBehavior
 
 
@@ -87,6 +89,53 @@ class SpoilerBehavior(ByzantineBehavior):
             Broadcast(Envelope("idb", IdbInit(spoiler))),
             self.log("spoiler-attack", value=spoiler, observed=len(self._observed)),
         ]
+
+
+class FallbackSaboteur(ByzantineBehavior):
+    """Race a poison value into the underlying consensus, then act honest.
+
+    The oracle underlying consensus accepts at most one proposal per
+    caller, first write wins — so a Byzantine process that fires its
+    ``UC_propose`` *before* running its honest start code locks its slot in
+    the quorum to an arbitrary value.  Above the resilience bound this is
+    provably harmless (any ``n − t`` quorum still has a correct majority);
+    the model checker uses it to probe exactly that claim, and to help
+    break under-resilient configurations where one poisoned slot can tip
+    the most-frequent count.
+
+    Args:
+        inner: the honest protocol instance to run (its own later proposal
+            is ignored by the oracle's first-write-wins rule).
+        uc_value: the poison proposal.
+        service: oracle service name.
+        instance: consensus instance key.
+    """
+
+    def __init__(
+        self,
+        inner: Protocol,
+        uc_value: Value,
+        service: str = SERVICE_NAME,
+        instance: object = 0,
+    ) -> None:
+        super().__init__(inner.process_id, inner.config)
+        self.inner = inner
+        self.uc_value = uc_value
+        self.service = service
+        self.instance = instance
+
+    @staticmethod
+    def _filter(effects: list[Effect]) -> list[Effect]:
+        # A faulty process's outputs are meaningless; everything else —
+        # including its honest-looking traffic — passes through.
+        return [e for e in effects if not isinstance(e, (Decide, Deliver))]
+
+    def on_start(self) -> list[Effect]:
+        poison = ServiceCall(self.service, OracleProposal(self.instance, self.uc_value))
+        return [poison, *self._filter(self.inner.on_start())]
+
+    def on_message(self, sender: ProcessId, payload: object) -> list[Effect]:
+        return self._filter(guarded(self.inner, sender, payload))
 
 
 class GapCollapser(ByzantineBehavior):

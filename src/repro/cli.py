@@ -8,7 +8,11 @@ Commands:
 * ``coverage``  — closed-form fast-path coverage curves for the two-value
   workload model;
 * ``legality``  — mechanically check LT1/LT2/LA3/LA4/LU5 for a pair;
-* ``conditions``— adaptive condition levels of a concrete input vector.
+* ``conditions``— adaptive condition levels of a concrete input vector;
+* ``check``     — model-check the named verification suite
+  (:mod:`repro.mc`): exhaustive schedule exploration within delay
+  bounds, per enumerated byzantine variant;
+* ``bench``     — hot-path micro-benchmarks.
 
 Every command prints plain-text tables (diff-friendly) and returns a
 non-zero exit code on property violations, so the CLI can serve as a
@@ -34,6 +38,7 @@ from .harness import (
     Equivocate,
     Fault,
     Garbage,
+    Saboteur,
     Scenario,
     Silent,
     Spoiler,
@@ -92,6 +97,10 @@ def _parse_fault(spec: str) -> tuple[int, Fault]:
         if not args:
             raise argparse.ArgumentTypeError("collapse needs a value")
         return pid, Collapse(args[0])
+    if kind == "saboteur":
+        if not args:
+            raise argparse.ArgumentTypeError("saboteur needs a poison value")
+        return pid, Saboteur(args[0])
     raise argparse.ArgumentTypeError(f"unknown fault kind {kind!r}")
 
 
@@ -118,7 +127,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault", "-f", dest="faults", type=_parse_fault,
                      action="append", default=[],
                      help="pid:kind[:args], repeatable (silent, crash, "
-                          "equivocate, garbage, spoiler, collapse)")
+                          "equivocate, garbage, spoiler, collapse, saboteur)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--runs", type=int, default=1,
                      help="run this many seeds (seed..seed+runs-1) and print "
@@ -145,6 +154,15 @@ def _build_parser() -> argparse.ArgumentParser:
     conditions = sub.add_parser("conditions", help="condition levels of an input")
     conditions.add_argument("--inputs", "-i", type=_parse_inputs, default=None)
     conditions.add_argument("--n", type=int, default=13)
+
+    check = sub.add_parser(
+        "check",
+        help="model-check the named verification suite (repro.mc)",
+    )
+    check.add_argument("--smoke", action="store_true",
+                       help="tightened bounds for CI (seconds, not minutes)")
+    check.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable report on stdout")
 
     bench = sub.add_parser("bench", help="hot-path benchmarks -> BENCH_hotpath.json")
     bench.add_argument("--repeats", type=int, default=3)
@@ -271,6 +289,45 @@ def _cmd_conditions(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    import json
+
+    from .mc.suite import run_suite
+
+    reports = run_suite(smoke=args.smoke)
+    if args.as_json:
+        print(json.dumps([r.describe() for r in reports], indent=2))
+        return 0 if all(r.ok for r in reports) else 1
+    rows = []
+    for report in reports:
+        verdict = "ok" if report.ok else "FAIL"
+        if report.expect_violation and report.ok:
+            verdict = f"ok (violation @ {report.violation_budget} delays)"
+        rows.append(
+            {
+                "check": report.name,
+                "config": report.config,
+                "budget": report.delay_budget,
+                "variants": len(report.variants),
+                "states": report.states,
+                "complete": "yes" if report.complete else "capped",
+                "time": f"{report.elapsed:.1f}s",
+                "verdict": verdict,
+            }
+        )
+    title = "Verification suite" + (" (smoke)" if args.smoke else "")
+    print(format_table(rows, title=title))
+    failed = [r for r in reports if not r.ok]
+    for report in failed:
+        print(f"\n{report.name}: FAILED — {report.description}")
+        if report.counterexample is not None:
+            ce = report.counterexample
+            print(f"  {ce.invariant}: {ce.detail}")
+            for src, dst, payload in ce.schedule:
+                print(f"    deliver {src} -> {dst}: {payload}")
+    return 1 if failed else 0
+
+
 def _cmd_bench(args) -> int:
     from .metrics.bench import DEFAULT_SIZES, write_hotpath_bench
 
@@ -294,6 +351,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "coverage": _cmd_coverage,
         "legality": _cmd_legality,
         "conditions": _cmd_conditions,
+        "check": _cmd_check,
         "bench": _cmd_bench,
     }
     try:

@@ -109,8 +109,8 @@ class ConditionSequencePair(abc.ABC):
     #: ``|V|^n`` vectors to ``C(n+|V|−1, |V|−1)`` weighted multisets.
     histogram_invariant: bool = False
 
-    def __init__(self, n: int, t: int) -> None:
-        if n <= self.required_ratio * t:
+    def __init__(self, n: int, t: int, *, enforce_resilience: bool = True) -> None:
+        if enforce_resilience and n <= self.required_ratio * t:
             raise ConfigurationError(
                 f"{type(self).__name__} requires n > {self.required_ratio}t; "
                 f"got n={n}, t={t}"

@@ -48,9 +48,20 @@ from typing import Optional
 from ..types import BOTTOM, Value, order_key
 from .views import View
 
+def _get_no_value() -> object:
+    """Support pickling of the :data:`_NO_VALUE` singleton (protocol
+    snapshots pickle ``ViewStats``; a bare ``object()`` would come back as
+    a *different* instance and silently break the ``is _NO_VALUE``
+    checks)."""
+    return _NO_VALUE
+
+
 #: Internal "no leader yet" marker — distinct from ``None``, which is a
 #: perfectly proposable value.
-_NO_VALUE = object()
+_NO_VALUE = type("NoValue", (), {
+    "__repr__": lambda self: "<no-value>",
+    "__reduce__": lambda self: (_get_no_value, ()),
+})()
 
 
 def _prefer(a: Value, b: Value) -> bool:

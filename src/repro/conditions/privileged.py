@@ -55,8 +55,10 @@ class PrivilegedPair(ConditionSequencePair):
     required_ratio = 5
     histogram_invariant = True  # #_m(I) is a pure function of the histogram
 
-    def __init__(self, n: int, t: int, privileged: Value) -> None:
-        super().__init__(n, t)
+    def __init__(
+        self, n: int, t: int, privileged: Value, *, enforce_resilience: bool = True
+    ) -> None:
+        super().__init__(n, t, enforce_resilience=enforce_resilience)
         self.privileged = privileged
 
     def p1(self, view: View) -> bool:

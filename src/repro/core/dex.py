@@ -35,12 +35,22 @@ from ..conditions.views import View
 from ..errors import ConfigurationError, ResilienceError
 from ..runtime.composite import CompositeProtocol
 from ..runtime.effects import Broadcast, Decide, Deliver, Effect
+from ..runtime.protocol import Protocol
 from ..types import DecisionKind, ProcessId, SystemConfig, Value
 from ..underlying.base import UC_DECIDE_TAG, UnderlyingConsensus
 from ..underlying.oracle import OracleConsensus
 
 #: Factory signature for the underlying consensus child ("uc" slot).
 UcFactory = Callable[[ProcessId, SystemConfig], UnderlyingConsensus]
+
+#: Factory signature for the identical-broadcast child ("idb" slot).  The
+#: returned protocol must expose ``id_send(value) -> list[Effect]`` and
+#: surface ``Deliver(tag=IDB_DELIVER_TAG, sender=origin, value=m)`` upcalls —
+#: the default is the real witness-based :class:`IdenticalBroadcast`; the
+#: model checker substitutes the trusted oracle abstraction
+#: (:class:`repro.mc.abstraction.OracleIdb`) to shrink the schedule space
+#: while keeping exactly the three IDB properties the DEX proof consumes.
+IdbFactory = Callable[[ProcessId, SystemConfig], Protocol]
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,6 +83,12 @@ class DexConsensus(CompositeProtocol):
             on service ``"oracle-uc"``).  Pass a
             :class:`~repro.underlying.multivalued.MultivaluedConsensus`
             factory for a fully trusted-component-free run.
+        idb_factory: builds the identical-broadcast child; defaults to the
+            witness-based :class:`~repro.broadcast.idb.IdenticalBroadcast`.
+            The model checker passes the oracle-IDB abstraction here.
+        enforce_resilience: when False, skip the ``n > 5t`` check.  Used by
+            the model checker to *demonstrate* what goes wrong below the
+            bound (EXPERIMENTS.md E17); production runs keep it on.
     """
 
     def __init__(
@@ -82,8 +98,11 @@ class DexConsensus(CompositeProtocol):
         pair: ConditionSequencePair,
         proposal: Value,
         uc_factory: UcFactory | None = None,
+        *,
+        idb_factory: IdbFactory | None = None,
+        enforce_resilience: bool = True,
     ) -> None:
-        if not config.satisfies(5):
+        if enforce_resilience and not config.satisfies(5):
             raise ResilienceError("DEX", config.n, config.t, "n > 5t")
         if (pair.n, pair.t) != (config.n, config.t):
             raise ConfigurationError(
@@ -93,7 +112,8 @@ class DexConsensus(CompositeProtocol):
         super().__init__(process_id, config)
         self.pair = pair
         self.proposal = proposal
-        self._idb = self.add_child("idb", IdenticalBroadcast(process_id, config))
+        make_idb = idb_factory or (lambda pid, cfg: IdenticalBroadcast(pid, cfg))
+        self._idb = self.add_child("idb", make_idb(process_id, config))
         make_uc = uc_factory or (lambda pid, cfg: OracleConsensus(pid, cfg))
         self._uc = self.add_child("uc", make_uc(process_id, config))
         # Running statistics instead of raw entry lists: every quantity the

@@ -344,6 +344,22 @@ class Collapse(Fault):
         return GapCollapser(pid, config, self.value)
 
 
+class Saboteur(Fault):
+    """Poison the underlying consensus, then act honest: races an
+    arbitrary ``UC_propose`` for ``uc_value`` before running the honest
+    start code (see :class:`repro.byzantine.targeted.FallbackSaboteur`).
+    Above the resilience bound this is provably harmless — which is
+    exactly what scenarios deploying it are meant to confirm."""
+
+    def __init__(self, uc_value: Value) -> None:
+        self.uc_value = uc_value
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        from .byzantine.targeted import FallbackSaboteur
+
+        return FallbackSaboteur(make_honest(value), self.uc_value)
+
+
 class Custom(Fault):
     """Escape hatch: any ``(pid, config, make_honest, value) -> Protocol``."""
 

@@ -1,0 +1,131 @@
+"""The oracle-IDB abstraction: trusted Identical Broadcast as a service.
+
+The witness-based IDB implementation costs ``n`` init deliveries plus up to
+``n²`` echo deliveries *per sender* — at ``n = 7`` that multiplies the
+schedule space far beyond exhaustion.  For model checking DEX itself (not
+IDB), the embedded IDB can be replaced by a trusted service that grants
+exactly the three properties Theorem 4 proves and the DEX proofs consume:
+
+* **Termination** — a correct Id-Send is eventually Id-Received everywhere
+  (the service replies to every process immediately; *when* each reply is
+  delivered remains a free schedule choice);
+* **Agreement** — one value per sender, delivered identically (the service
+  keeps the first value per caller; even a Byzantine caller cannot
+  equivocate through it, which is precisely IDB's guarantee);
+* **Validity** — the delivered value is the one the sender Id-Sent.
+
+Causal accounting matches the real protocol: one IDB step costs two plain
+steps (init + echo), so deliveries carry ``depth + 2``.
+
+This is a *sound modular abstraction* for checking DEX: every behavior the
+service exhibits is one the real IDB can exhibit (delivery order stays
+unconstrained per receiver), so a DEX violation found under the abstraction
+maps to a real execution, and verification transfers provided IDB itself is
+verified — which the suite does separately against the witness protocol
+(:mod:`repro.mc.suite`, check ``idb-n5``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..broadcast.idb import DELIVER_TAG
+from ..runtime.effects import Deliver, Effect, ServiceCall
+from ..runtime.protocol import Protocol
+from ..runtime.services import Service, ServiceReply
+from ..types import ProcessId, SystemConfig, Value
+
+#: Default registered name of the trusted IDB service.
+IDB_SERVICE_NAME = "oracle-idb"
+
+#: The abstraction's causal cost per IDB step (init + echo).
+IDB_STEP_COST = 2
+
+
+@dataclass(frozen=True, slots=True)
+class IdbSend:
+    """``Id-Send(value)`` request to the trusted IDB."""
+
+    value: Value
+
+
+@dataclass(frozen=True, slots=True)
+class IdbDeliver:
+    """``Id-Receive`` notification: ``origin`` Id-Sent ``value``."""
+
+    origin: ProcessId
+    value: Value
+
+
+class OracleIdbService(Service):
+    """Trusted realisation of Identical Broadcast.
+
+    One reply per (sender, destination) pair; the first value per sender
+    wins, enforcing IDB agreement against equivocating callers.  Replies
+    are addressed along the *caller's* reply path — all honest processes
+    embed the IDB child under the same component name, so the path routes
+    correctly at every destination (processes without that component drop
+    the payload, exactly as they would ignore real IDB traffic).
+    """
+
+    def __init__(self, config: SystemConfig, step_cost: int = IDB_STEP_COST) -> None:
+        self.config = config
+        self.step_cost = step_cost
+        self._sent: dict[ProcessId, Value] = {}
+
+    def reset(self) -> None:
+        self._sent.clear()
+
+    def on_call(
+        self,
+        caller: ProcessId,
+        payload: Any,
+        depth: int,
+        time: float,
+        reply_path: tuple[str, ...] = (),
+    ) -> list[ServiceReply]:
+        if not isinstance(payload, IdbSend):
+            return []  # garbage from a Byzantine caller
+        if caller in self._sent:
+            return []  # IDB validity: at most one broadcast per sender
+        self._sent[caller] = payload.value
+        announcement = IdbDeliver(caller, payload.value)
+        return [
+            ServiceReply(dst, announcement, depth + self.step_cost, 0.0, reply_path)
+            for dst in self.config.processes
+        ]
+
+
+class OracleIdb(Protocol):
+    """Process-side adapter with the :class:`IdenticalBroadcast` interface.
+
+    Drop-in for DEX's ``idb`` child via the ``idb_factory`` hook: exposes
+    ``id_send`` and surfaces deliveries under the real IDB's
+    ``Deliver`` tag, so :class:`~repro.core.dex.DexConsensus` needs no
+    changes to run on the abstraction.
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        service: str = IDB_SERVICE_NAME,
+    ) -> None:
+        super().__init__(process_id, config)
+        self.service = service
+        self._received: set[ProcessId] = set()
+
+    def id_send(self, value: Value) -> list[Effect]:
+        return [ServiceCall(self.service, IdbSend(value))]
+
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if isinstance(payload, IdbDeliver) and payload.origin not in self._received:
+            self._received.add(payload.origin)
+            return [Deliver(DELIVER_TAG, payload.origin, payload.value)]
+        return []
+
+
+def oracle_idb_factory(service: str = IDB_SERVICE_NAME):
+    """An ``idb_factory`` for :class:`~repro.core.dex.DexConsensus`."""
+    return lambda pid, config: OracleIdb(pid, config, service)

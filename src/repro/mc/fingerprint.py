@@ -1,0 +1,169 @@
+"""Canonical state fingerprinting.
+
+Exhaustive exploration re-reaches the same global state along many
+schedules (independent deliveries commute); fingerprinting merges those
+branches.  Two requirements shape the implementation:
+
+* **canonical** — the digest must be a pure function of state *content*:
+  dicts are folded in sorted key order, sets as sorted multisets, so two
+  states that differ only in container insertion history hash identically;
+* **process-stable** — Python's builtin ``hash`` is salted per interpreter
+  (``PYTHONHASHSEED``), so digests are computed with :mod:`hashlib`
+  (blake2b) over a canonical byte stream instead.  Fingerprints printed in
+  one run mean the same thing in the next.
+
+The feed walks arbitrary object graphs: dataclasses, ``__dict__``/
+``__slots__`` objects (protocol instances, services, ``ViewStats``), enums,
+and callables (byzantine ``group_of`` hooks — folded as qualname plus
+closure contents, so two behaviors differing only in a captured parameter
+fingerprint differently).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any
+
+#: Attribute names never folded into a protocol fingerprint (immutable
+#: identity, mirrored from Protocol._SNAPSHOT_EXCLUDE; config is shared and
+#: constant across the exploration).
+_SKIP_ATTRS = frozenset({"config"})
+
+
+def _slot_names(cls: type) -> list[str]:
+    names: list[str] = []
+    for klass in cls.__mro__:
+        slots = klass.__dict__.get("__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        names.extend(s for s in slots if s not in ("__dict__", "__weakref__"))
+    return names
+
+
+def _attr_items(obj: Any) -> list[tuple[str, Any]]:
+    items: dict[str, Any] = {}
+    for name in _slot_names(type(obj)):
+        if name in _SKIP_ATTRS:
+            continue
+        try:
+            items[name] = getattr(obj, name)
+        except AttributeError:
+            continue
+    if hasattr(obj, "__dict__"):
+        for name, value in obj.__dict__.items():
+            if name not in _SKIP_ATTRS:
+                items[name] = value
+    return sorted(items.items())
+
+
+class _Feeder:
+    """Streams a canonical byte encoding of an object graph into a hash."""
+
+    def __init__(self, hasher) -> None:
+        self._h = hasher
+        self._stack: set[int] = set()  # true-cycle guard (ancestors only)
+
+    def _tag(self, tag: str) -> None:
+        self._h.update(tag.encode())
+        self._h.update(b"\x00")
+
+    def _text(self, text: str) -> None:
+        data = text.encode("utf-8", "surrogatepass")
+        self._h.update(str(len(data)).encode())
+        self._h.update(b":")
+        self._h.update(data)
+
+    def feed(self, obj: Any) -> None:
+        if obj is None or obj is True or obj is False:
+            self._tag(repr(obj))
+            return
+        kind = type(obj)
+        if kind is int or kind is float:
+            self._tag("num")
+            self._text(repr(obj))
+            return
+        if kind is str:
+            self._tag("str")
+            self._text(obj)
+            return
+        if kind is bytes:
+            self._tag("bytes")
+            self._text(obj.hex())
+            return
+        oid = id(obj)
+        if oid in self._stack:
+            self._tag("@cycle")
+            return
+        self._stack.add(oid)
+        try:
+            self._feed_composite(obj, kind)
+        finally:
+            self._stack.discard(oid)
+
+    def _feed_composite(self, obj: Any, kind: type) -> None:
+        if kind is tuple or kind is list:
+            self._tag("seq")
+            for item in obj:
+                self.feed(item)
+            self._tag("/seq")
+        elif kind is dict:
+            self._tag("map")
+            for key, value in sorted(obj.items(), key=_sort_key):
+                self.feed(key)
+                self.feed(value)
+            self._tag("/map")
+        elif kind is set or kind is frozenset:
+            self._tag("set")
+            for item in sorted(obj, key=_item_sort_key):
+                self.feed(item)
+            self._tag("/set")
+        elif isinstance(obj, enum.Enum):
+            self._tag("enum")
+            self._text(type(obj).__name__)
+            self.feed(obj.value)
+        elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            self._tag("dc")
+            self._text(type(obj).__name__)
+            for field in dataclasses.fields(obj):
+                self._text(field.name)
+                self.feed(getattr(obj, field.name))
+            self._tag("/dc")
+        elif callable(obj) and hasattr(obj, "__code__"):
+            # Behaviors carry hooks like ``group_of``; fold the identity of
+            # the code plus whatever the closure captured, never the object
+            # address (reprs of functions embed ids).
+            self._tag("fn")
+            self._text(getattr(obj, "__qualname__", obj.__name__))
+            for cell in obj.__closure__ or ():
+                self.feed(cell.cell_contents)
+            self._tag("/fn")
+        elif hasattr(obj, "__dict__") or _slot_names(kind):
+            self._tag("obj")
+            self._text(kind.__name__)
+            for name, value in _attr_items(obj):
+                self._text(name)
+                self.feed(value)
+            self._tag("/obj")
+        else:
+            self._tag("repr")
+            self._text(repr(obj))
+
+
+def _sort_key(item: tuple[Any, Any]) -> tuple[str, str]:
+    key = item[0]
+    return (type(key).__name__, repr(key))
+
+
+def _item_sort_key(item: Any) -> tuple[str, str]:
+    return (type(item).__name__, repr(item))
+
+
+def fingerprint(*parts: Any) -> str:
+    """Canonical blake2b digest of the given object graph(s)."""
+    hasher = hashlib.blake2b(digest_size=16)
+    feeder = _Feeder(hasher)
+    for part in parts:
+        feeder.feed(part)
+    return hasher.hexdigest()

@@ -1,0 +1,208 @@
+"""Safety invariants checked in every explored state.
+
+Decisions are irrevocable, so all of these are *stable* properties: once
+violated in a state they stay violated in every successor.  That lets the
+explorer check on arrival and prune subtrees whose correct processes have
+all decided.
+
+The condition-based one-step validity check deserves a note.  The paper's
+legality proofs imply that when the correct processes' inputs alone are
+decisive enough, every one-step decision is forced:
+
+* frequency pair — if the gap between the two most frequent *correct*
+  inputs exceeds ``2t``, any ``n − t`` view contains at least that winner
+  with a gap ``> 0`` (at most ``t`` correct entries missing, at most ``t``
+  byzantine entries present), so ``F`` picks the winner;
+* privileged pair — ``P1`` requires ``#_m(J) > 3t ≥ t``, so a one-step
+  decision is always the privileged value ``m``, unconditionally.
+
+:func:`one_step_guarantee` computes the forced value (or ``None`` when the
+inputs are not decisive); :class:`GuaranteedOneStep` enforces it.  A
+violation of this invariant below the resilience bound is exactly the
+failure mode E17 walks through.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter
+from typing import Any
+
+from ..conditions.base import ConditionSequencePair
+from ..conditions.privileged import PrivilegedPair
+from ..types import DecisionKind, ProcessId, Value
+from .state import McSystem
+
+
+class Violation:
+    """One invariant violation observed in a concrete state."""
+
+    def __init__(self, invariant: str, detail: str, system: McSystem) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.decisions = {
+            pid: (value, kind.value, step)
+            for pid, (value, kind, step) in system.correct_decisions().items()
+        }
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "decisions": {
+                str(pid): list(decision) for pid, decision in self.decisions.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"Violation({self.invariant}: {self.detail})"
+
+
+class Invariant(abc.ABC):
+    """A safety predicate over :class:`McSystem` states."""
+
+    name: str = "invariant"
+
+    @abc.abstractmethod
+    def check(self, system: McSystem) -> str | None:
+        """``None`` when the state is fine, else a violation description."""
+
+    def violation(self, system: McSystem) -> Violation | None:
+        detail = self.check(system)
+        if detail is None:
+            return None
+        return Violation(self.name, detail, system)
+
+
+class Agreement(Invariant):
+    """No two correct processes decide different values."""
+
+    name = "agreement"
+
+    def check(self, system: McSystem) -> str | None:
+        values = {value for value, _, _ in system.correct_decisions().values()}
+        if len(values) > 1:
+            return f"correct processes decided {sorted(map(repr, values))}"
+        return None
+
+
+class Unanimity(Invariant):
+    """If every correct process proposed ``v``, only ``v`` may be decided.
+
+    This is condition-based validity in its base case (the all-equal vector
+    belongs to every nonempty legal condition).
+    """
+
+    name = "unanimity"
+
+    def __init__(self, correct_inputs: dict[ProcessId, Value]) -> None:
+        self._unanimous: Value | None = None
+        values = set(correct_inputs.values())
+        if len(values) == 1:
+            self._unanimous = next(iter(values))
+
+    def check(self, system: McSystem) -> str | None:
+        if self._unanimous is None:
+            return None
+        for pid, (value, _, _) in system.correct_decisions().items():
+            if value != self._unanimous:
+                return (
+                    f"inputs unanimously {self._unanimous!r} but "
+                    f"p{pid} decided {value!r}"
+                )
+        return None
+
+
+def one_step_guarantee(
+    pair: ConditionSequencePair, correct_inputs: dict[ProcessId, Value]
+) -> Value | None:
+    """The value every one-step decision is forced to, or ``None``.
+
+    See the module docstring for the derivations.  Returns ``None`` for
+    pair families without a proven forcing argument — the invariant is then
+    vacuous rather than unsound.
+    """
+    if isinstance(pair, PrivilegedPair):
+        return pair.privileged
+    counts = Counter(correct_inputs.values())
+    ranked = counts.most_common(2)
+    if not ranked:
+        return None
+    winner, top = ranked[0]
+    second = ranked[1][1] if len(ranked) > 1 else 0
+    if top - second > 2 * pair.t:
+        return winner
+    return None
+
+
+class GuaranteedOneStep(Invariant):
+    """Condition-based one-step validity: when the correct inputs force a
+    one-step value, every ``ONE_STEP`` decision must equal it."""
+
+    name = "one-step-validity"
+
+    def __init__(
+        self, pair: ConditionSequencePair, correct_inputs: dict[ProcessId, Value]
+    ) -> None:
+        self._forced = one_step_guarantee(pair, correct_inputs)
+
+    def check(self, system: McSystem) -> str | None:
+        if self._forced is None:
+            return None
+        for pid, (value, kind, _) in system.correct_decisions().items():
+            if kind is DecisionKind.ONE_STEP and value != self._forced:
+                return (
+                    f"correct inputs force one-step value {self._forced!r} "
+                    f"but p{pid} one-step decided {value!r}"
+                )
+        return None
+
+
+class DecisionStepBound(Invariant):
+    """No correct decision may cost more than ``max_step`` causal steps.
+
+    With the oracle underlying consensus (``step_cost = 2``) DEX's worst
+    case in well-behaved runs is 4 steps (2-step IDB pipeline + 2-step UC).
+    """
+
+    name = "decision-step-bound"
+
+    def __init__(self, max_step: int) -> None:
+        self.max_step = max_step
+
+    def check(self, system: McSystem) -> str | None:
+        for pid, (_, kind, step) in system.correct_decisions().items():
+            if step > self.max_step:
+                return (
+                    f"p{pid} decided via {kind.value} at step {step} "
+                    f"> bound {self.max_step}"
+                )
+        return None
+
+
+class IdbConsistency(Invariant):
+    """IDB agreement: two correct processes never Id-Receive different
+    values for the same origin (and at most once per origin)."""
+
+    name = "idb-consistency"
+
+    def __init__(self, tag: str = "id-receive") -> None:
+        self.tag = tag
+
+    def check(self, system: McSystem) -> str | None:
+        delivered: dict[ProcessId, Any] = {}
+        for pid in system.correct:
+            seen: set[ProcessId] = set()
+            for tag, origin, value in system.outputs[pid]:
+                if tag != self.tag:
+                    continue
+                if origin in seen:
+                    return f"p{pid} Id-Received twice from origin {origin}"
+                seen.add(origin)
+                if origin in delivered and delivered[origin] != value:
+                    return (
+                        f"origin {origin} Id-Received as {delivered[origin]!r} "
+                        f"and {value!r} at different correct processes"
+                    )
+                delivered.setdefault(origin, value)
+        return None

@@ -1,0 +1,314 @@
+"""The model checker's execution state: protocols × pending messages.
+
+:class:`McSystem` interprets effects with exactly the semantics of the
+discrete-event simulator (:class:`repro.sim.runner.Simulation`) minus time:
+where the simulator orders deliveries by sampled latency, the checker keeps
+every undelivered message in a *pending multiset* and lets the explorer
+pick which one to deliver next.  Everything else matches —
+
+* ``on_start`` runs once per process in pid order (start effects commute:
+  the simulator also executes all starts before any delivery);
+* ``Send``/``Broadcast`` push pending messages at causal depth + 1
+  (broadcasts include the self-copy, as on the wire);
+* ``ServiceCall`` is synchronous (the simulator's services compute replies
+  at call time too); replies become pending messages from
+  ``SERVICE_SENDER``, wrapped per ``reply_path`` exactly like the runner;
+* decisions are first-only per process and record the causal step.
+
+so that a schedule found here replays verbatim on the simulator
+(:mod:`repro.mc.counterexample`).
+
+Branching uses :meth:`McSystem.snapshot` / :meth:`McSystem.restore` built
+on the per-protocol snapshot contract, and :meth:`McSystem.fingerprint` for
+merging converging schedules.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from ..errors import SimulationError
+from ..runtime.composite import Envelope
+from ..runtime.effects import (
+    SERVICE_SENDER,
+    Broadcast,
+    Decide,
+    Deliver,
+    Effect,
+    Log,
+    Send,
+    ServiceCall,
+)
+from ..runtime.protocol import Protocol, guarded
+from ..runtime.services import Service
+from ..types import ProcessId, SystemConfig
+from .fingerprint import fingerprint
+
+
+@dataclass(frozen=True, slots=True)
+class McMessage:
+    """One undelivered message.
+
+    ``uid`` is the global send counter — unique and deterministic within a
+    schedule, used by the explorer to address pending messages.  It is *not*
+    part of the state fingerprint (two schedules reaching the same contents
+    number their messages differently) nor of serialized counterexamples
+    (which match messages by ``(src, dst, payload key)`` instead).
+    """
+
+    uid: int
+    src: ProcessId
+    dst: ProcessId
+    payload: Any
+    depth: int
+
+
+class McSystem:
+    """A branchable global state of one protocol composition.
+
+    Args:
+        config: system parameters.
+        protocols: one protocol per process id (byzantine behaviors
+            included, exactly as for the simulator).
+        services: trusted services by name; service calls execute
+            synchronously and their state is captured by snapshots.
+        faulty: byzantine process ids (invariants quantify over the rest).
+        payload_key: canonical payload encoding used in schedule records
+            (default ``repr``; must match the replay scheduler's).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocols: Mapping[ProcessId, Protocol],
+        services: Mapping[str, Service] | None = None,
+        faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
+        payload_key: Callable[[Any], str] = repr,
+    ) -> None:
+        if set(protocols) != set(config.processes):
+            raise SimulationError(
+                "protocols must cover exactly the process ids of the config"
+            )
+        self.config = config
+        self.protocols = dict(protocols)
+        self.services = dict(services or {})
+        self.faulty = frozenset(faulty)
+        self.payload_key = payload_key
+        self.correct = [p for p in config.processes if p not in self.faulty]
+        self.pending: dict[int, McMessage] = {}
+        #: pid -> (value, DecisionKind, step); first decision only.
+        self.decisions: dict[ProcessId, tuple[Any, Any, int]] = {}
+        #: pid -> [(tag, sender, value)] top-level Deliver upcalls.
+        self.outputs: dict[ProcessId, list[tuple[str, ProcessId, Any]]] = {
+            pid: [] for pid in config.processes
+        }
+        self.counter = 0
+        self.deliveries = 0
+        #: uid -> names of services the delivery of uid called (DPOR
+        #: dependence data; observed at execution, not part of snapshots —
+        #: see Explorer for the soundness argument).
+        self.footprints: dict[int, frozenset[str]] = {}
+        self._footprint: set[str] = set()
+        self._started = False
+        self._services_picklable: bool | None = None
+        # Incremental fingerprint caches: a delivery mutates exactly one
+        # protocol (and the services it calls), so per-process digests are
+        # invalidated selectively instead of re-walking every object graph.
+        self._proto_fp: dict[ProcessId, str | None] = {
+            pid: None for pid in config.processes
+        }
+        self._services_fp: str | None = None
+
+    # -- execution -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Run every process's ``on_start`` (pid order), once."""
+        if self._started:
+            raise SimulationError("McSystem.start() called twice")
+        self._started = True
+        for pid in self.config.processes:
+            self._footprint = set()
+            self._apply(pid, self.protocols[pid].on_start(), depth=0)
+
+    def deliver(self, uid: int) -> frozenset[str]:
+        """Deliver pending message ``uid``; returns its service footprint."""
+        message = self.pending.pop(uid)
+        self._footprint = set()
+        effects = guarded(self.protocols[message.dst], message.src, message.payload)
+        self._apply(message.dst, effects, message.depth)
+        self.deliveries += 1
+        footprint = frozenset(self._footprint)
+        self.footprints[uid] = footprint
+        self._proto_fp[message.dst] = None
+        if footprint:
+            self._services_fp = None
+        return footprint
+
+    def _apply(self, pid: ProcessId, effects: list[Effect], depth: int) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self._push(pid, effect.dst, effect.payload, depth + 1)
+            elif isinstance(effect, Broadcast):
+                for dst in self.config.processes:
+                    self._push(pid, dst, effect.payload, depth + 1)
+            elif isinstance(effect, Decide):
+                if pid not in self.decisions:
+                    self.decisions[pid] = (effect.value, effect.kind, depth)
+            elif isinstance(effect, Deliver):
+                self.outputs[pid].append((effect.tag, effect.sender, effect.value))
+            elif isinstance(effect, ServiceCall):
+                self._call_service(pid, effect, depth)
+            elif isinstance(effect, Log):
+                pass
+            else:
+                raise SimulationError(f"unknown effect {effect!r}")
+
+    def _push(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
+        uid = self.counter
+        self.counter += 1
+        self.pending[uid] = McMessage(uid, src, dst, payload, depth)
+
+    def _call_service(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
+        service = self.services.get(call.service)
+        if service is None:
+            raise SimulationError(f"no service registered under {call.service!r}")
+        self._footprint.add(call.service)
+        for reply in service.on_call(pid, call.payload, depth, 0.0, call.reply_path):
+            payload: Any = reply.payload
+            for component in reversed(reply.reply_path):
+                payload = Envelope(component, payload)
+            self._push(SERVICE_SENDER, reply.dst, payload, reply.depth)
+
+    # -- observability --------------------------------------------------------------
+
+    def all_correct_decided(self) -> bool:
+        return all(pid in self.decisions for pid in self.correct)
+
+    def correct_decisions(self) -> dict[ProcessId, tuple[Any, Any, int]]:
+        return {p: d for p, d in self.decisions.items() if p not in self.faulty}
+
+    def delivery_overtakes(self) -> list[tuple[int, tuple[int, ...]]]:
+        """Pending uids with the older same-destination uids each overtakes.
+
+        Delivering a message *overtakes* every older pending message bound
+        for the same destination.  The explorer's delay budget bounds the
+        number of distinct messages overtaken along a schedule, so the
+        per-candidate data here is the overtaken *set*, not a count: a
+        message that has already been overtaken once is free to overtake
+        again.  The oldest pending message of every destination overtakes
+        nothing, so a budget never deadlocks exploration — the FIFO
+        baseline always remains affordable.
+        """
+        older: dict[ProcessId, list[int]] = {}
+        out: list[tuple[int, tuple[int, ...]]] = []
+        for uid in sorted(self.pending):
+            dst = self.pending[uid].dst
+            seen = older.setdefault(dst, [])
+            out.append((uid, tuple(seen)))
+            seen.append(uid)
+        return out
+
+    def message_key(self, uid: int) -> tuple[ProcessId, ProcessId, int, str]:
+        """Content identity of a pending message (uid-independent).
+
+        Used wherever uid sets from *different* schedules must be compared
+        (the explorer's visited-state dominance check): two schedules
+        reaching the same state may number the same message differently,
+        but its content key is schedule-invariant.
+        """
+        message = self.pending[uid]
+        return (
+            message.src,
+            message.dst,
+            message.depth,
+            self.payload_key(message.payload),
+        )
+
+    def schedule_record(self, uid: int) -> tuple[ProcessId, ProcessId, str]:
+        """The serializable ``(src, dst, payload key)`` form of a pending
+        message — the unit of counterexample traces."""
+        message = self.pending[uid]
+        return (message.src, message.dst, self.payload_key(message.payload))
+
+    # -- branching ------------------------------------------------------------------
+
+    def _services_token(self) -> Any:
+        """Pickle the services when possible (same trade as
+        :meth:`~repro.runtime.protocol.Protocol.snapshot`), else deepcopy."""
+        if self._services_picklable is not False:
+            try:
+                blob = pickle.dumps(self.services, pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                self._services_picklable = False
+            else:
+                self._services_picklable = True
+                return blob
+        return copy.deepcopy(self.services)
+
+    def snapshot(self) -> Any:
+        """Capture the full branchable state as a reusable token."""
+        return (
+            {pid: proto.snapshot() for pid, proto in self.protocols.items()},
+            self._services_token(),
+            dict(self.pending),
+            dict(self.decisions),
+            {pid: list(out) for pid, out in self.outputs.items()},
+            self.counter,
+            self.deliveries,
+            dict(self._proto_fp),
+            self._services_fp,
+        )
+
+    def restore(self, token: Any) -> None:
+        (
+            protocols,
+            services,
+            pending,
+            decisions,
+            outputs,
+            counter,
+            deliveries,
+            proto_fp,
+            services_fp,
+        ) = token
+        for pid, state in protocols.items():
+            self.protocols[pid].restore(state)
+        self.services = (
+            pickle.loads(services)
+            if isinstance(services, bytes)
+            else copy.deepcopy(services)
+        )
+        self.pending = dict(pending)
+        self.decisions = dict(decisions)
+        self.outputs = {pid: list(out) for pid, out in outputs.items()}
+        self.counter = counter
+        self.deliveries = deliveries
+        self._proto_fp = dict(proto_fp)
+        self._services_fp = services_fp
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the global state (uid-independent).
+
+        Per-process digests are cached between deliveries (a delivery
+        mutates one protocol only), which turns the dominant cost of state
+        matching from O(system) into O(one process) per step.
+        """
+        for pid, cached in self._proto_fp.items():
+            if cached is None:
+                self._proto_fp[pid] = fingerprint(self.protocols[pid])
+        if self._services_fp is None:
+            self._services_fp = fingerprint(self.services)
+        key = self.payload_key
+        pending = sorted(
+            (m.src, m.dst, m.depth, key(m.payload)) for m in self.pending.values()
+        )
+        return fingerprint(
+            self._proto_fp,
+            self._services_fp,
+            pending,
+            self.decisions,
+            self.outputs,
+        )

@@ -96,10 +96,55 @@ class ServiceCall(Effect):
 
 @dataclass(frozen=True, slots=True)
 class Log(Effect):
-    """Structured trace record (collected by the runtime when enabled)."""
+    """Structured trace record (collected by the runtime when enabled).
+
+    Unlike the wire-effect dataclasses, ``data`` is a ``dict``, which the
+    generated ``__hash__`` would choke on; the explicit hash below folds the
+    *sorted* items so two logs built from differently-ordered kwargs hash
+    (and compare) identically — state fingerprints must not depend on dict
+    insertion order.
+    """
 
     event: str
     data: dict[str, Any] = field(default_factory=dict)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Log):
+            return NotImplemented
+        return self.event == other.event and self.data == other.data
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.event, tuple(sorted((k, repr(v)) for k, v in self.data.items())))
+        )
+
+
+#: Deterministic rank of each effect class, used by :func:`effect_sort_key`.
+_EFFECT_RANK = {
+    "Send": 0,
+    "Broadcast": 1,
+    "Decide": 2,
+    "Deliver": 3,
+    "ServiceCall": 4,
+    "Log": 5,
+}
+
+
+def effect_sort_key(effect: Effect) -> tuple:
+    """A stable, content-based total-order key for effects.
+
+    Model checking needs canonical orderings that are pure functions of
+    effect *content*: state fingerprints and DPOR independence checks both
+    break if two equal effect lists can serialize differently between runs.
+    ``Log`` data dicts are folded in sorted-key order for exactly that
+    reason; everything else is a frozen dataclass whose ``repr`` is already
+    canonical.
+    """
+    if isinstance(effect, Log):
+        body = (effect.event, tuple(sorted((k, repr(v)) for k, v in effect.data.items())))
+    else:
+        body = (repr(effect),)
+    return (_EFFECT_RANK.get(type(effect).__name__, 99), type(effect).__name__, body)
 
 
 def logs(effects: list[Effect]) -> list[Log]:

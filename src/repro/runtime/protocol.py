@@ -15,6 +15,8 @@ process nor the experiment.
 from __future__ import annotations
 
 import abc
+import copy
+import pickle
 from typing import Any
 
 from ..types import ProcessId, SystemConfig
@@ -48,6 +50,65 @@ class Protocol(abc.ABC):
         Byzantine process cannot forge another sender's identity — only the
         payload is untrusted.
         """
+
+    # -- state capture (model checking, time travel) -----------------------------
+
+    #: Attributes excluded from the default snapshot: immutable identity that
+    #: :meth:`restore` must never clobber.
+    _SNAPSHOT_EXCLUDE: frozenset[str] = frozenset({"process_id", "config"})
+
+    #: Per-class memo: can this protocol's state be pickled?  ``None`` until
+    #: the first snapshot attempt decides.
+    _snapshot_picklable: bool | None = None
+
+    def snapshot(self) -> Any:
+        """Capture this protocol's mutable state as an opaque token.
+
+        The default captures every instance attribute except the identity
+        fields, which covers every protocol in this library (their state is
+        plain attributes holding containers and scalars).  Pickling is
+        several times faster than :func:`copy.deepcopy` and branching
+        explorers snapshot at nearly every state, so the token is a pickle
+        blob whenever the state supports it; protocols whose state holds
+        unpicklables (e.g. behavior closures) fall back to deep copies, the
+        choice memoized per class.  Protocols with large but
+        simply-structured state may override ``snapshot``/:meth:`restore`
+        with a cheaper encoding — the only contract is that
+        ``restore(snapshot())`` is a behavioral no-op and that a token stays
+        valid across multiple restores.
+        """
+        state = {
+            k: v
+            for k, v in self.__dict__.items()
+            if k not in self._SNAPSHOT_EXCLUDE
+        }
+        cls = type(self)
+        if cls._snapshot_picklable is not False:
+            try:
+                blob = pickle.dumps(state, pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                cls._snapshot_picklable = False
+            else:
+                cls._snapshot_picklable = True
+                return blob
+        return copy.deepcopy(state)
+
+    def restore(self, token: Any) -> None:
+        """Reset mutable state to a :meth:`snapshot` token.
+
+        The token is decoded (or copied) again on the way in, so one token
+        supports any number of restores (branching explorers restore the
+        same ancestor snapshot down many paths).
+        """
+        state = (
+            pickle.loads(token)
+            if isinstance(token, bytes)
+            else copy.deepcopy(token)
+        )
+        for k in list(self.__dict__):
+            if k not in self._SNAPSHOT_EXCLUDE:
+                del self.__dict__[k]
+        self.__dict__.update(state)
 
     # -- shared helpers ---------------------------------------------------------
 

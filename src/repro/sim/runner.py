@@ -51,6 +51,8 @@ from .trace import Tracer
 #: benchmarks never comes close to this many events.
 DEFAULT_MAX_EVENTS = 2_000_000
 
+_INF = float("inf")
+
 
 @dataclass
 class RunResult:
@@ -175,6 +177,9 @@ class Simulation:
         # latency models are inlined with the *same* arithmetic on the same
         # rng stream, keeping runs bit-identical to the generic path.
         self._fair_scheduler = type(self.scheduler) is FairScheduler
+        # A dictating scheduler (ReplayScheduler) takes over delivery times
+        # for every message, including self-sends and service replies.
+        self._dictated = bool(getattr(self.scheduler, "dictates_delivery", False))
         self._uniform_params: tuple[float, float] | None = None
         if type(self.latency) is UniformLatency:
             low = self.latency.low
@@ -318,15 +323,23 @@ class Simulation:
                 else:
                     sample = self._sample_latency
                     fair = self._fair_scheduler
+                    dictated = self._dictated
+                    extra = self.scheduler.extra_delay
                     for dst in self.config.processes:
-                        if dst == pid:
+                        if dictated:
+                            delay = extra(self.rng, pid, dst, payload, time)
+                            if delay == _INF:
+                                continue
+                            if delay < 0.0:
+                                delay = 0.0
+                        elif dst == pid:
                             delay = 0.0
                         else:
                             delay = sample(pid, dst)
                             if not fair:
-                                delay += self.scheduler.extra_delay(
-                                    self.rng, pid, dst, payload, time
-                                )
+                                delay += extra(self.rng, pid, dst, payload, time)
+                                if delay < 0.0:
+                                    delay = 0.0
                         push(time + delay, dst, pid, payload, message_depth)
                 self.stats.messages_sent += self.config.n
             elif isinstance(effect, Decide):
@@ -363,12 +376,23 @@ class Simulation:
 
     def _send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
         self.stats.messages_sent += 1
-        if dst == src:
+        if self._dictated:
+            delay = self.scheduler.extra_delay(self.rng, src, dst, payload, self.time)
+            if delay == _INF:
+                return
+            if delay < 0.0:
+                delay = 0.0
+        elif dst == src:
             delay = 0.0
         else:
             delay = self._sample_latency(src, dst)
             if not self._fair_scheduler:
                 delay += self.scheduler.extra_delay(self.rng, src, dst, payload, self.time)
+                # An adversarial scheduler may hand back a negative extra
+                # (e.g. a buggy composition); clamping keeps events out of
+                # the past so simulated time stays monotone.
+                if delay < 0.0:
+                    delay = 0.0
         self.queue.push_deliver(self.time + delay, dst, src, payload, depth)
 
     def _call_service(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
@@ -382,8 +406,17 @@ class Simulation:
             # outermost envelope ends up on the outside.
             for component in reversed(reply.reply_path):
                 payload = Envelope(component, payload)
+            delay = reply.delay
+            if self._dictated:
+                delay = self.scheduler.extra_delay(
+                    self.rng, SERVICE_SENDER, reply.dst, payload, self.time
+                )
+                if delay == _INF:
+                    continue
+                if delay < 0.0:
+                    delay = 0.0
             self.queue.push_deliver(
-                self.time + reply.delay, reply.dst, SERVICE_SENDER, payload, reply.depth
+                self.time + delay, reply.dst, SERVICE_SENDER, payload, reply.depth
             )
 
     def _result(self) -> RunResult:

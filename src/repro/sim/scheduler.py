@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 import random
+from collections import deque
 from collections.abc import Callable, Iterable
 from typing import Any
 
@@ -19,7 +20,19 @@ from ..types import ProcessId
 
 
 class DeliveryScheduler(abc.ABC):
-    """Hook deciding extra delay for each message, after latency sampling."""
+    """Hook deciding extra delay for each message, after latency sampling.
+
+    A scheduler may instead *dictate* delivery outright by setting the class
+    attribute :attr:`dictates_delivery`.  In dictated mode the runner skips
+    latency sampling entirely and consults :meth:`extra_delay` for **every**
+    message — self-sends and service replies included, which the normal path
+    delivers at fixed delays without asking — treating the returned value as
+    the full delay.  ``float("inf")`` means "never deliver".
+    """
+
+    #: When True, the runner hands this scheduler total control of delivery
+    #: times (see class docstring).  Used by :class:`ReplayScheduler`.
+    dictates_delivery: bool = False
 
     @abc.abstractmethod
     def extra_delay(
@@ -102,6 +115,49 @@ class ComposedScheduler(DeliveryScheduler):
         return sum(
             s.extra_delay(rng, src, dst, payload, time) for s in self.schedulers
         )
+
+
+class ReplayScheduler(DeliveryScheduler):
+    """Dictate the exact global delivery order recorded by the model checker.
+
+    The schedule is a sequence of ``(src, dst, payload_key)`` records, one
+    per delivery, in order.  Each pushed message is matched against the next
+    unconsumed record with the same key (FIFO per key — send order is
+    identical between the checker and the simulator, so ties resolve
+    correctly), and scheduled at the absolute time ``rank + 1``.  Causality
+    guarantees those targets are always in the future: a message can only be
+    pushed while handling a delivery of strictly smaller rank.  Messages the
+    schedule never delivers get infinite delay — the runner drops them,
+    which in the asynchronous model is just a delay past the end of the run.
+
+    Args:
+        schedule: delivery records ``(src, dst, payload_key)`` in order.
+        payload_key: canonical key function applied to pushed payloads;
+            must match how the schedule's keys were produced (default
+            ``repr``, which is stable for the frozen message dataclasses).
+    """
+
+    dictates_delivery = True
+
+    def __init__(
+        self,
+        schedule: Iterable[tuple[ProcessId, ProcessId, str]],
+        payload_key: Callable[[Any], str] = repr,
+    ) -> None:
+        self._key = payload_key
+        self._ranks: dict[tuple[ProcessId, ProcessId, str], deque[int]] = {}
+        count = 0
+        for rank, (src, dst, key) in enumerate(schedule):
+            self._ranks.setdefault((src, dst, key), deque()).append(rank)
+            count += 1
+        #: First time strictly after every dictated delivery.
+        self.horizon = float(count + 1)
+
+    def extra_delay(self, rng, src, dst, payload, time) -> float:
+        pending = self._ranks.get((src, dst, self._key(payload)))
+        if not pending:
+            return float("inf")
+        return float(pending.popleft() + 1) - time
 
 
 class PartitionScheduler(DeliveryScheduler):
