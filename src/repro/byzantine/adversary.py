@@ -9,32 +9,36 @@ constraints (beyond sender authentication, which the model guarantees).
 Most useful adversaries are built by *wrapping* the honest protocol and
 perturbing its output: dropping messages mid-broadcast (crash), rewriting
 values per destination (equivocation), or running two honest instances and
-showing a different face to each half of the system.  The wrappers below
-expand every ``Broadcast`` into per-destination ``Send`` effects first, so
-perturbations can differ per receiver.
+showing a different face to each half of the system.  The wrappers are
+:class:`~repro.engine.interpreter.EffectRewriter` subclasses — they state
+only their deviation from honest pass-through as ``rewrite_*`` visitors,
+and the engine's single dispatch path does the effect-type analysis.  With
+:attr:`~repro.engine.interpreter.EffectRewriter.rewriter_expands_broadcasts`
+every ``Broadcast`` is expanded into per-destination ``Send`` effects
+first, so perturbations can differ per receiver.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
-from ..runtime.effects import Broadcast, Decide, Deliver, Effect, Log, Send, ServiceCall
+from ..engine.interpreter import CensoringRewriter, expand_broadcasts
+from ..runtime.effects import Effect, Log, Send, ServiceCall
 from ..runtime.protocol import Protocol, guarded
-from ..types import ProcessId, SystemConfig
+from ..types import ProcessId
+
+__all__ = [
+    "expand_broadcasts",
+    "Mutator",
+    "ByzantineBehavior",
+    "SilentBehavior",
+    "CrashBehavior",
+    "MutatingBehavior",
+    "TwoFacedBehavior",
+]
 
 #: Rewrites an outgoing payload for one destination; ``None`` drops it.
 Mutator = Callable[[ProcessId, Any], Any]
-
-
-def expand_broadcasts(effects: Iterable[Effect], config: SystemConfig) -> list[Effect]:
-    """Replace every ``Broadcast`` with one ``Send`` per process (in id order)."""
-    out: list[Effect] = []
-    for effect in effects:
-        if isinstance(effect, Broadcast):
-            out.extend(Send(dst, effect.payload) for dst in config.processes)
-        else:
-            out.append(effect)
-    return out
 
 
 class ByzantineBehavior(Protocol):
@@ -49,7 +53,7 @@ class SilentBehavior(ByzantineBehavior):
     before the run, equivalently a crash failure at time zero)."""
 
 
-class CrashBehavior(ByzantineBehavior):
+class CrashBehavior(ByzantineBehavior, CensoringRewriter):
     """Run the honest protocol but crash after sending ``budget`` messages.
 
     A crash mid-broadcast (budget smaller than ``n``) leaves the system in
@@ -62,6 +66,8 @@ class CrashBehavior(ByzantineBehavior):
         budget: total number of point-to-point messages allowed out.
     """
 
+    rewriter_expands_broadcasts = True
+
     def __init__(self, inner: Protocol, budget: int) -> None:
         super().__init__(inner.process_id, inner.config)
         if budget < 0:
@@ -69,35 +75,26 @@ class CrashBehavior(ByzantineBehavior):
         self.inner = inner
         self.remaining = budget
         self.crashed = False
+        self._rewrite_stopped = False
 
-    def _filter(self, effects: list[Effect]) -> list[Effect]:
-        out: list[Effect] = []
-        for effect in expand_broadcasts(effects, self.config):
-            if self.crashed:
-                break
-            if isinstance(effect, Send):
-                if self.remaining <= 0:
-                    self.crashed = True
-                    out.append(self.log("crashed"))
-                    break
-                self.remaining -= 1
-                out.append(effect)
-            elif isinstance(effect, (Decide, Deliver)):
-                continue  # a faulty process's outputs are meaningless
-            else:
-                out.append(effect)
-        return out
+    def rewrite_send(self, effect: Send) -> Effect:
+        if self.remaining <= 0:
+            self.crashed = True
+            self.stop_rewrite()
+            return self.log("crashed")
+        self.remaining -= 1
+        return effect
 
     def on_start(self) -> list[Effect]:
-        return self._filter(self.inner.on_start())
+        return self.rewrite_effects(self.inner.on_start())
 
     def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
         if self.crashed:
             return []
-        return self._filter(guarded(self.inner, sender, payload))
+        return self.rewrite_effects(guarded(self.inner, sender, payload))
 
 
-class MutatingBehavior(ByzantineBehavior):
+class MutatingBehavior(ByzantineBehavior, CensoringRewriter):
     """Run the honest protocol but rewrite each outgoing message.
 
     The ``mutator`` sees ``(dst, payload)`` and returns the payload to send
@@ -107,32 +104,28 @@ class MutatingBehavior(ByzantineBehavior):
     tolerates by assumption.
     """
 
+    rewriter_expands_broadcasts = True
+
     def __init__(self, inner: Protocol, mutator: Mutator) -> None:
         super().__init__(inner.process_id, inner.config)
         self.inner = inner
         self.mutator = mutator
+        self._rewrite_stopped = False
 
-    def _filter(self, effects: list[Effect]) -> list[Effect]:
-        out: list[Effect] = []
-        for effect in expand_broadcasts(effects, self.config):
-            if isinstance(effect, Send):
-                mutated = self.mutator(effect.dst, effect.payload)
-                if mutated is not None:
-                    out.append(Send(effect.dst, mutated))
-            elif isinstance(effect, (Decide, Deliver)):
-                continue
-            else:
-                out.append(effect)
-        return out
+    def rewrite_send(self, effect: Send) -> Effect | None:
+        mutated = self.mutator(effect.dst, effect.payload)
+        if mutated is None:
+            return None
+        return Send(effect.dst, mutated)
 
     def on_start(self) -> list[Effect]:
-        return self._filter(self.inner.on_start())
+        return self.rewrite_effects(self.inner.on_start())
 
     def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
-        return self._filter(guarded(self.inner, sender, payload))
+        return self.rewrite_effects(guarded(self.inner, sender, payload))
 
 
-class TwoFacedBehavior(ByzantineBehavior):
+class TwoFacedBehavior(ByzantineBehavior, CensoringRewriter):
     """Run two honest instances and show a different one to each group.
 
     This is the strongest *consistent* equivocation: each half of the
@@ -148,6 +141,8 @@ class TwoFacedBehavior(ByzantineBehavior):
             parity.
     """
 
+    rewriter_expands_broadcasts = True
+
     def __init__(
         self,
         face_a: Protocol,
@@ -158,23 +153,21 @@ class TwoFacedBehavior(ByzantineBehavior):
         self.face_a = face_a
         self.face_b = face_b
         self.group_of = group_of or (lambda dst: "a" if dst % 2 == 0 else "b")
+        self._face = "a"
+        self._rewrite_stopped = False
 
     def _filter(self, effects: list[Effect], face: str) -> list[Effect]:
-        out: list[Effect] = []
-        for effect in expand_broadcasts(effects, self.config):
-            if isinstance(effect, Send):
-                if self.group_of(effect.dst) == face:
-                    out.append(effect)
-            elif isinstance(effect, (Decide, Deliver)):
-                continue
-            elif isinstance(effect, ServiceCall):
-                if face == "a":  # one service identity per process
-                    out.append(effect)
-            elif isinstance(effect, Log):
-                continue
-            else:
-                out.append(effect)
-        return out
+        self._face = face
+        return self.rewrite_effects(effects)
+
+    def rewrite_send(self, effect: Send) -> Effect | None:
+        return effect if self.group_of(effect.dst) == self._face else None
+
+    def rewrite_service_call(self, effect: ServiceCall) -> Effect | None:
+        return effect if self._face == "a" else None  # one service identity
+
+    def rewrite_log(self, effect: Log) -> None:
+        return None
 
     def on_start(self) -> list[Effect]:
         return self._filter(self.face_a.on_start(), "a") + self._filter(

@@ -32,6 +32,7 @@ from .conditions.privileged import PrivilegedPair
 from .conditions.views import View
 from .errors import ReproError
 from .harness import (
+    ENGINES,
     AlgorithmSpec,
     Collapse,
     Crash,
@@ -133,6 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run this many seeds (seed..seed+runs-1) and print "
                           "the aggregate instead of per-process decisions")
     run.add_argument("--uc", choices=["oracle", "real"], default="oracle")
+    run.add_argument("--engine", choices=list(ENGINES), default="sim",
+                     help="execution backend: deterministic discrete-event "
+                          "(sim), real event loop (asyncio), lockstep rounds "
+                          "(sync) or the model checker's FIFO schedule (mc)")
     run.add_argument("--trace", action="store_true", help="print the event trace")
 
     table1 = sub.add_parser("table1", help="print the paper's Table 1")
@@ -166,6 +171,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="hot-path benchmarks -> BENCH_hotpath.json")
     bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny sizes, one repeat — seconds, for CI")
     bench.add_argument("--sizes", type=lambda s: tuple(int(x) for x in s.split(",")),
                        default=None,
                        help="comma-separated instance sizes (default 7,13,19,25,31)")
@@ -189,6 +196,7 @@ def _cmd_run(args) -> int:
         uc=args.uc,
         seed=args.seed,
         trace=args.trace,
+        engine=args.engine,
     )
     if args.runs > 1:
         aggregate = scenario.run_many(range(args.seed, args.seed + args.runs))
@@ -214,7 +222,7 @@ def _cmd_run(args) -> int:
                                    f"t={scenario.config.t}, seed={args.seed}"))
     print(f"messages={result.stats.messages_sent} "
           f"agreement={'ok' if result.agreement_holds() else 'VIOLATED'}")
-    if args.trace:
+    if args.trace and hasattr(result, "tracer"):
         print(result.tracer.format())
     return 0 if result.agreement_holds() else 1
 
@@ -329,12 +337,18 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .metrics.bench import DEFAULT_SIZES, write_hotpath_bench
+    from .metrics.bench import DEFAULT_SIZES, SMOKE_SIZES, write_hotpath_bench
 
+    if args.smoke:
+        sizes = args.sizes or SMOKE_SIZES
+        repeats = 1
+    else:
+        sizes = args.sizes or DEFAULT_SIZES
+        repeats = args.repeats
     path = write_hotpath_bench(
         out=args.out,
-        sizes=args.sizes or DEFAULT_SIZES,
-        repeats=args.repeats,
+        sizes=sizes,
+        repeats=repeats,
     )
     print(path.read_text(), end="")
     print(f"wrote {path}", file=sys.stderr)

@@ -1,0 +1,95 @@
+"""The shared execution substrate behind every runner.
+
+Four backends execute the same sans-IO protocols — the deterministic
+discrete-event :class:`~repro.sim.runner.Simulation`, the
+:class:`~repro.runtime.asyncio_runner.AsyncioRunner`, the lockstep
+:class:`~repro.sim.synchronous.LockstepSimulation` and the model checker's
+:class:`~repro.mc.state.McSystem`.  This package owns what they share:
+
+* :mod:`repro.engine.interpreter` — the single effect-interpretation code
+  path (:func:`interpret` over the :class:`ExecutionPorts` interface) and
+  the single effect-rewriting path (:class:`EffectRewriter`);
+* :mod:`repro.engine.faults` — the unified fault plane;
+* :mod:`repro.engine.events` — the typed run-event stream every backend
+  emits into pluggable sinks.
+
+Import discipline: this package imports only :mod:`repro.runtime`,
+:mod:`repro.types` and :mod:`repro.errors` at module scope (backends and
+behavior modules are imported lazily where needed), so every backend can
+import the engine without cycles.
+"""
+
+from .events import (
+    DecideEvent,
+    DeliverEvent,
+    EventLog,
+    EventSink,
+    EventStats,
+    FaultEvent,
+    LogEvent,
+    OutputEvent,
+    RoundEvent,
+    RunEvent,
+    SendEvent,
+    ServiceEvent,
+    TeeSink,
+    TracerSink,
+    combine,
+)
+from .faults import (
+    Collapse,
+    Crash,
+    Custom,
+    Equivocate,
+    Fault,
+    FaultPlane,
+    Garbage,
+    Saboteur,
+    Silent,
+    Spoiler,
+)
+from .interpreter import (
+    CensoringRewriter,
+    EffectRewriter,
+    ExecutionPorts,
+    dispatch_service_call,
+    expand_broadcasts,
+    interpret,
+)
+
+__all__ = [
+    # interpreter
+    "ExecutionPorts",
+    "interpret",
+    "dispatch_service_call",
+    "expand_broadcasts",
+    "EffectRewriter",
+    "CensoringRewriter",
+    # events
+    "RunEvent",
+    "SendEvent",
+    "DeliverEvent",
+    "DecideEvent",
+    "OutputEvent",
+    "ServiceEvent",
+    "FaultEvent",
+    "LogEvent",
+    "RoundEvent",
+    "EventSink",
+    "EventLog",
+    "EventStats",
+    "TracerSink",
+    "TeeSink",
+    "combine",
+    # faults
+    "Fault",
+    "FaultPlane",
+    "Silent",
+    "Crash",
+    "Equivocate",
+    "Garbage",
+    "Spoiler",
+    "Collapse",
+    "Saboteur",
+    "Custom",
+]

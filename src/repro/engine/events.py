@@ -1,0 +1,252 @@
+"""Structured run events — the cross-engine observability layer.
+
+Every backend emits the same typed events (message sent, message
+delivered, decision, service call, fault activation, …) into an
+:class:`EventSink`.  The legacy :class:`~repro.sim.trace.Tracer` is fed by
+:class:`TracerSink` (exact record-for-record parity with the old inline
+``tracer.record`` calls), metrics can be computed online by
+:class:`EventStats`, and the model checker's counterexample replays record
+an :class:`EventLog` instead of a backend-specific trace.
+
+Events are frozen slotted dataclasses, so a recorded stream is hashable,
+comparable and cheap; ``time`` is whatever clock the backend runs
+(virtual simulated time, wall-clock offsets on asyncio, delivery index in
+the model checker, round number in lockstep mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..types import DecisionKind, ProcessId
+
+__all__ = [
+    "RunEvent",
+    "SendEvent",
+    "DeliverEvent",
+    "DecideEvent",
+    "OutputEvent",
+    "ServiceEvent",
+    "FaultEvent",
+    "LogEvent",
+    "RoundEvent",
+    "EventSink",
+    "EventLog",
+    "TracerSink",
+    "TeeSink",
+    "EventStats",
+    "combine",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RunEvent:
+    """Base class: something observable happened at ``time`` on ``pid``."""
+
+    time: float
+    pid: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class SendEvent(RunEvent):
+    """``pid`` shipped a message to ``dst`` (once per destination)."""
+
+    dst: ProcessId
+    payload: Any
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class DeliverEvent(RunEvent):
+    """``pid`` received (and handled) a message from ``sender``."""
+
+    sender: ProcessId
+    payload: Any
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class DecideEvent(RunEvent):
+    """``pid`` decided ``value`` at causal ``step`` (first decision only)."""
+
+    value: Any
+    kind: DecisionKind
+    step: int
+
+
+@dataclass(frozen=True, slots=True)
+class OutputEvent(RunEvent):
+    """A top-level protocol upcall (e.g. a standalone IDB delivery)."""
+
+    tag: str
+    sender: ProcessId
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceEvent(RunEvent):
+    """``pid`` invoked trusted service ``service``."""
+
+    service: str
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent(RunEvent):
+    """A configured fault became active on ``pid``."""
+
+    fault: str
+    detail: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class LogEvent(RunEvent):
+    """A protocol-level :class:`~repro.runtime.effects.Log` record."""
+
+    event: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class RoundEvent(RunEvent):
+    """The lockstep/synchronous engines advanced to ``round`` (pid is -1)."""
+
+    round: int
+
+
+class EventSink:
+    """Receives run events; the base class swallows everything.
+
+    Backends call :meth:`emit` once per event.  Implement :meth:`emit` for
+    a catch-all sink, or rely on a dispatching subclass.
+    """
+
+    def emit(self, event: RunEvent) -> None:  # pragma: no cover - interface
+        pass
+
+
+class EventLog(EventSink):
+    """Record every event in order (list access via ``.events``)."""
+
+    def __init__(self) -> None:
+        self.events: list[RunEvent] = []
+
+    def emit(self, event: RunEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_type(self, kind: type) -> list[RunEvent]:
+        """The recorded events of one type, in emission order."""
+        return [e for e in self.events if isinstance(e, kind)]
+
+    def decisions(self) -> dict[ProcessId, DecideEvent]:
+        """First decision per process."""
+        out: dict[ProcessId, DecideEvent] = {}
+        for e in self.events:
+            if isinstance(e, DecideEvent) and e.pid not in out:
+                out[e.pid] = e
+        return out
+
+
+class TracerSink(EventSink):
+    """Adapt the event stream onto the legacy :class:`~repro.sim.trace.
+    Tracer` record format, record for record identical to the inline
+    ``tracer.record`` calls the runners used to make.  ``SendEvent``,
+    ``FaultEvent`` and ``RoundEvent`` have no legacy counterpart and are
+    dropped."""
+
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+
+    def emit(self, event: RunEvent) -> None:
+        if isinstance(event, DeliverEvent):
+            self.tracer.record(
+                event.time,
+                event.pid,
+                "deliver",
+                {"from": event.sender, "payload": event.payload, "depth": event.depth},
+            )
+        elif isinstance(event, DecideEvent):
+            self.tracer.record(
+                event.time,
+                event.pid,
+                "decide",
+                {"value": event.value, "kind": event.kind.value, "step": event.step},
+            )
+        elif isinstance(event, OutputEvent):
+            self.tracer.record(
+                event.time,
+                event.pid,
+                f"output:{event.tag}",
+                {"sender": event.sender, "value": event.value},
+            )
+        elif isinstance(event, ServiceEvent):
+            self.tracer.record(
+                event.time, event.pid, f"service-call:{event.service}", {"payload": event.payload}
+            )
+        elif isinstance(event, LogEvent):
+            self.tracer.record(
+                event.time, event.data.get("pid", event.pid), event.event, event.data
+            )
+
+
+class TeeSink(EventSink):
+    """Fan one event stream out to several sinks."""
+
+    def __init__(self, *sinks: EventSink) -> None:
+        self.sinks = [s for s in sinks if s is not None]
+
+    def emit(self, event: RunEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+class EventStats(EventSink):
+    """Online per-run counters computed from the event stream alone —
+    usable identically on every backend (see
+    :mod:`repro.metrics.collectors`)."""
+
+    def __init__(self) -> None:
+        self.sends = 0
+        self.delivers = 0
+        self.service_calls = 0
+        self.fault_activations = 0
+        self.decide_steps: dict[ProcessId, int] = {}
+
+    def emit(self, event: RunEvent) -> None:
+        if isinstance(event, SendEvent):
+            self.sends += 1
+        elif isinstance(event, DeliverEvent):
+            self.delivers += 1
+        elif isinstance(event, ServiceEvent):
+            self.service_calls += 1
+        elif isinstance(event, FaultEvent):
+            self.fault_activations += 1
+        elif isinstance(event, DecideEvent):
+            self.decide_steps.setdefault(event.pid, event.step)
+
+    @property
+    def one_step_fraction(self) -> float:
+        """Fraction of deciders that decided in one communication step."""
+        if not self.decide_steps:
+            return 0.0
+        fast = sum(1 for s in self.decide_steps.values() if s <= 1)
+        return fast / len(self.decide_steps)
+
+
+def combine(*sinks: EventSink | None) -> EventSink | None:
+    """Collapse optional sinks: ``None`` if none given, the sink itself if
+    exactly one, a :class:`TeeSink` otherwise.  Backends keep a single
+    ``sink is not None`` check on their hot path."""
+    real = [s for s in sinks if s is not None]
+    if not real:
+        return None
+    if len(real) == 1:
+        return real[0]
+    return TeeSink(*real)

@@ -1,0 +1,306 @@
+"""The unified fault plane: one pluggable fault spec for every backend.
+
+A :class:`Fault` says how one faulty process misbehaves; a
+:class:`FaultPlane` owns a scenario's full fault mapping — validation
+against the system bound and the algorithm's failure model, construction
+of the per-process behavior protocols (identical wiring on the
+discrete-event, asyncio, lockstep and model-checking backends), the
+projection onto the synchronous round engine's crash schedule, and fault
+activation announcements on the structured event stream.
+
+Before this module the same concepts were split three ways:
+``harness.Fault`` subclasses (moved here, re-exported from
+:mod:`repro.harness` for compatibility), the wrapper protocols of
+:mod:`repro.byzantine` (still the mechanism — faults *build* them), and
+the pattern generators of :mod:`repro.workloads.failures` (now thin
+constructors over these classes).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..runtime.protocol import Protocol
+from ..types import ProcessId, SystemConfig, Value
+from .events import EventSink, FaultEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..harness import AlgorithmSpec
+
+#: builds an honest protocol instance for a given initial value.
+HonestFactory = Callable[[Value], Protocol]
+
+__all__ = [
+    "HonestFactory",
+    "Fault",
+    "Silent",
+    "Crash",
+    "Equivocate",
+    "Garbage",
+    "Spoiler",
+    "Collapse",
+    "Saboteur",
+    "Custom",
+    "FaultPlane",
+]
+
+
+class Fault(abc.ABC):
+    """How one faulty process misbehaves in a scenario."""
+
+    #: fault class for model compatibility checks.
+    model: str = "byzantine"
+
+    @abc.abstractmethod
+    def build(
+        self,
+        pid: ProcessId,
+        config: SystemConfig,
+        make_honest: HonestFactory,
+        value: Value,
+        spec: "AlgorithmSpec",
+    ) -> Protocol:
+        """Construct the behavior protocol for process ``pid``."""
+
+    def describe(self) -> str:
+        """One-line description for :class:`~repro.engine.events.FaultEvent`."""
+        return ""
+
+
+class Silent(Fault):
+    """Crashed from the start: never sends a message."""
+
+    model = "crash"
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        from ..byzantine.adversary import SilentBehavior
+
+        return SilentBehavior(pid, config)
+
+
+class Crash(Fault):
+    """Run honestly, then crash after ``budget`` point-to-point messages.
+
+    ``budget`` between ``1`` and ``n − 1`` crashes mid-broadcast of the
+    initial proposal.
+    """
+
+    model = "crash"
+
+    def __init__(self, budget: int) -> None:
+        self.budget = budget
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        from ..byzantine.adversary import CrashBehavior
+
+        return CrashBehavior(make_honest(value), self.budget)
+
+    def describe(self) -> str:
+        return f"budget={self.budget}"
+
+
+class Equivocate(Fault):
+    """Two-faced: behave like an honest process proposing ``value_a`` to one
+    half of the system and ``value_b`` to the other (Figure 2's attack,
+    consistently applied at every protocol layer)."""
+
+    def __init__(self, value_a: Value, value_b: Value) -> None:
+        self.value_a = value_a
+        self.value_b = value_b
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        from ..byzantine.adversary import TwoFacedBehavior
+
+        return TwoFacedBehavior(make_honest(self.value_a), make_honest(self.value_b))
+
+    def describe(self) -> str:
+        return f"faces=({self.value_a!r}, {self.value_b!r})"
+
+
+class Garbage(Fault):
+    """Spray wire-shaped random payloads (robustness stressor)."""
+
+    def __init__(
+        self, values: Sequence[Value] = (0, 1, 2), fanout: int = 3, seed: int = 0
+    ) -> None:
+        self.values = list(values)
+        self.fanout = fanout
+        self.seed = seed
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        from ..byzantine.behaviors import RandomGarbageBehavior
+
+        templates = list(spec.garbage_templates) or [value]
+        return RandomGarbageBehavior(
+            pid, config, templates, self.values, self.fanout, self.seed + pid
+        )
+
+    def describe(self) -> str:
+        return f"fanout={self.fanout}"
+
+
+class Spoiler(Fault):
+    """Adaptive attack on the frequency conditions: observe the proposals,
+    then vote for the runner-up value on both DEX layers (see
+    :class:`repro.byzantine.targeted.SpoilerBehavior`)."""
+
+    def __init__(self, fallback: Value, watch_threshold: int | None = None) -> None:
+        self.fallback = fallback
+        self.watch_threshold = watch_threshold
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        from ..byzantine.targeted import SpoilerBehavior
+
+        return SpoilerBehavior(pid, config, self.fallback, self.watch_threshold)
+
+    def describe(self) -> str:
+        return f"fallback={self.fallback!r}"
+
+
+class Collapse(Fault):
+    """A priori gap collapser: immediately votes ``value`` on both DEX
+    layers (see :class:`repro.byzantine.targeted.GapCollapser`)."""
+
+    def __init__(self, value: Value) -> None:
+        self.value = value
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        from ..byzantine.targeted import GapCollapser
+
+        return GapCollapser(pid, config, self.value)
+
+    def describe(self) -> str:
+        return f"value={self.value!r}"
+
+
+class Saboteur(Fault):
+    """Poison the underlying consensus, then act honest: races an
+    arbitrary ``UC_propose`` for ``uc_value`` before running the honest
+    start code (see :class:`repro.byzantine.targeted.FallbackSaboteur`).
+    Above the resilience bound this is provably harmless — which is
+    exactly what scenarios deploying it are meant to confirm."""
+
+    def __init__(self, uc_value: Value) -> None:
+        self.uc_value = uc_value
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        from ..byzantine.targeted import FallbackSaboteur
+
+        return FallbackSaboteur(make_honest(value), self.uc_value)
+
+    def describe(self) -> str:
+        return f"uc_value={self.uc_value!r}"
+
+
+class Custom(Fault):
+    """Escape hatch: any ``(pid, config, make_honest, value) -> Protocol``."""
+
+    def __init__(self, factory: Callable[..., Protocol], model: str = "byzantine") -> None:
+        self.factory = factory
+        self.model = model
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        return self.factory(pid, config, make_honest, value)
+
+
+class FaultPlane:
+    """A scenario's validated fault mapping, applied uniformly everywhere.
+
+    Args:
+        config: system parameters (bounds the mapping's size by ``t``).
+        faults: fault spec per faulty process id.
+        failure_model: the deployed algorithm's failure model
+            (``"byzantine"`` accepts every fault; ``"crash"`` rejects
+            Byzantine ones — a crash-model algorithm run against a
+            Byzantine adversary proves nothing).
+        algorithm_name: used in error messages only.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        faults: Mapping[ProcessId, Fault] | None = None,
+        failure_model: str = "byzantine",
+        algorithm_name: str = "<algorithm>",
+    ) -> None:
+        faults = dict(faults or {})
+        if len(faults) > config.t:
+            raise ConfigurationError(
+                f"{len(faults)} faults exceed the declared bound t={config.t}"
+            )
+        for pid in faults:
+            if pid not in range(config.n):
+                raise ConfigurationError(
+                    f"fault on p{pid} outside the process space of n={config.n}"
+                )
+        if failure_model == "crash":
+            for pid, fault in faults.items():
+                if fault.model != "crash":
+                    raise ConfigurationError(
+                        f"{algorithm_name} is a crash-model algorithm; fault "
+                        f"{type(fault).__name__} on p{pid} is Byzantine"
+                    )
+        self.config = config
+        self.faults = faults
+
+    @property
+    def faulty(self) -> frozenset[ProcessId]:
+        return frozenset(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def get(self, pid: ProcessId) -> Fault | None:
+        return self.faults.get(pid)
+
+    def build(
+        self,
+        pid: ProcessId,
+        make_honest: HonestFactory,
+        value: Value,
+        spec: "AlgorithmSpec",
+    ) -> Protocol:
+        """Build process ``pid``'s protocol: honest, or its fault's behavior."""
+        fault = self.faults.get(pid)
+        if fault is None:
+            return make_honest(value)
+        return fault.build(pid, self.config, make_honest, value, spec)
+
+    def crash_schedule(self) -> dict[ProcessId, Any]:
+        """Project the plane onto the synchronous round engine.
+
+        Only crash-model faults have a projection: ``Silent`` becomes a
+        round-1 crash delivered to nobody, ``Crash(budget)`` a round-1
+        crash whose final message reaches the first ``budget`` processes —
+        the same "prefix of the broadcast got out" asymmetry the
+        message-budget semantics produce on the asynchronous backends.
+        """
+        from ..sim.synchronous import CrashEvent
+
+        schedule: dict[ProcessId, CrashEvent] = {}
+        for pid, fault in self.faults.items():
+            if isinstance(fault, Silent):
+                schedule[pid] = CrashEvent(round=1, delivered_to=frozenset())
+            elif isinstance(fault, Crash):
+                schedule[pid] = CrashEvent(
+                    round=1,
+                    delivered_to=frozenset(range(min(fault.budget, self.config.n))),
+                )
+            else:
+                raise ConfigurationError(
+                    f"fault {type(fault).__name__} on p{pid} has no synchronous "
+                    "round-model projection (crash-model faults only)"
+                )
+        return schedule
+
+    def announce(self, sink: EventSink | None, time: float = 0.0) -> None:
+        """Emit one :class:`FaultEvent` per configured fault."""
+        if sink is None:
+            return
+        for pid in sorted(self.faults):
+            fault = self.faults[pid]
+            sink.emit(
+                FaultEvent(time, pid, fault=type(fault).__name__, detail=fault.describe())
+            )

@@ -1,12 +1,16 @@
 """Experiment harness: declarative construction of consensus runs.
 
 Tests, benchmarks and examples all describe a run the same way — *which
-algorithm*, *which input vector*, *which faults*, *which network* — and get
-back a fully wired :class:`~repro.sim.runner.Simulation`.  The harness owns
-the fiddly parts: building one protocol instance per process, wrapping the
-faulty ones in :mod:`repro.byzantine` behaviors, choosing the underlying
-consensus (the paper's oracle abstraction or the real RBC+ABA+ACS stack)
-and registering its services.
+algorithm*, *which input vector*, *which faults*, *which network*, *which
+execution engine* — and get back a fully wired run.  The harness owns the
+fiddly parts: building one protocol instance per process, wrapping the
+faulty ones through the :class:`~repro.engine.faults.FaultPlane`, choosing
+the underlying consensus (the paper's oracle abstraction or the real
+RBC+ABA+ACS stack) and registering its services.
+
+The fault vocabulary (:class:`Fault`, :class:`Silent`, :class:`Crash`,
+:class:`Equivocate`, …) lives in :mod:`repro.engine.faults` and is
+re-exported here for compatibility.
 
 Example::
 
@@ -19,11 +23,14 @@ Example::
         seed=42,
     ).run()
     assert result.agreement_holds()
+
+``Scenario(..., engine="asyncio")`` (or ``"sync"``, ``"mc"``) runs the same
+deployment on a different backend — see :meth:`Scenario.run`.
 """
 
 from __future__ import annotations
 
-import abc
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -31,13 +38,26 @@ from .baselines.bosco import BoscoConsensus, BoscoVote
 from .baselines.brasileiro import BrasileiroConsensus, BrasileiroValue
 from .baselines.twostep import TwoStepConsensus
 from .broadcast.idb import IdbInit
-from .byzantine.adversary import CrashBehavior, SilentBehavior, TwoFacedBehavior
-from .byzantine.behaviors import RandomGarbageBehavior
 from .conditions.frequency import FrequencyPair
 from .conditions.privileged import PrivilegedPair
 from .core.dex import DexConsensus, DexProposal
+from .engine.events import EventSink
+from .engine.faults import (
+    Collapse,
+    Crash,
+    Custom,
+    Equivocate,
+    Fault,
+    FaultPlane,
+    Garbage,
+    HonestFactory,
+    Saboteur,
+    Silent,
+    Spoiler,
+)
 from .errors import ConfigurationError
 from .runtime.composite import Envelope
+from .runtime.effects import Deliver
 from .runtime.protocol import Protocol
 from .runtime.services import Service
 from .sim.latency import LatencyModel
@@ -48,8 +68,32 @@ from .underlying.coin import CommonCoin
 from .underlying.multivalued import MultivaluedConsensus
 from .underlying.oracle import SERVICE_NAME, OracleConsensus, OracleService
 
-#: builds an honest protocol instance for a given initial value.
-HonestFactory = Callable[[Value], Protocol]
+__all__ = [
+    "AlgorithmSpec",
+    "HonestFactory",
+    "Scenario",
+    "run_once",
+    # algorithm registry
+    "dex_freq",
+    "dex_prv",
+    "bosco_weak",
+    "bosco_strong",
+    "izumi",
+    "brasileiro",
+    "twostep",
+    "all_algorithms",
+    # fault vocabulary (re-exported from repro.engine.faults)
+    "Fault",
+    "FaultPlane",
+    "Silent",
+    "Crash",
+    "Equivocate",
+    "Garbage",
+    "Spoiler",
+    "Collapse",
+    "Saboteur",
+    "Custom",
+]
 
 
 @dataclass(frozen=True)
@@ -242,140 +286,20 @@ def all_algorithms() -> list[AlgorithmSpec]:
     ]
 
 
-# -- fault specifications --------------------------------------------------------------
-
-
-class Fault(abc.ABC):
-    """How one faulty process misbehaves in a scenario."""
-
-    #: fault class for model compatibility checks.
-    model: str = "byzantine"
-
-    @abc.abstractmethod
-    def build(
-        self,
-        pid: ProcessId,
-        config: SystemConfig,
-        make_honest: HonestFactory,
-        value: Value,
-        spec: AlgorithmSpec,
-    ) -> Protocol:
-        """Construct the behavior protocol for process ``pid``."""
-
-
-class Silent(Fault):
-    """Crashed from the start: never sends a message."""
-
-    model = "crash"
-
-    def build(self, pid, config, make_honest, value, spec) -> Protocol:
-        return SilentBehavior(pid, config)
-
-
-class Crash(Fault):
-    """Run honestly, then crash after ``budget`` point-to-point messages.
-
-    ``budget`` between ``1`` and ``n − 1`` crashes mid-broadcast of the
-    initial proposal.
-    """
-
-    model = "crash"
-
-    def __init__(self, budget: int) -> None:
-        self.budget = budget
-
-    def build(self, pid, config, make_honest, value, spec) -> Protocol:
-        return CrashBehavior(make_honest(value), self.budget)
-
-
-class Equivocate(Fault):
-    """Two-faced: behave like an honest process proposing ``value_a`` to one
-    half of the system and ``value_b`` to the other (Figure 2's attack,
-    consistently applied at every protocol layer)."""
-
-    def __init__(self, value_a: Value, value_b: Value) -> None:
-        self.value_a = value_a
-        self.value_b = value_b
-
-    def build(self, pid, config, make_honest, value, spec) -> Protocol:
-        return TwoFacedBehavior(make_honest(self.value_a), make_honest(self.value_b))
-
-
-class Garbage(Fault):
-    """Spray wire-shaped random payloads (robustness stressor)."""
-
-    def __init__(self, values: Sequence[Value] = (0, 1, 2), fanout: int = 3, seed: int = 0) -> None:
-        self.values = list(values)
-        self.fanout = fanout
-        self.seed = seed
-
-    def build(self, pid, config, make_honest, value, spec) -> Protocol:
-        templates = list(spec.garbage_templates) or [value]
-        return RandomGarbageBehavior(
-            pid, config, templates, self.values, self.fanout, self.seed + pid
-        )
-
-
-class Spoiler(Fault):
-    """Adaptive attack on the frequency conditions: observe the proposals,
-    then vote for the runner-up value on both DEX layers (see
-    :class:`repro.byzantine.targeted.SpoilerBehavior`)."""
-
-    def __init__(self, fallback: Value, watch_threshold: int | None = None) -> None:
-        self.fallback = fallback
-        self.watch_threshold = watch_threshold
-
-    def build(self, pid, config, make_honest, value, spec) -> Protocol:
-        from .byzantine.targeted import SpoilerBehavior
-
-        return SpoilerBehavior(pid, config, self.fallback, self.watch_threshold)
-
-
-class Collapse(Fault):
-    """A priori gap collapser: immediately votes ``value`` on both DEX
-    layers (see :class:`repro.byzantine.targeted.GapCollapser`)."""
-
-    def __init__(self, value: Value) -> None:
-        self.value = value
-
-    def build(self, pid, config, make_honest, value, spec) -> Protocol:
-        from .byzantine.targeted import GapCollapser
-
-        return GapCollapser(pid, config, self.value)
-
-
-class Saboteur(Fault):
-    """Poison the underlying consensus, then act honest: races an
-    arbitrary ``UC_propose`` for ``uc_value`` before running the honest
-    start code (see :class:`repro.byzantine.targeted.FallbackSaboteur`).
-    Above the resilience bound this is provably harmless — which is
-    exactly what scenarios deploying it are meant to confirm."""
-
-    def __init__(self, uc_value: Value) -> None:
-        self.uc_value = uc_value
-
-    def build(self, pid, config, make_honest, value, spec) -> Protocol:
-        from .byzantine.targeted import FallbackSaboteur
-
-        return FallbackSaboteur(make_honest(value), self.uc_value)
-
-
-class Custom(Fault):
-    """Escape hatch: any ``(pid, config, make_honest, value) -> Protocol``."""
-
-    def __init__(self, factory: Callable[..., Protocol], model: str = "byzantine") -> None:
-        self.factory = factory
-        self.model = model
-
-    def build(self, pid, config, make_honest, value, spec) -> Protocol:
-        return self.factory(pid, config, make_honest, value)
-
-
 # -- scenario ---------------------------------------------------------------------------
 
 
+#: The execution backends ``Scenario.engine`` selects between.
+ENGINES = ("sim", "asyncio", "sync", "mc")
+
+
+@dataclass
 class Scenario:
     """A declarative consensus run.
+
+    A plain dataclass: cloning with :func:`dataclasses.replace` re-runs
+    validation and re-derives ``config``, so multi-seed sweeps
+    (:meth:`run_many`) can never silently drop a field.
 
     Args:
         algorithm: which algorithm to deploy.
@@ -384,59 +308,62 @@ class Scenario:
             (e.g. face A of an equivocator).
         t: declared failure bound; defaults to the largest the algorithm's
             resilience allows for this ``n``.
-        faults: fault spec per faulty process id (size must be ``≤ t``).
+        faults: fault spec per faulty process id (size must be ``≤ t``);
+            validated and applied through the
+            :class:`~repro.engine.faults.FaultPlane`, identically on every
+            backend.
         uc: ``"oracle"`` (the paper's §2.2 abstraction, default) or
             ``"real"`` (Bracha RBC + common-coin ABA + ACS).
         uc_step_cost: causal step cost of the oracle abstraction.
         latency, scheduler, seed, trace, max_events: passed to the
-            simulator.
+            simulator (``latency``/``scheduler``/``max_events`` apply to the
+            discrete-event backend only).
+        engine: which backend :meth:`run` drives — ``"sim"`` (deterministic
+            discrete-event), ``"asyncio"`` (real event loop), ``"sync"``
+            (deterministic lockstep rounds) or ``"mc"`` (the model
+            checker's state machine on its FIFO baseline schedule).
+        event_sink: optional :class:`~repro.engine.events.EventSink`
+            receiving the structured run events of any backend.
     """
 
-    def __init__(
-        self,
-        algorithm: AlgorithmSpec,
-        inputs: Sequence[Value],
-        t: int | None = None,
-        faults: Mapping[ProcessId, Fault] | None = None,
-        uc: str = "oracle",
-        uc_step_cost: int = 2,
-        latency: LatencyModel | None = None,
-        scheduler: DeliveryScheduler | None = None,
-        seed: int = 0,
-        trace: bool = False,
-        max_events: int | None = None,
-    ) -> None:
-        n = len(inputs)
-        if t is None:
-            t = algorithm.max_t(n)
-        self.config = SystemConfig(n, t)
-        if not self.config.satisfies(algorithm.required_ratio):
+    algorithm: AlgorithmSpec
+    inputs: Sequence[Value]
+    t: int | None = None
+    faults: Mapping[ProcessId, Fault] | None = None
+    uc: str = "oracle"
+    uc_step_cost: int = 2
+    latency: LatencyModel | None = None
+    scheduler: DeliveryScheduler | None = None
+    seed: int = 0
+    trace: bool = False
+    max_events: int | None = None
+    engine: str = "sim"
+    event_sink: EventSink | None = None
+    #: derived in ``__post_init__`` — not an init arg, ignored by clones.
+    config: SystemConfig = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.inputs = list(self.inputs)
+        n = len(self.inputs)
+        if self.t is None:
+            self.t = self.algorithm.max_t(n)
+        self.config = SystemConfig(n, self.t)
+        if not self.config.satisfies(self.algorithm.required_ratio):
             raise ConfigurationError(
-                f"{algorithm.name} requires n > {algorithm.required_ratio}t; "
-                f"got n={n}, t={t}"
+                f"{self.algorithm.name} requires n > "
+                f"{self.algorithm.required_ratio}t; got n={n}, t={self.t}"
             )
-        faults = dict(faults or {})
-        if len(faults) > t:
+        self._plane = FaultPlane(
+            self.config,
+            self.faults,
+            failure_model=self.algorithm.failure_model,
+            algorithm_name=self.algorithm.name,
+        )
+        self.faults = self._plane.faults
+        if self.engine not in ENGINES:
             raise ConfigurationError(
-                f"{len(faults)} faults exceed the declared bound t={t}"
+                f"unknown engine {self.engine!r} (one of: {', '.join(ENGINES)})"
             )
-        if algorithm.failure_model == "crash":
-            for pid, fault in faults.items():
-                if fault.model != "crash":
-                    raise ConfigurationError(
-                        f"{algorithm.name} is a crash-model algorithm; fault "
-                        f"{type(fault).__name__} on p{pid} is Byzantine"
-                    )
-        self.algorithm = algorithm
-        self.inputs = list(inputs)
-        self.faults = faults
-        self.uc = uc
-        self.uc_step_cost = uc_step_cost
-        self.latency = latency
-        self.scheduler = scheduler
-        self.seed = seed
-        self.trace = trace
-        self.max_events = max_events
 
     # -- wiring ----------------------------------------------------------------------
 
@@ -466,17 +393,12 @@ class Scenario:
                     pid, self.config, v, uc_factory
                 )
             )
-            fault = self.faults.get(pid)
-            if fault is None:
-                protocols[pid] = make_honest(value)
-            else:
-                protocols[pid] = fault.build(
-                    pid, self.config, make_honest, value, self.algorithm
-                )
+            protocols[pid] = self._plane.build(pid, make_honest, value, self.algorithm)
+        self._plane.announce(self.event_sink)
         return protocols, services
 
     def build(self) -> Simulation:
-        """Construct the fully wired simulation (not yet run)."""
+        """Construct the fully wired discrete-event simulation (not yet run)."""
         protocols, services = self.components()
         kwargs: dict[str, Any] = {}
         if self.max_events is not None:
@@ -490,12 +412,83 @@ class Scenario:
             services=services,
             seed=self.seed,
             trace=self.trace,
+            event_sink=self.event_sink,
             **kwargs,
         )
 
-    def run(self) -> RunResult:
-        """Build and run until every correct process decided."""
+    def run(self):
+        """Run the scenario on the selected :attr:`engine`.
+
+        Returns a :class:`~repro.sim.runner.RunResult` for the ``"sim"``,
+        ``"sync"`` and ``"mc"`` backends and an
+        :class:`~repro.runtime.asyncio_runner.AsyncRunResult` for
+        ``"asyncio"`` — both expose the shared observability surface
+        (``correct_decisions``, ``max_correct_step``, ``end_time``,
+        ``agreement_holds()``, …).
+        """
+        if self.engine == "asyncio":
+            return self.run_async()
+        if self.engine == "sync":
+            return self._run_sync()
+        if self.engine == "mc":
+            return self._run_mc()
         return self.build().run_until_decided()
+
+    def _run_sync(self) -> RunResult:
+        """Run on the deterministic lockstep-round backend."""
+        from .sim.synchronous import LockstepSimulation
+
+        protocols, services = self.components()
+        return LockstepSimulation(
+            self.config,
+            protocols,
+            faulty=frozenset(self.faults),
+            services=services,
+            seed=self.seed,
+            trace=self.trace,
+            event_sink=self.event_sink,
+        ).run_until_decided()
+
+    def _run_mc(self) -> RunResult:
+        """Run the model checker's state machine on its FIFO baseline
+        schedule and repackage the outcome as a :class:`RunResult`."""
+        from .mc.state import McSystem
+        from .sim.trace import Tracer
+        from .types import Decision, RunStats
+
+        protocols, services = self.components()
+        system = McSystem(
+            self.config,
+            protocols,
+            services=services,
+            faulty=frozenset(self.faults),
+            event_sink=self.event_sink,
+        )
+        system.run_fifo()
+        decisions = {
+            pid: Decision(value, kind, step=step)
+            for pid, (value, kind, step) in system.decisions.items()
+        }
+        outputs = {
+            pid: [Deliver(tag, sender, value) for tag, sender, value in out]
+            for pid, out in system.outputs.items()
+        }
+        stats = RunStats(
+            messages_sent=system.counter,
+            messages_delivered=system.deliveries,
+            decisions=dict(decisions),
+            end_time=float(system.deliveries),
+        )
+        return RunResult(
+            config=self.config,
+            decisions=decisions,
+            outputs=outputs,
+            stats=stats,
+            tracer=Tracer(enabled=False),
+            faulty=frozenset(self.faults),
+            end_time=float(system.deliveries),
+            drained=not system.pending,
+        )
 
     def run_many(
         self,
@@ -505,6 +498,11 @@ class Scenario:
         max_workers: int | None = None,
     ):
         """Run the scenario once per seed and aggregate the results.
+
+        Each per-seed clone is made with :func:`dataclasses.replace`, so
+        every field of this scenario — including ones added after this
+        method was written — carries over; only ``seed`` and ``trace``
+        differ.
 
         Args:
             seeds: iterable of simulation seeds; each run is otherwise
@@ -521,20 +519,8 @@ class Scenario:
         """
         from .metrics.collectors import RunAggregate
 
-        def one_run(seed: int) -> RunResult:
-            return Scenario(
-                self.algorithm,
-                self.inputs,
-                t=self.config.t,
-                faults=self.faults,
-                uc=self.uc,
-                uc_step_cost=self.uc_step_cost,
-                latency=self.latency,
-                scheduler=self.scheduler,
-                seed=seed,
-                trace=False,
-                max_events=self.max_events,
-            ).run()
+        def one_run(seed: int):
+            return dataclasses.replace(self, seed=seed, trace=False).run()
 
         if parallel:
             from .sim.parallel import parallel_map
@@ -562,6 +548,7 @@ class Scenario:
             services=services,
             seed=self.seed,
             mean_delay=mean_delay,
+            event_sink=self.event_sink,
         )
         return runner.run_sync(timeout)
 

@@ -30,20 +30,20 @@ import pickle
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
-from ..errors import SimulationError
-from ..runtime.composite import Envelope
-from ..runtime.effects import (
-    SERVICE_SENDER,
-    Broadcast,
-    Decide,
-    Deliver,
-    Effect,
-    Log,
-    Send,
-    ServiceCall,
+from ..engine.events import (
+    DecideEvent,
+    DeliverEvent,
+    EventSink,
+    LogEvent,
+    OutputEvent,
+    SendEvent,
+    ServiceEvent,
 )
+from ..engine.interpreter import ExecutionPorts, dispatch_service_call, interpret
+from ..errors import SimulationError
+from ..runtime.effects import SERVICE_SENDER, Deliver, Effect, Log, ServiceCall
 from ..runtime.protocol import Protocol, guarded
-from ..runtime.services import Service
+from ..runtime.services import Service, ServiceReply
 from ..types import ProcessId, SystemConfig
 from .fingerprint import fingerprint
 
@@ -66,8 +66,12 @@ class McMessage:
     depth: int
 
 
-class McSystem:
+class McSystem(ExecutionPorts):
     """A branchable global state of one protocol composition.
+
+    Effect semantics come from :mod:`repro.engine.interpreter` — this class
+    implements :class:`~repro.engine.interpreter.ExecutionPorts` with the
+    pending-multiset scheduling described above.
 
     Args:
         config: system parameters.
@@ -78,6 +82,10 @@ class McSystem:
         faulty: byzantine process ids (invariants quantify over the rest).
         payload_key: canonical payload encoding used in schedule records
             (default ``repr``; must match the replay scheduler's).
+        event_sink: optional structured-event sink; event ``time`` is the
+            delivery index.  Deliberately *not* captured by snapshots: a
+            sink observes one schedule linearly (e.g. counterexample
+            replay), not the branching exploration.
     """
 
     def __init__(
@@ -87,6 +95,7 @@ class McSystem:
         services: Mapping[str, Service] | None = None,
         faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
         payload_key: Callable[[Any], str] = repr,
+        event_sink: EventSink | None = None,
     ) -> None:
         if set(protocols) != set(config.processes):
             raise SimulationError(
@@ -105,6 +114,7 @@ class McSystem:
         self.outputs: dict[ProcessId, list[tuple[str, ProcessId, Any]]] = {
             pid: [] for pid in config.processes
         }
+        self._events = event_sink
         self.counter = 0
         self.deliveries = 0
         #: uid -> names of services the delivery of uid called (DPOR
@@ -137,8 +147,18 @@ class McSystem:
         """Deliver pending message ``uid``; returns its service footprint."""
         message = self.pending.pop(uid)
         self._footprint = set()
+        if self._events is not None:
+            self._events.emit(
+                DeliverEvent(
+                    float(self.deliveries),
+                    message.dst,
+                    message.src,
+                    message.payload,
+                    message.depth,
+                )
+            )
         effects = guarded(self.protocols[message.dst], message.src, message.payload)
-        self._apply(message.dst, effects, message.depth)
+        interpret(self, message.dst, effects, message.depth)
         self.deliveries += 1
         footprint = frozenset(self._footprint)
         self.footprints[uid] = footprint
@@ -147,40 +167,75 @@ class McSystem:
             self._services_fp = None
         return footprint
 
-    def _apply(self, pid: ProcessId, effects: list[Effect], depth: int) -> None:
-        for effect in effects:
-            if isinstance(effect, Send):
-                self._push(pid, effect.dst, effect.payload, depth + 1)
-            elif isinstance(effect, Broadcast):
-                for dst in self.config.processes:
-                    self._push(pid, dst, effect.payload, depth + 1)
-            elif isinstance(effect, Decide):
-                if pid not in self.decisions:
-                    self.decisions[pid] = (effect.value, effect.kind, depth)
-            elif isinstance(effect, Deliver):
-                self.outputs[pid].append((effect.tag, effect.sender, effect.value))
-            elif isinstance(effect, ServiceCall):
-                self._call_service(pid, effect, depth)
-            elif isinstance(effect, Log):
-                pass
-            else:
-                raise SimulationError(f"unknown effect {effect!r}")
+    def run_fifo(self, max_deliveries: int = 200_000) -> None:
+        """Execute the FIFO baseline schedule: deliver the oldest pending
+        message until every correct process decided (or nothing is left).
 
-    def _push(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
+        This is the single-schedule entry point behind ``engine="mc"`` —
+        the model checker's state machine driven like a runner, useful for
+        cross-engine equivalence checks without launching an exploration.
+        """
+        if not self._started:
+            self.start()
+        delivered = 0
+        while self.pending and not self.all_correct_decided():
+            if delivered >= max_deliveries:
+                raise SimulationError(
+                    f"exceeded max_deliveries={max_deliveries}; likely livelock"
+                )
+            self.deliver(min(self.pending))
+            delivered += 1
+
+    def _apply(self, pid: ProcessId, effects: list[Effect], depth: int) -> None:
+        """Compatibility shim: route through the engine interpreter."""
+        interpret(self, pid, effects, depth)
+
+    # -- ExecutionPorts (broadcast inherits the per-destination default) --------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
         uid = self.counter
         self.counter += 1
         self.pending[uid] = McMessage(uid, src, dst, payload, depth)
+        if self._events is not None:
+            self._events.emit(SendEvent(float(self.deliveries), src, dst, payload, depth))
 
-    def _call_service(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
-        service = self.services.get(call.service)
-        if service is None:
-            raise SimulationError(f"no service registered under {call.service!r}")
+    def decide(self, pid: ProcessId, value: Any, kind: Any, depth: int) -> None:
+        if pid not in self.decisions:
+            self.decisions[pid] = (value, kind, depth)
+            if self._events is not None:
+                self._events.emit(
+                    DecideEvent(float(self.deliveries), pid, value, kind, depth)
+                )
+
+    def output(self, pid: ProcessId, effect: Deliver, depth: int) -> None:
+        self.outputs[pid].append((effect.tag, effect.sender, effect.value))
+        if self._events is not None:
+            self._events.emit(
+                OutputEvent(
+                    float(self.deliveries), pid, effect.tag, effect.sender, effect.value
+                )
+            )
+
+    def service_call(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
         self._footprint.add(call.service)
-        for reply in service.on_call(pid, call.payload, depth, 0.0, call.reply_path):
-            payload: Any = reply.payload
-            for component in reversed(reply.reply_path):
-                payload = Envelope(component, payload)
-            self._push(SERVICE_SENDER, reply.dst, payload, reply.depth)
+        if self._events is not None:
+            self._events.emit(
+                ServiceEvent(float(self.deliveries), pid, call.service, call.payload)
+            )
+        dispatch_service_call(self.services, pid, call, depth, 0.0, self._deliver_reply)
+
+    def log_record(self, pid: ProcessId, record: Log, depth: int) -> None:
+        if self._events is not None:
+            self._events.emit(
+                LogEvent(float(self.deliveries), pid, record.event, record.data)
+            )
+
+    def _deliver_reply(self, reply: ServiceReply, payload: Any) -> None:
+        self.send(SERVICE_SENDER, reply.dst, payload, reply.depth)
+
+    def _push(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
+        """Compatibility alias for the ``send`` port."""
+        self.send(src, dst, payload, depth)
 
     # -- observability --------------------------------------------------------------
 

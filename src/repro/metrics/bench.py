@@ -40,6 +40,10 @@ from ..workloads.inputs import unanimous
 #: keeps t = (n-1)//6 ≥ 1 so the DEX resilience n > 6t holds).
 DEFAULT_SIZES = (7, 13, 19, 25, 31)
 
+#: the ``bench --smoke`` sizes: enough to catch a broken hot path in CI
+#: without paying for the full scaling curve.
+SMOKE_SIZES = (7, 13)
+
 
 def _best_of(repeats: int, fn) -> float:
     """Minimum wall-clock of ``repeats`` calls — the least-noise estimator

@@ -6,7 +6,11 @@ runner executes them over an in-memory asyncio transport: one task and one
 wall-clock timing.  Protocols are byte-for-byte the same objects — the
 sans-IO design is what makes this a one-file addition — so the asyncio
 numbers (bench E8) validate that nothing in the simulator results is a
-simulation artifact.
+simulation artifact.  Effect semantics come from
+:mod:`repro.engine.interpreter`: this class only implements the
+:class:`~repro.engine.interpreter.ExecutionPorts` scheduling (delayed
+mailbox puts), which is also why Byzantine behaviors — ordinary protocols
+wrapping honest ones — run here exactly as they do on the simulator.
 
 Determinism caveat: delays are seeded, but asyncio's internal scheduling
 makes interleavings only *mostly* reproducible; property tests that need
@@ -21,25 +25,32 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..engine.events import (
+    DecideEvent,
+    DeliverEvent,
+    EventSink,
+    LogEvent,
+    OutputEvent,
+    SendEvent,
+    ServiceEvent,
+)
+from ..engine.interpreter import ExecutionPorts, dispatch_service_call, interpret
 from ..errors import SimulationError
 from ..types import Decision, ProcessId, RunStats, SystemConfig
-from .composite import Envelope
-from .effects import (
-    SERVICE_SENDER,
-    Broadcast,
-    Decide,
-    Deliver,
-    Log,
-    Send,
-    ServiceCall,
-)
+from .effects import SERVICE_SENDER, Deliver, Log, ServiceCall
 from .protocol import Protocol, guarded
-from .services import Service
+from .services import Service, ServiceReply
 
 
 @dataclass
 class AsyncRunResult:
-    """Observable outcome of one asyncio run (wall-clock timed)."""
+    """Observable outcome of one asyncio run (wall-clock timed).
+
+    A timed-out run is returned, not raised: ``timed_out`` is set, the
+    partial ``decisions`` collected so far are surfaced, and
+    :attr:`undecided_correct` names the correct processes still missing a
+    decision.
+    """
 
     config: SystemConfig
     decisions: dict[ProcessId, Decision]
@@ -53,8 +64,20 @@ class AsyncRunResult:
     def correct_decisions(self) -> dict[ProcessId, Decision]:
         return {p: d for p, d in self.decisions.items() if p not in self.faulty}
 
+    @property
+    def undecided_correct(self) -> frozenset[ProcessId]:
+        """Correct processes that had not decided when the run ended."""
+        return frozenset(
+            p
+            for p in self.config.processes
+            if p not in self.faulty and p not in self.decisions
+        )
+
     def agreement_holds(self) -> bool:
         return len({d.value for d in self.correct_decisions.values()}) <= 1
+
+    def all_correct_decided(self) -> bool:
+        return not self.undecided_correct
 
     @property
     def decided_value(self) -> Any:
@@ -67,13 +90,18 @@ class AsyncRunResult:
     def max_correct_step(self) -> int:
         return max((d.step for d in self.correct_decisions.values()), default=0)
 
+    @property
+    def end_time(self) -> float:
+        """Alias for ``wall_seconds`` (RunResult-compatible aggregation)."""
+        return self.wall_seconds
+
 
 @dataclass
 class _Mailbox:
     queue: asyncio.Queue = field(default_factory=asyncio.Queue)
 
 
-class AsyncioRunner:
+class AsyncioRunner(ExecutionPorts):
     """Run one protocol deployment over in-memory asyncio transport.
 
     Args:
@@ -83,6 +111,9 @@ class AsyncioRunner:
         services: trusted services by name (same objects as the simulator).
         seed: seeds the per-message delay sampling.
         mean_delay: average one-way message delay in seconds.
+        event_sink: optional structured-event sink
+            (:mod:`repro.engine.events`); event times are wall-clock
+            seconds since the run started.
     """
 
     def __init__(
@@ -93,6 +124,7 @@ class AsyncioRunner:
         services: Mapping[str, Service] | None = None,
         seed: int = 0,
         mean_delay: float = 0.001,
+        event_sink: EventSink | None = None,
     ) -> None:
         if set(protocols) != set(config.processes):
             raise SimulationError(
@@ -109,11 +141,16 @@ class AsyncioRunner:
         self.outputs: dict[ProcessId, list[Deliver]] = {
             pid: [] for pid in config.processes
         }
+        self._events = event_sink
+        self._t0 = 0.0
         self._mailboxes: dict[ProcessId, _Mailbox] = {}
         self._all_decided = asyncio.Event()
         self._pending: set[asyncio.Task] = set()
 
-    # -- effect interpretation ------------------------------------------------------
+    # -- transport ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.monotonic() - self._t0
 
     def _delay(self) -> float:
         return self.rng.uniform(0.5, 1.5) * self.mean_delay
@@ -131,55 +168,49 @@ class AsyncioRunner:
         task.add_done_callback(self._pending.discard)
 
     def _apply(self, pid: ProcessId, effects: list, depth: int) -> None:
-        for effect in effects:
-            if isinstance(effect, Send):
-                self.stats.messages_sent += 1
-                self._deliver_later(
-                    effect.dst, pid, effect.payload, depth + 1,
-                    0.0 if effect.dst == pid else self._delay(),
-                )
-            elif isinstance(effect, Broadcast):
-                for dst in self.config.processes:
-                    self.stats.messages_sent += 1
-                    self._deliver_later(
-                        dst, pid, effect.payload, depth + 1,
-                        0.0 if dst == pid else self._delay(),
-                    )
-            elif isinstance(effect, Decide):
-                if pid not in self.decisions:
-                    self.decisions[pid] = Decision(
-                        effect.value, effect.kind, step=depth, time=time.monotonic()
-                    )
-                    if all(
-                        p in self.decisions
-                        for p in self.config.processes
-                        if p not in self.faulty
-                    ):
-                        self._all_decided.set()
-            elif isinstance(effect, Deliver):
-                self.outputs[pid].append(effect)
-            elif isinstance(effect, ServiceCall):
-                self._call_service(pid, effect, depth)
-            elif isinstance(effect, Log):
-                pass
-            else:
-                raise SimulationError(f"unknown effect {effect!r}")
+        """Compatibility shim: route through the engine interpreter."""
+        interpret(self, pid, effects, depth)
 
-    def _call_service(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
-        service = self.services.get(call.service)
-        if service is None:
-            raise SimulationError(f"no service registered under {call.service!r}")
-        for reply in service.on_call(
-            pid, call.payload, depth, time.monotonic(), call.reply_path
-        ):
-            payload: Any = reply.payload
-            # reply_path is outermost-first; wrap innermost-first so the
-            # outermost envelope ends up on the outside.
-            for component in reversed(reply.reply_path):
-                payload = Envelope(component, payload)
-            self._deliver_later(
-                reply.dst, SERVICE_SENDER, payload, reply.depth, self._delay()
+    # -- ExecutionPorts (broadcast inherits the per-destination default) --------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
+        self.stats.messages_sent += 1
+        self._deliver_later(dst, src, payload, depth, 0.0 if dst == src else self._delay())
+        if self._events is not None:
+            self._events.emit(SendEvent(self._now(), src, dst, payload, depth))
+
+    def decide(self, pid: ProcessId, value: Any, kind: Any, depth: int) -> None:
+        if pid not in self.decisions:
+            self.decisions[pid] = Decision(value, kind, step=depth, time=time.monotonic())
+            if self._events is not None:
+                self._events.emit(DecideEvent(self._now(), pid, value, kind, depth))
+            if all(
+                p in self.decisions
+                for p in self.config.processes
+                if p not in self.faulty
+            ):
+                self._all_decided.set()
+
+    def output(self, pid: ProcessId, effect: Deliver, depth: int) -> None:
+        self.outputs[pid].append(effect)
+        if self._events is not None:
+            self._events.emit(
+                OutputEvent(self._now(), pid, effect.tag, effect.sender, effect.value)
             )
+
+    def service_call(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
+        if self._events is not None:
+            self._events.emit(ServiceEvent(self._now(), pid, call.service, call.payload))
+        dispatch_service_call(
+            self.services, pid, call, depth, time.monotonic(), self._deliver_reply
+        )
+
+    def log_record(self, pid: ProcessId, record: Log, depth: int) -> None:
+        if self._events is not None:
+            self._events.emit(LogEvent(self._now(), pid, record.event, record.data))
+
+    def _deliver_reply(self, reply: ServiceReply, payload: Any) -> None:
+        self._deliver_later(reply.dst, SERVICE_SENDER, payload, reply.depth, self._delay())
 
     # -- process loop -----------------------------------------------------------------
 
@@ -188,19 +219,27 @@ class AsyncioRunner:
         while True:
             sender, payload, depth = await mailbox.queue.get()
             self.stats.messages_delivered += 1
+            if self._events is not None:
+                self._events.emit(DeliverEvent(self._now(), pid, sender, payload, depth))
             effects = guarded(self.protocols[pid], sender, payload)
-            self._apply(pid, effects, depth)
+            interpret(self, pid, effects, depth)
 
     async def run(self, timeout: float = 30.0) -> AsyncRunResult:
-        """Run until every correct process decided (or ``timeout``)."""
+        """Run until every correct process decided (or ``timeout``).
+
+        On timeout every in-flight delivery task is cancelled (nothing
+        leaks into later event loops) and the partial result is returned
+        with ``timed_out=True``.
+        """
         start = time.monotonic()
+        self._t0 = start
         self._mailboxes = {pid: _Mailbox() for pid in self.config.processes}
         loops = [
             asyncio.ensure_future(self._process_loop(pid))
             for pid in self.config.processes
         ]
         for pid in self.config.processes:
-            self._apply(pid, self.protocols[pid].on_start(), 0)
+            interpret(self, pid, self.protocols[pid].on_start(), 0)
         timed_out = False
         try:
             await asyncio.wait_for(self._all_decided.wait(), timeout)

@@ -16,23 +16,17 @@ intercepted locally and routed to :meth:`CompositeProtocol.on_child_output`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any
 
+from ..engine.interpreter import EffectRewriter
 from ..types import ProcessId
-from .effects import Broadcast, Decide, Deliver, Effect, Send, ServiceCall
+from .effects import Broadcast, Decide, Deliver, Effect, Envelope, Send, ServiceCall
 from .protocol import Protocol
 
-
-@dataclass(frozen=True, slots=True)
-class Envelope:
-    """A child component's payload, tagged with the component name."""
-
-    component: str
-    payload: Any
+__all__ = ["CompositeProtocol", "Envelope"]
 
 
-class CompositeProtocol(Protocol):
+class CompositeProtocol(Protocol, EffectRewriter):
     """A protocol that hosts named child protocols.
 
     Subclasses register children with :meth:`add_child`, drive them by
@@ -40,11 +34,20 @@ class CompositeProtocol(Protocol):
     and receive their upcalls in :meth:`on_child_output`.  Messages arriving
     in an :class:`Envelope` are routed to the named child automatically by
     :meth:`on_message`; everything else goes to :meth:`on_own_message`.
+
+    Routing is the :class:`~repro.engine.interpreter.EffectRewriter`
+    dispatch: the ``rewrite_*`` visitors below wrap child traffic for the
+    component currently being routed (``_route_component``), which is plain
+    saved/restored state — not a cached helper object — so snapshots taken
+    by the model checker restore cleanly and re-entrant routing (a child
+    upcall driving another child) cannot corrupt the outer call.
     """
 
     def __init__(self, process_id: ProcessId, config) -> None:
         super().__init__(process_id, config)
         self._children: dict[str, Protocol] = {}
+        self._route_component: str | None = None
+        self._rewrite_stopped = False
 
     # -- child management --------------------------------------------------------
 
@@ -68,19 +71,29 @@ class CompositeProtocol(Protocol):
         :meth:`on_child_output`, whose own effects are processed
         recursively (they may drive other children).
         """
-        out: list[Effect] = []
-        for effect in effects:
-            if isinstance(effect, Send):
-                out.append(Send(effect.dst, Envelope(name, effect.payload)))
-            elif isinstance(effect, Broadcast):
-                out.append(Broadcast(Envelope(name, effect.payload)))
-            elif isinstance(effect, ServiceCall):
-                out.append(effect.pushed(name))
-            elif isinstance(effect, (Deliver, Decide)):
-                out.extend(self.on_child_output(name, effect))
-            else:
-                out.append(effect)
-        return out
+        prev = self._route_component
+        self._route_component = name
+        try:
+            return self.rewrite_effects(effects)
+        finally:
+            self._route_component = prev
+
+    # -- routing visitors (EffectRewriter) ------------------------------------------
+
+    def rewrite_send(self, effect: Send) -> Effect:
+        return Send(effect.dst, Envelope(self._route_component, effect.payload))
+
+    def rewrite_broadcast(self, effect: Broadcast) -> Effect:
+        return Broadcast(Envelope(self._route_component, effect.payload))
+
+    def rewrite_service_call(self, effect: ServiceCall) -> Effect:
+        return effect.pushed(self._route_component)
+
+    def rewrite_deliver(self, effect: Deliver) -> list[Effect]:
+        return self.on_child_output(self._route_component, effect)
+
+    def rewrite_decide(self, effect: Decide) -> list[Effect]:
+        return self.on_child_output(self._route_component, effect)
 
     # -- message routing -----------------------------------------------------------
 

@@ -30,6 +30,22 @@ class Effect:
 
 
 @dataclass(frozen=True, slots=True)
+class Envelope:
+    """A child component's payload, tagged with the component name.
+
+    Part of the wire vocabulary: composite protocols wrap each child's
+    messages in an envelope naming the child, and the runtimes wrap service
+    replies the same way (see :class:`ServiceCall.reply_path`).  Lives here
+    rather than in :mod:`repro.runtime.composite` so the effect interpreter
+    (:mod:`repro.engine.interpreter`) needs no import from the composition
+    layer; :mod:`repro.runtime.composite` re-exports it.
+    """
+
+    component: str
+    payload: Any
+
+
+@dataclass(frozen=True, slots=True)
 class Send(Effect):
     """Unicast ``payload`` to process ``dst`` over the reliable link."""
 

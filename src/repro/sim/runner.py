@@ -27,19 +27,22 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
-from ..errors import SimulationDeadlock, SimulationError
-from ..runtime.composite import Envelope
-from ..runtime.effects import (
-    SERVICE_SENDER,
-    Broadcast,
-    Decide,
-    Deliver,
-    Effect,
-    Log,
-    Send,
-    ServiceCall,
+from ..engine.events import (
+    DecideEvent,
+    DeliverEvent,
+    EventSink,
+    LogEvent,
+    OutputEvent,
+    SendEvent,
+    ServiceEvent,
+    TracerSink,
+    combine,
 )
+from ..engine.interpreter import ExecutionPorts, dispatch_service_call, interpret
+from ..errors import SimulationDeadlock, SimulationError
+from ..runtime.effects import SERVICE_SENDER, Deliver, Effect, Log, ServiceCall
 from ..runtime.protocol import Protocol, guarded
+from ..runtime.services import ServiceReply
 from ..runtime.services import Service
 from ..types import Decision, ProcessId, RunStats, SystemConfig
 from .events import Event, EventQueue
@@ -113,8 +116,13 @@ class _ProcessState:
         self.decision: Decision | None = None
 
 
-class Simulation:
+class Simulation(ExecutionPorts):
     """One configured, runnable execution.
+
+    The effect semantics live in :mod:`repro.engine.interpreter`; this
+    class implements the :class:`~repro.engine.interpreter.ExecutionPorts`
+    interface (how to ship, decide, call services) on top of a seeded
+    discrete-event queue.
 
     Args:
         config: system parameters ``(n, t)``.
@@ -129,6 +137,10 @@ class Simulation:
         services: trusted services by name.
         seed: PRNG seed; equal seeds give identical runs.
         trace: enable structured tracing.
+        event_sink: optional structured-event sink
+            (:mod:`repro.engine.events`); attaching one never perturbs the
+            seeded rng stream, so a traced run delivers exactly like an
+            untraced one.
     """
 
     def __init__(
@@ -142,6 +154,7 @@ class Simulation:
         seed: int = 0,
         trace: bool = False,
         max_events: int = DEFAULT_MAX_EVENTS,
+        event_sink: EventSink | None = None,
     ) -> None:
         if set(protocols) != set(config.processes):
             raise SimulationError(
@@ -159,6 +172,10 @@ class Simulation:
         self.services = dict(services or {})
         self.rng = random.Random(seed)
         self.tracer = Tracer(enabled=trace)
+        # Single hot-path check: ``None`` unless tracing or an external
+        # sink is attached.  The legacy tracer is fed through TracerSink,
+        # so its record stream is identical to the old inline calls.
+        self._events = combine(TracerSink(self.tracer) if trace else None, event_sink)
         self.max_events = max_events
         self.queue = EventQueue()
         self.stats = RunStats()
@@ -273,108 +290,27 @@ class Simulation:
             if depth > state.depth:
                 state.depth = depth
             self.stats.messages_delivered += 1
-            if self.tracer.enabled:
-                self.tracer.record(
-                    self.time,
-                    dst,
-                    "deliver",
-                    {"from": sender, "payload": payload, "depth": depth},
-                )
+            if self._events is not None:
+                self._events.emit(DeliverEvent(self.time, dst, sender, payload, depth))
             effects = guarded(state.protocol, sender, payload)
         if effects:
-            self._apply_effects(dst, effects, depth)
+            interpret(self, dst, effects, depth)
 
     def _apply_effects(self, pid: ProcessId, effects: list[Effect], depth: int) -> None:
-        # ``depth`` is the causal depth of the event being handled; outgoing
-        # messages extend exactly this chain (depth + 1), decisions happen at
-        # this depth, and service calls happen "within" the step at this
-        # depth.  This is the paper's communication-step metric: a one-step
-        # decision fires while handling a depth-1 proposal, a two-step
-        # decision while handling a depth-2 IDB echo.
-        state = self._states[pid]
-        for effect in effects:
-            if isinstance(effect, Send):
-                self._send(pid, effect.dst, effect.payload, depth + 1)
-            elif isinstance(effect, Broadcast):
-                # Inlined fan-out of _send: one Broadcast becomes n queue
-                # pushes, the single hottest loop of a simulated run.
-                payload = effect.payload
-                message_depth = depth + 1
-                time = self.time
-                push = self.queue.push_deliver
-                params = self._uniform_params
-                if params is not None and self._fair_scheduler:
-                    # Uniform latency, no adversarial delay: sample inline
-                    # with the exact random.Random.uniform arithmetic so the
-                    # rng stream stays bit-identical to the generic path.
-                    low, span = params
-                    rand = self.rng.random
-                    for dst in self.config.processes:
-                        if dst == pid:
-                            push(time, dst, pid, payload, message_depth)
-                        else:
-                            push(
-                                time + low + span * rand(),
-                                dst,
-                                pid,
-                                payload,
-                                message_depth,
-                            )
-                else:
-                    sample = self._sample_latency
-                    fair = self._fair_scheduler
-                    dictated = self._dictated
-                    extra = self.scheduler.extra_delay
-                    for dst in self.config.processes:
-                        if dictated:
-                            delay = extra(self.rng, pid, dst, payload, time)
-                            if delay == _INF:
-                                continue
-                            if delay < 0.0:
-                                delay = 0.0
-                        elif dst == pid:
-                            delay = 0.0
-                        else:
-                            delay = sample(pid, dst)
-                            if not fair:
-                                delay += extra(self.rng, pid, dst, payload, time)
-                                if delay < 0.0:
-                                    delay = 0.0
-                        push(time + delay, dst, pid, payload, message_depth)
-                self.stats.messages_sent += self.config.n
-            elif isinstance(effect, Decide):
-                if state.decision is None:
-                    state.decision = Decision(
-                        effect.value, effect.kind, step=depth, time=self.time
-                    )
-                    self.stats.record_decision(pid, state.decision)
-                    self._undecided_correct.discard(pid)
-                    self.tracer.record(
-                        self.time,
-                        pid,
-                        "decide",
-                        {
-                            "value": effect.value,
-                            "kind": effect.kind.value,
-                            "step": depth,
-                        },
-                    )
-            elif isinstance(effect, Deliver):
-                self._outputs[pid].append(effect)
-                self.tracer.record(
-                    self.time,
-                    pid,
-                    f"output:{effect.tag}",
-                    {"sender": effect.sender, "value": effect.value},
-                )
-            elif isinstance(effect, ServiceCall):
-                self._call_service(pid, effect, depth)
-            elif isinstance(effect, Log):
-                self.tracer.record(self.time, effect.data.get("pid", pid), effect.event, effect.data)
-            else:
-                raise SimulationError(f"unknown effect {effect!r}")
+        """Compatibility shim: route through the engine interpreter.
 
-    def _send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
+        ``depth`` is the causal depth of the event being handled; outgoing
+        messages extend exactly this chain (depth + 1), decisions happen at
+        this depth, and service calls happen "within" the step at this
+        depth.  This is the paper's communication-step metric: a one-step
+        decision fires while handling a depth-1 proposal, a two-step
+        decision while handling a depth-2 IDB echo.
+        """
+        interpret(self, pid, effects, depth)
+
+    # -- ExecutionPorts ------------------------------------------------------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
         self.stats.messages_sent += 1
         if self._dictated:
             delay = self.scheduler.extra_delay(self.rng, src, dst, payload, self.time)
@@ -394,30 +330,98 @@ class Simulation:
                 if delay < 0.0:
                     delay = 0.0
         self.queue.push_deliver(self.time + delay, dst, src, payload, depth)
+        if self._events is not None:
+            self._events.emit(SendEvent(self.time, src, dst, payload, depth))
 
-    def _call_service(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
-        service = self.services.get(call.service)
-        if service is None:
-            raise SimulationError(f"no service registered under {call.service!r}")
-        self.tracer.record(self.time, pid, f"service-call:{call.service}", {"payload": call.payload})
-        for reply in service.on_call(pid, call.payload, depth, self.time, call.reply_path):
-            payload: Any = reply.payload
-            # reply_path is outermost-first; wrap innermost-first so the
-            # outermost envelope ends up on the outside.
-            for component in reversed(reply.reply_path):
-                payload = Envelope(component, payload)
-            delay = reply.delay
-            if self._dictated:
-                delay = self.scheduler.extra_delay(
-                    self.rng, SERVICE_SENDER, reply.dst, payload, self.time
-                )
-                if delay == _INF:
-                    continue
-                if delay < 0.0:
+    def broadcast(self, pid: ProcessId, payload: Any, message_depth: int) -> None:
+        # Inlined fan-out of ``send``: one Broadcast becomes n queue
+        # pushes, the single hottest loop of a simulated run.
+        time = self.time
+        push = self.queue.push_deliver
+        params = self._uniform_params
+        events = self._events
+        if params is not None and self._fair_scheduler and events is None:
+            # Uniform latency, no adversarial delay, nobody watching:
+            # sample inline with the exact random.Random.uniform arithmetic
+            # so the rng stream stays bit-identical to the generic path.
+            low, span = params
+            rand = self.rng.random
+            for dst in self.config.processes:
+                if dst == pid:
+                    push(time, dst, pid, payload, message_depth)
+                else:
+                    push(
+                        time + low + span * rand(),
+                        dst,
+                        pid,
+                        payload,
+                        message_depth,
+                    )
+        else:
+            sample = self._sample_latency
+            fair = self._fair_scheduler
+            dictated = self._dictated
+            extra = self.scheduler.extra_delay
+            for dst in self.config.processes:
+                if dictated:
+                    delay = extra(self.rng, pid, dst, payload, time)
+                    if delay == _INF:
+                        continue
+                    if delay < 0.0:
+                        delay = 0.0
+                elif dst == pid:
                     delay = 0.0
-            self.queue.push_deliver(
-                self.time + delay, reply.dst, SERVICE_SENDER, payload, reply.depth
+                else:
+                    delay = sample(pid, dst)
+                    if not fair:
+                        delay += extra(self.rng, pid, dst, payload, time)
+                        if delay < 0.0:
+                            delay = 0.0
+                push(time + delay, dst, pid, payload, message_depth)
+                if events is not None:
+                    events.emit(SendEvent(time, pid, dst, payload, message_depth))
+        self.stats.messages_sent += self.config.n
+
+    def decide(self, pid: ProcessId, value: Any, kind: Any, depth: int) -> None:
+        state = self._states[pid]
+        if state.decision is None:
+            state.decision = Decision(value, kind, step=depth, time=self.time)
+            self.stats.record_decision(pid, state.decision)
+            self._undecided_correct.discard(pid)
+            if self._events is not None:
+                self._events.emit(DecideEvent(self.time, pid, value, kind, depth))
+
+    def output(self, pid: ProcessId, effect: Deliver, depth: int) -> None:
+        self._outputs[pid].append(effect)
+        if self._events is not None:
+            self._events.emit(
+                OutputEvent(self.time, pid, effect.tag, effect.sender, effect.value)
             )
+
+    def service_call(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
+        if self._events is not None:
+            self._events.emit(ServiceEvent(self.time, pid, call.service, call.payload))
+        dispatch_service_call(
+            self.services, pid, call, depth, self.time, self._deliver_reply
+        )
+
+    def log_record(self, pid: ProcessId, record: Log, depth: int) -> None:
+        if self._events is not None:
+            self._events.emit(LogEvent(self.time, pid, record.event, record.data))
+
+    def _deliver_reply(self, reply: ServiceReply, payload: Any) -> None:
+        delay = reply.delay
+        if self._dictated:
+            delay = self.scheduler.extra_delay(
+                self.rng, SERVICE_SENDER, reply.dst, payload, self.time
+            )
+            if delay == _INF:
+                return
+            if delay < 0.0:
+                delay = 0.0
+        self.queue.push_deliver(
+            self.time + delay, reply.dst, SERVICE_SENDER, payload, reply.depth
+        )
 
     def _result(self) -> RunResult:
         self.stats.end_time = self.time

@@ -26,8 +26,24 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..engine.events import (
+    DecideEvent,
+    DeliverEvent,
+    EventSink,
+    LogEvent,
+    OutputEvent,
+    RoundEvent,
+    SendEvent,
+    ServiceEvent,
+    TracerSink,
+    combine,
+)
+from ..engine.interpreter import ExecutionPorts, dispatch_service_call, interpret
 from ..errors import SimulationError
-from ..types import ProcessId, SystemConfig, Value
+from ..runtime.effects import SERVICE_SENDER, Deliver, Log, ServiceCall
+from ..runtime.protocol import Protocol, guarded
+from ..runtime.services import Service, ServiceReply
+from ..types import Decision, DecisionKind, ProcessId, RunStats, SystemConfig, Value
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,6 +111,7 @@ class SynchronousSimulation:
         protocols: Mapping[ProcessId, SyncProtocol],
         crashes: Mapping[ProcessId, CrashEvent] | None = None,
         seed: int = 0,
+        event_sink: EventSink | None = None,
     ) -> None:
         if set(protocols) != set(config.processes):
             raise SimulationError(
@@ -109,6 +126,7 @@ class SynchronousSimulation:
         self.protocols = dict(protocols)
         self.crashes = crashes
         self.rng = random.Random(seed)
+        self._events = event_sink
 
     @property
     def faulty(self) -> frozenset[ProcessId]:
@@ -126,6 +144,8 @@ class SynchronousSimulation:
             pid: protocol.first_message() for pid, protocol in self.protocols.items()
         }
         for round_ in range(1, max_rounds + 1):
+            if self._events is not None:
+                self._events.emit(RoundEvent(float(round_), -1, round_))
             deliveries: dict[ProcessId, dict[ProcessId, Any]] = {
                 pid: {} for pid in self.config.processes
             }
@@ -152,10 +172,21 @@ class SynchronousSimulation:
             for pid, protocol in self.protocols.items():
                 if pid in crashed:
                     continue
+                if self._events is not None:
+                    for sender, message in deliveries[pid].items():
+                        self._events.emit(
+                            DeliverEvent(float(round_), pid, sender, message, round_)
+                        )
                 message, decision = protocol.on_round(round_, deliveries[pid])
                 next_outbox[pid] = message
                 if decision is not None and pid not in decisions:
                     decisions[pid] = SyncDecision(decision, round_)
+                    if self._events is not None:
+                        self._events.emit(
+                            DecideEvent(
+                                float(round_), pid, decision, DecisionKind.UNDERLYING, round_
+                            )
+                        )
             outbox = next_outbox
             if all(pid in decisions for pid in self.correct):
                 break
@@ -199,3 +230,158 @@ class SyncRunResult:
     @property
     def max_decision_round(self) -> int:
         return max((d.round for d in self.correct_decisions.values()), default=0)
+
+
+class LockstepSimulation(ExecutionPorts):
+    """Run *asynchronous* sans-IO protocols in deterministic lockstep rounds.
+
+    This is the ``engine="sync"`` backend of
+    :class:`~repro.harness.Scenario`: the same
+    :class:`~repro.runtime.protocol.Protocol` objects as the other
+    backends, but with a maximally synchronous schedule — every message
+    sent during round ``r`` is delivered (in send order) at round
+    ``r + 1``, so all processes see complete, identical rounds.  A useful
+    extreme for cross-engine equivalence checks: causal step accounting is
+    identical, scheduling noise is zero.
+
+    Not to be confused with :class:`SynchronousSimulation`, which hosts
+    round-*native* :class:`SyncProtocol` implementations (the Mostefaoui
+    Table-1 row); this class is a scheduling policy for effect-based
+    protocols and interprets effects through the shared engine.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocols: Mapping[ProcessId, Protocol],
+        faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
+        services: Mapping[str, Service] | None = None,
+        seed: int = 0,
+        trace: bool = False,
+        event_sink: EventSink | None = None,
+        max_rounds: int = 10_000,
+    ) -> None:
+        if set(protocols) != set(config.processes):
+            raise SimulationError(
+                "protocols must cover exactly the process ids of the config"
+            )
+        faulty = frozenset(faulty)
+        if len(faulty) > config.t:
+            raise SimulationError(
+                f"{len(faulty)} faulty processes exceed the bound t={config.t}"
+            )
+        from .trace import Tracer
+
+        self.config = config
+        self.protocols = dict(protocols)
+        self.faulty = faulty
+        self.services = dict(services or {})
+        self.rng = random.Random(seed)  # unused by the schedule; kept for parity
+        self.tracer = Tracer(enabled=trace)
+        self._events = combine(TracerSink(self.tracer) if trace else None, event_sink)
+        self.max_rounds = max_rounds
+        self.stats = RunStats()
+        self.time = 0.0
+        self.decisions: dict[ProcessId, Decision] = {}
+        self.outputs: dict[ProcessId, list[Deliver]] = {
+            pid: [] for pid in config.processes
+        }
+        self._depths: dict[ProcessId, int] = {pid: 0 for pid in config.processes}
+        #: messages to deliver next round, in send order.
+        self._next: list[tuple[ProcessId, ProcessId, Any, int]] = []
+        self._undecided_correct = {
+            p for p in config.processes if p not in faulty
+        }
+
+    @property
+    def correct(self) -> list[ProcessId]:
+        return [p for p in self.config.processes if p not in self.faulty]
+
+    # -- ExecutionPorts (broadcast inherits the per-destination default) --------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
+        self.stats.messages_sent += 1
+        self._next.append((dst, src, payload, depth))
+        if self._events is not None:
+            self._events.emit(SendEvent(self.time, src, dst, payload, depth))
+
+    def decide(self, pid: ProcessId, value: Any, kind: Any, depth: int) -> None:
+        if pid not in self.decisions:
+            decision = Decision(value, kind, step=depth, time=self.time)
+            self.decisions[pid] = decision
+            self.stats.record_decision(pid, decision)
+            self._undecided_correct.discard(pid)
+            if self._events is not None:
+                self._events.emit(DecideEvent(self.time, pid, value, kind, depth))
+
+    def output(self, pid: ProcessId, effect: Deliver, depth: int) -> None:
+        self.outputs[pid].append(effect)
+        if self._events is not None:
+            self._events.emit(
+                OutputEvent(self.time, pid, effect.tag, effect.sender, effect.value)
+            )
+
+    def service_call(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
+        if self._events is not None:
+            self._events.emit(ServiceEvent(self.time, pid, call.service, call.payload))
+        dispatch_service_call(
+            self.services, pid, call, depth, self.time, self._deliver_reply
+        )
+
+    def log_record(self, pid: ProcessId, record: Log, depth: int) -> None:
+        if self._events is not None:
+            self._events.emit(LogEvent(self.time, pid, record.event, record.data))
+
+    def _deliver_reply(self, reply: ServiceReply, payload: Any) -> None:
+        self._next.append((reply.dst, SERVICE_SENDER, payload, reply.depth))
+
+    # -- round loop -------------------------------------------------------------------
+
+    def run_until_decided(self) -> "RunResult":
+        """Run rounds until every correct process decided.
+
+        Returns the same :class:`~repro.sim.runner.RunResult` type as the
+        discrete-event backend (``end_time`` is the final round number), so
+        aggregation and assertions work unchanged.
+        """
+        from .runner import RunResult
+
+        for pid in self.config.processes:
+            interpret(self, pid, self.protocols[pid].on_start(), 0)
+        round_ = 0
+        while self._next and self._undecided_correct:
+            round_ += 1
+            if round_ > self.max_rounds:
+                raise SimulationError(
+                    f"exceeded max_rounds={self.max_rounds}; likely livelock"
+                )
+            self.time = float(round_)
+            if self._events is not None:
+                self._events.emit(RoundEvent(self.time, -1, round_))
+            inbox, self._next = self._next, []
+            for dst, sender, payload, depth in inbox:
+                if depth > self._depths[dst]:
+                    self._depths[dst] = depth
+                self.stats.messages_delivered += 1
+                if self._events is not None:
+                    self._events.emit(
+                        DeliverEvent(self.time, dst, sender, payload, depth)
+                    )
+                effects = guarded(self.protocols[dst], sender, payload)
+                interpret(self, dst, effects, depth)
+        if self._undecided_correct and not self._next:
+            from ..errors import SimulationDeadlock
+
+            raise SimulationDeadlock(frozenset(self._undecided_correct))
+        self.stats.end_time = self.time
+        return RunResult(
+            config=self.config,
+            decisions=dict(self.decisions),
+            outputs=self.outputs,
+            stats=self.stats,
+            tracer=self.tracer,
+            faulty=self.faulty,
+            end_time=self.time,
+            drained=not self._next,
+            depths=dict(self._depths),
+        )

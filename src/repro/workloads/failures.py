@@ -1,8 +1,9 @@
 """Failure-pattern generators: which processes fail, and how.
 
 Produces the ``faults`` mapping consumed by
-:class:`repro.harness.Scenario`.  Patterns are seeded so sweeps over the
-actual failure count ``f`` (the paper's adaptiveness axis) are
+:class:`repro.harness.Scenario` and validated by the
+:class:`~repro.engine.faults.FaultPlane`.  Patterns are seeded so sweeps
+over the actual failure count ``f`` (the paper's adaptiveness axis) are
 reproducible.
 """
 
@@ -11,7 +12,7 @@ from __future__ import annotations
 import random
 from collections.abc import Sequence
 
-from ..harness import Crash, Equivocate, Fault, Garbage, Silent
+from ..engine.faults import Crash, Equivocate, Fault, Garbage, Silent
 from ..types import ProcessId, Value
 
 

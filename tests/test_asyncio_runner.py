@@ -82,3 +82,96 @@ class TestRunnerMechanics:
         result = Scenario(dex_freq(), unanimous(1, 7), seed=7).run_async(timeout=15)
         assert result.stats.messages_sent > 0
         assert result.stats.messages_delivered > 0
+
+
+class TestTimeoutRegression:
+    """A timed-out run must clean up after itself and surface what it has."""
+
+    def test_timeout_leaves_no_pending_delivery_tasks(self):
+        from repro.runtime.effects import Broadcast
+        from repro.runtime.protocol import Protocol
+
+        class Chatter(Protocol):
+            """Floods forever, never decides — deliveries are always in flight."""
+
+            def on_start(self):
+                return [Broadcast("ping")]
+
+            def on_message(self, sender, payload):
+                return [Broadcast("ping")]
+
+        config = SystemConfig(3, 0)
+        runner = AsyncioRunner(
+            config,
+            {pid: Chatter(pid, config) for pid in config.processes},
+            mean_delay=0.01,
+        )
+        result = runner.run_sync(timeout=0.2)
+        assert result.timed_out
+        # every in-flight delivery task was cancelled and reaped; nothing
+        # leaks into (or crashes) a later event loop.
+        assert not runner._pending
+
+    def test_timeout_surfaces_partial_decisions(self):
+        from repro.runtime.effects import Decide
+        from repro.runtime.protocol import Protocol
+
+        class DecideOnStart(Protocol):
+            def on_start(self):
+                return [Decide(1, DecisionKind.ONE_STEP)]
+
+            def on_message(self, sender, payload):
+                return []
+
+        class Mute(Protocol):
+            def on_message(self, sender, payload):
+                return []
+
+        config = SystemConfig(3, 0)
+        runner = AsyncioRunner(
+            config,
+            {
+                0: DecideOnStart(0, config),
+                1: Mute(1, config),
+                2: Mute(2, config),
+            },
+        )
+        result = runner.run_sync(timeout=0.2)
+        assert result.timed_out
+        assert set(result.decisions) == {0}
+        assert result.undecided_correct == frozenset({1, 2})
+        assert not result.all_correct_decided()
+        assert result.agreement_holds()  # vacuously — nobody disagreed
+
+    def test_clean_run_reports_no_undecided(self):
+        result = Scenario(dex_freq(), unanimous(1, 7), seed=8).run_async(timeout=15)
+        assert result.undecided_correct == frozenset()
+        assert result.all_correct_decided()
+
+
+class TestEquivocatorImpact:
+    """The fault plane visibly changes asyncio executions, not just sim ones."""
+
+    def test_equivocator_forces_second_step(self):
+        # n=13, t=2: one-step needs gap > 4t = 8.  Clean run: {1: 12, 2: 1},
+        # gap 11 — even the stingiest n-t view has gap 9, so everyone
+        # one-steps.
+        inputs = [1] * 10 + [2, 1, 1]
+        clean = Scenario(dex_freq(), inputs, seed=11).run_async(timeout=20)
+        assert not clean.timed_out
+        assert clean.max_correct_step == 1
+        # Two byzantine processes argue for 2 on both faces: correct views
+        # become {1: 10, 2: up-to-3}, gap at most 8 once a byzantine vote is
+        # counted — the one-step predicate fails and the two-step path
+        # (gap 7 > 2t) finishes the job.
+        faulty = Scenario(
+            dex_freq(),
+            inputs,
+            faults={11: Equivocate(2, 2), 12: Equivocate(2, 2)},
+            seed=11,
+        ).run_async(timeout=20)
+        assert not faulty.timed_out
+        assert faulty.agreement_holds()
+        assert faulty.decided_value == 1
+        assert faulty.max_correct_step >= 2
+        assert faulty.max_correct_step > clean.max_correct_step

@@ -1,0 +1,193 @@
+"""Cross-engine equivalence: one Scenario, four backends, same verdicts.
+
+The tentpole claim of the engine layer is that ``sim``, ``asyncio``,
+``sync`` and ``mc`` are *backends* of one interpreter, not four
+reimplementations.  These tests pin the observable consequences: the same
+seeded scenario decides the same value (and satisfies the same
+properties) no matter which engine runs it.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engine.events import DecideEvent, EventLog, FaultEvent
+from repro.harness import (
+    ENGINES,
+    Crash,
+    Equivocate,
+    Scenario,
+    Silent,
+    dex_freq,
+    dex_prv,
+    run_once,
+)
+from repro.workloads.inputs import split, unanimous
+
+DETERMINISTIC_ENGINES = ("sim", "sync", "mc")
+
+
+def _run_on(scenario: Scenario, engine: str):
+    return dataclasses.replace(scenario, engine=engine).run()
+
+
+class TestFaultFreeEquivalence:
+    def test_unanimous_same_value_everywhere(self):
+        scenario = Scenario(dex_freq(), unanimous(1, 7), seed=3)
+        for engine in ENGINES:
+            result = _run_on(scenario, engine)
+            assert result.agreement_holds(), engine
+            assert result.all_correct_decided(), engine
+            assert result.decided_value == 1, engine
+            assert result.max_correct_step == 1, engine
+
+    def test_contended_inputs_agree_on_deterministic_engines(self):
+        scenario = Scenario(dex_freq(), split(1, 2, 7, 3), seed=5)
+        for engine in DETERMINISTIC_ENGINES:
+            result = _run_on(scenario, engine)
+            assert result.agreement_holds(), engine
+            assert result.decided_value in (1, 2), engine
+
+    def test_privileged_pair_runs_on_every_engine(self):
+        scenario = Scenario(dex_prv(), unanimous(0, 4), seed=1)
+        for engine in ENGINES:
+            result = _run_on(scenario, engine)
+            assert result.decided_value == 0, engine
+
+
+class TestFaultyEquivalence:
+    def test_crash_fault_same_value_everywhere(self):
+        scenario = Scenario(
+            dex_freq(), unanimous(1, 7), faults={6: Crash(3)}, seed=7
+        )
+        for engine in ENGINES:
+            result = _run_on(scenario, engine)
+            assert result.agreement_holds(), engine
+            assert result.all_correct_decided(), engine
+            assert result.decided_value == 1, engine
+
+    def test_silent_fault_same_value_everywhere(self):
+        scenario = Scenario(
+            dex_freq(), unanimous(1, 7), faults={6: Silent()}, seed=7
+        )
+        for engine in ENGINES:
+            result = _run_on(scenario, engine)
+            assert result.decided_value == 1, engine
+
+    def test_equivocator_same_value_everywhere(self):
+        scenario = Scenario(
+            dex_freq(), unanimous(1, 7), faults={6: Equivocate(1, 2)}, seed=9
+        )
+        for engine in ENGINES:
+            result = _run_on(scenario, engine)
+            assert result.agreement_holds(), engine
+            assert result.all_correct_decided(), engine
+            # validity: with every correct process proposing 1, the
+            # equivocator cannot push the system to 2 on any backend.
+            assert result.decided_value == 1, engine
+
+
+class TestEventStreamParity:
+    def test_decide_events_match_result_on_every_engine(self):
+        for engine in ENGINES:
+            log = EventLog()
+            scenario = Scenario(
+                dex_freq(), unanimous(1, 7), seed=2, engine=engine, event_sink=log
+            )
+            result = scenario.run()
+            decided = {e.pid: e.value for e in log.of_type(DecideEvent)}
+            assert decided == {
+                pid: d.value for pid, d in result.decisions.items()
+            }, engine
+
+    def test_fault_plane_announced_on_event_stream(self):
+        log = EventLog()
+        Scenario(
+            dex_freq(),
+            unanimous(1, 7),
+            faults={6: Equivocate(1, 2)},
+            seed=2,
+            event_sink=log,
+        ).run()
+        faults = log.of_type(FaultEvent)
+        assert [(e.pid, e.fault) for e in faults] == [(6, "Equivocate")]
+
+
+class TestScenarioDataclass:
+    """Regression guards for the ``dataclasses.replace``-based cloning."""
+
+    EXPECTED_FIELDS = {
+        "algorithm",
+        "inputs",
+        "t",
+        "faults",
+        "uc",
+        "uc_step_cost",
+        "latency",
+        "scheduler",
+        "seed",
+        "trace",
+        "max_events",
+        "engine",
+        "event_sink",
+        "config",
+    }
+
+    def test_field_set_is_known(self):
+        # If this fails you added a Scenario field: extend EXPECTED_FIELDS
+        # and check run_many's docstring still holds (replace-based cloning
+        # carries new fields automatically — no other code change needed).
+        names = {f.name for f in dataclasses.fields(Scenario)}
+        assert names == self.EXPECTED_FIELDS
+
+    def test_config_not_an_init_field(self):
+        (config_field,) = [
+            f for f in dataclasses.fields(Scenario) if f.name == "config"
+        ]
+        assert not config_field.init
+
+    def test_replace_carries_every_field(self):
+        scenario = Scenario(
+            dex_freq(),
+            unanimous(1, 7),
+            faults={6: Silent()},
+            uc_step_cost=3,
+            seed=4,
+            trace=True,
+            max_events=5000,
+            engine="mc",
+        )
+        clone = dataclasses.replace(scenario, seed=9, trace=False)
+        assert clone.seed == 9 and clone.trace is False
+        for name in self.EXPECTED_FIELDS - {"seed", "trace", "config", "faults"}:
+            assert getattr(clone, name) == getattr(scenario, name), name
+        assert clone.faults == scenario.faults
+        assert clone.config == scenario.config
+
+    def test_run_many_respects_engine(self):
+        aggregate = Scenario(
+            dex_freq(), unanimous(1, 7), engine="sync"
+        ).run_many(range(3))
+        assert aggregate.runs == 3
+        assert aggregate.agreement_violations == 0
+
+    def test_run_many_aggregate_matches_individual_runs(self):
+        scenario = Scenario(dex_freq(), split(1, 2, 7, 3))
+        aggregate = scenario.run_many(range(4), expected_value=None)
+        singles = [
+            dataclasses.replace(scenario, seed=seed, trace=False).run()
+            for seed in range(4)
+        ]
+        assert aggregate.runs == 4
+        assert aggregate.mean_max_step == pytest.approx(
+            sum(r.max_correct_step for r in singles) / 4
+        )
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            Scenario(dex_freq(), unanimous(1, 7), engine="quantum")
+
+    def test_run_once_still_works(self):
+        assert run_once(dex_freq(), unanimous(1, 7)).decided_value == 1

@@ -1,0 +1,371 @@
+"""Unit tests for the shared execution-engine layer (:mod:`repro.engine`).
+
+The interpreter, the fault plane and the event stream are exercised here
+in isolation; the cross-engine behavioral guarantees live in
+``test_cross_engine.py``.
+"""
+
+import pytest
+
+from repro.engine.events import (
+    DecideEvent,
+    DeliverEvent,
+    EventLog,
+    EventStats,
+    FaultEvent,
+    SendEvent,
+    TeeSink,
+    TracerSink,
+    combine,
+)
+from repro.engine.faults import Crash, Custom, Equivocate, FaultPlane, Silent
+from repro.engine.interpreter import (
+    CensoringRewriter,
+    EffectRewriter,
+    ExecutionPorts,
+    dispatch_service_call,
+    expand_broadcasts,
+    interpret,
+)
+from repro.errors import ConfigurationError, SimulationDeadlock, SimulationError
+from repro.runtime.effects import (
+    Broadcast,
+    Decide,
+    Deliver,
+    Envelope,
+    Log,
+    Send,
+    ServiceCall,
+)
+from repro.runtime.protocol import Protocol
+from repro.runtime.services import Service, ServiceReply
+from repro.types import DecisionKind, SystemConfig
+
+
+class RecordingPorts(ExecutionPorts):
+    """Turns every port call into a tuple for assertions."""
+
+    def __init__(self, config):
+        self.config = config
+        self.calls = []
+
+    def send(self, src, dst, payload, depth):
+        self.calls.append(("send", src, dst, payload, depth))
+
+    def decide(self, pid, value, kind, depth):
+        self.calls.append(("decide", pid, value, kind, depth))
+
+    def output(self, pid, effect, depth):
+        self.calls.append(("output", pid, effect, depth))
+
+    def service_call(self, pid, call, depth):
+        self.calls.append(("service", pid, call.service, depth))
+
+    def log_record(self, pid, record, depth):
+        self.calls.append(("log", pid, record.event, depth))
+
+
+class TestInterpret:
+    def test_dispatch_and_depth_arithmetic(self):
+        ports = RecordingPorts(SystemConfig(3, 0))
+        interpret(
+            ports,
+            1,
+            [
+                Send(2, "m"),
+                Decide(7, DecisionKind.ONE_STEP),
+                Deliver("tag", 0, "v"),
+                Log("noted"),
+            ],
+            depth=4,
+        )
+        assert ports.calls == [
+            # messages carry the triggering depth plus one...
+            ("send", 1, 2, "m", 5),
+            # ...while local effects keep the handler's depth.
+            ("decide", 1, 7, DecisionKind.ONE_STEP, 4),
+            ("output", 1, Deliver("tag", 0, "v"), 4),
+            ("log", 1, "noted", 4),
+        ]
+
+    def test_default_broadcast_fans_out_in_pid_order_with_self_copy(self):
+        ports = RecordingPorts(SystemConfig(3, 0))
+        interpret(ports, 1, [Broadcast("b")], depth=0)
+        assert ports.calls == [
+            ("send", 1, 0, "b", 1),
+            ("send", 1, 1, "b", 1),
+            ("send", 1, 2, "b", 1),
+        ]
+
+    def test_unknown_effect_rejected(self):
+        ports = RecordingPorts(SystemConfig(2, 0))
+        with pytest.raises(SimulationError, match="unknown effect"):
+            interpret(ports, 0, ["not-an-effect"], depth=0)
+
+
+class _EchoService(Service):
+    def on_call(self, caller, payload, depth, time, reply_path=()):
+        return [
+            ServiceReply(dst=caller, payload=("echo", payload), depth=depth + 1,
+                         reply_path=reply_path)
+        ]
+
+
+class TestDispatchServiceCall:
+    def test_missing_service_rejected(self):
+        with pytest.raises(SimulationError, match="no service registered"):
+            dispatch_service_call(
+                {}, 0, ServiceCall("oracle", "x"), 0, 0.0, lambda *a: None
+            )
+
+    def test_reply_path_wraps_envelopes_outermost_first(self):
+        delivered = []
+        dispatch_service_call(
+            {"echo": _EchoService()},
+            2,
+            ServiceCall("echo", "q", reply_path=("outer", "inner")),
+            depth=1,
+            now=0.0,
+            deliver_reply=lambda reply, payload: delivered.append((reply, payload)),
+        )
+        (reply, payload), = delivered
+        assert reply.dst == 2
+        assert payload == Envelope("outer", Envelope("inner", ("echo", "q")))
+
+
+class TestEffectRewriter:
+    def test_defaults_are_identity(self):
+        effects = [Send(0, "m"), Broadcast("b"), Decide(1, DecisionKind.ONE_STEP)]
+        assert EffectRewriter().rewrite_effects(effects) == effects
+
+    def test_drop_and_splice(self):
+        class DropSendsDoubleLogs(EffectRewriter):
+            def rewrite_send(self, effect):
+                return None
+
+            def rewrite_log(self, effect):
+                return [effect, effect]
+
+        out = DropSendsDoubleLogs().rewrite_effects([Send(0, "m"), Log("e")])
+        assert out == [Log("e"), Log("e")]
+
+    def test_stop_rewrite_drops_tail(self):
+        class StopAfterFirstSend(EffectRewriter):
+            def rewrite_send(self, effect):
+                self.stop_rewrite()
+                return effect
+
+        out = StopAfterFirstSend().rewrite_effects(
+            [Send(0, "a"), Send(1, "b"), Log("never")]
+        )
+        assert out == [Send(0, "a")]
+
+    def test_broadcast_expansion_visits_each_destination(self):
+        class OmitP1(EffectRewriter):
+            rewriter_expands_broadcasts = True
+
+            def __init__(self, config):
+                self.config = config
+
+            def rewrite_send(self, effect):
+                return None if effect.dst == 1 else effect
+
+        out = OmitP1(SystemConfig(3, 0)).rewrite_effects([Broadcast("b")])
+        assert out == [Send(0, "b"), Send(2, "b")]
+
+    def test_stop_flag_restored_after_reentrant_rewrite(self):
+        rewriter = EffectRewriter()
+        rewriter._rewrite_stopped = True  # simulate an outer rewrite mid-stop
+        rewriter.rewrite_effects([Send(0, "m")])
+        assert rewriter._rewrite_stopped is True
+
+    def test_censoring_rewriter_drops_upcalls_only(self):
+        out = CensoringRewriter().rewrite_effects(
+            [Decide(1, DecisionKind.ONE_STEP), Deliver("t", 0, "v"), Send(0, "m")]
+        )
+        assert out == [Send(0, "m")]
+
+    def test_expand_broadcasts_helper(self):
+        out = expand_broadcasts([Broadcast("b"), Log("e")], SystemConfig(2, 0))
+        assert out == [Send(0, "b"), Send(1, "b"), Log("e")]
+
+
+class TestFaultPlane:
+    def test_too_many_faults_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceed the declared bound"):
+            FaultPlane(SystemConfig(7, 1), {5: Silent(), 6: Silent()})
+
+    def test_out_of_range_pid_rejected(self):
+        with pytest.raises(ConfigurationError, match="outside the process space"):
+            FaultPlane(SystemConfig(4, 1), {7: Silent()})
+
+    def test_crash_model_rejects_byzantine_faults(self):
+        with pytest.raises(ConfigurationError, match="crash-model algorithm"):
+            FaultPlane(
+                SystemConfig(7, 1),
+                {6: Equivocate(1, 2)},
+                failure_model="crash",
+                algorithm_name="izumi",
+            )
+
+    def test_crash_model_accepts_crash_faults(self):
+        plane = FaultPlane(
+            SystemConfig(7, 1), {6: Crash(3)}, failure_model="crash"
+        )
+        assert plane.faulty == frozenset({6})
+
+    def test_build_honest_and_faulty(self):
+        class Nop(Protocol):
+            def on_message(self, sender, payload):
+                return []
+
+        config = SystemConfig(4, 1)
+        marker = Nop(3, config)
+        plane = FaultPlane(
+            config, {3: Custom(lambda pid, cfg, make, value: marker)}
+        )
+        honest = plane.build(0, lambda v: Nop(0, config), "v", spec=None)
+        assert isinstance(honest, Nop) and honest is not marker
+        assert plane.build(3, lambda v: Nop(3, config), "v", spec=None) is marker
+
+    def test_crash_schedule_projection(self):
+        plane = FaultPlane(SystemConfig(7, 2), {5: Silent(), 6: Crash(3)})
+        schedule = plane.crash_schedule()
+        assert schedule[5].delivered_to == frozenset()
+        assert schedule[6].delivered_to == frozenset({0, 1, 2})
+        assert schedule[5].round == schedule[6].round == 1
+
+    def test_crash_schedule_rejects_byzantine(self):
+        plane = FaultPlane(SystemConfig(7, 1), {6: Equivocate(1, 2)})
+        with pytest.raises(ConfigurationError, match="no synchronous"):
+            plane.crash_schedule()
+
+    def test_announce_emits_sorted_fault_events(self):
+        log = EventLog()
+        FaultPlane(
+            SystemConfig(7, 2), {6: Crash(3), 2: Silent()}
+        ).announce(log)
+        assert [(e.pid, e.fault, e.detail) for e in log.of_type(FaultEvent)] == [
+            (2, "Silent", ""),
+            (6, "Crash", "budget=3"),
+        ]
+
+    def test_announce_tolerates_missing_sink(self):
+        FaultPlane(SystemConfig(7, 1), {6: Silent()}).announce(None)
+
+
+class TestEventStream:
+    def _sample_events(self):
+        return [
+            SendEvent(0.0, 0, 1, "m", 1),
+            DeliverEvent(1.0, 1, 0, "m", 1),
+            DecideEvent(1.0, 1, 7, DecisionKind.ONE_STEP, 1),
+            DecideEvent(2.0, 1, 8, DecisionKind.TWO_STEP, 2),  # late duplicate
+            DecideEvent(2.0, 0, 7, DecisionKind.TWO_STEP, 2),
+        ]
+
+    def test_event_log_records_and_filters(self):
+        log = EventLog()
+        for event in self._sample_events():
+            log.emit(event)
+        assert len(log) == 5
+        assert [e.pid for e in log.of_type(DecideEvent)] == [1, 1, 0]
+
+    def test_event_log_decisions_keeps_first_per_pid(self):
+        log = EventLog()
+        for event in self._sample_events():
+            log.emit(event)
+        decisions = log.decisions()
+        assert decisions[1].value == 7 and decisions[1].step == 1
+        assert decisions[0].step == 2
+
+    def test_event_stats_counters(self):
+        stats = EventStats()
+        for event in self._sample_events():
+            stats.emit(event)
+        assert stats.sends == 1
+        assert stats.delivers == 1
+        assert stats.decide_steps == {1: 1, 0: 2}
+        assert stats.one_step_fraction == 0.5
+
+    def test_tracer_sink_matches_legacy_record_format(self):
+        from repro.sim.trace import Tracer
+
+        via_sink, direct = Tracer(enabled=True), Tracer(enabled=True)
+        sink = TracerSink(via_sink)
+        sink.emit(DeliverEvent(1.5, 2, 0, "m", 3))
+        direct.record(1.5, 2, "deliver", {"from": 0, "payload": "m", "depth": 3})
+        sink.emit(DecideEvent(2.0, 2, 7, DecisionKind.ONE_STEP, 1))
+        direct.record(2.0, 2, "decide", {"value": 7, "kind": "one-step", "step": 1})
+        sink.emit(SendEvent(0.5, 0, 1, "m", 1))  # no legacy counterpart
+        assert via_sink.events == direct.events
+
+    def test_combine(self):
+        log = EventLog()
+        assert combine(None, None) is None
+        assert combine(None, log) is log
+        tee = combine(log, EventStats())
+        assert isinstance(tee, TeeSink)
+
+    def test_tee_sink_fans_out(self):
+        a, b = EventLog(), EventLog()
+        TeeSink(a, b).emit(SendEvent(0.0, 0, 1, "m", 1))
+        assert len(a) == len(b) == 1
+
+
+class TestLockstepSimulation:
+    def _deployment(self, protocol_cls, n=3):
+        config = SystemConfig(n, 0)
+        return config, {pid: protocol_cls(pid, config) for pid in config.processes}
+
+    def test_round_synchronous_delivery(self):
+        from repro.sim.synchronous import LockstepSimulation
+
+        class FloodOnce(Protocol):
+            def on_start(self):
+                self.seen = []
+                return [Broadcast("hello")] if self.process_id == 0 else []
+
+            def on_message(self, sender, payload):
+                self.seen.append((sender, payload))
+                return [Decide(payload, DecisionKind.ONE_STEP)]
+
+        config, protocols = self._deployment(FloodOnce)
+        result = LockstepSimulation(config, protocols).run_until_decided()
+        assert result.decided_value == "hello"
+        # everything sent in round 0 arrives together at round 1.
+        assert result.end_time == 1.0
+        assert all(d.step == 1 for d in result.decisions.values())
+
+    def test_deadlock_reported_with_undecided_set(self):
+        from repro.sim.synchronous import LockstepSimulation
+
+        class Mute(Protocol):
+            def on_start(self):
+                return [Broadcast("x")] if self.process_id == 0 else []
+
+            def on_message(self, sender, payload):
+                return []
+
+        config, protocols = self._deployment(Mute)
+        with pytest.raises(SimulationDeadlock):
+            LockstepSimulation(config, protocols).run_until_decided()
+
+
+class TestMcRunFifo:
+    def test_livelock_cap_raises(self):
+        from repro.mc.state import McSystem
+
+        class PingPong(Protocol):
+            def on_start(self):
+                return [Send(1 - self.process_id, "ping")]
+
+            def on_message(self, sender, payload):
+                return [Send(sender, "pong")]
+
+        config = SystemConfig(2, 0)
+        system = McSystem(
+            config, {pid: PingPong(pid, config) for pid in config.processes}
+        )
+        with pytest.raises(SimulationError, match="max_deliveries"):
+            system.run_fifo(max_deliveries=50)
