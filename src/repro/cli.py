@@ -12,7 +12,8 @@ Commands:
 * ``check``     — model-check the named verification suite
   (:mod:`repro.mc`): exhaustive schedule exploration within delay
   bounds, per enumerated byzantine variant;
-* ``bench``     — hot-path micro-benchmarks.
+* ``bench``     — hot-path micro-benchmarks (``--engine hotpath``) or the
+  socket-engine throughput/latency/fast-path comparison (``--engine net``).
 
 Every command prints plain-text tables (diff-friendly) and returns a
 non-zero exit code on property violations, so the CLI can serve as a
@@ -134,10 +135,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run this many seeds (seed..seed+runs-1) and print "
                           "the aggregate instead of per-process decisions")
     run.add_argument("--uc", choices=["oracle", "real"], default="oracle")
-    run.add_argument("--engine", choices=list(ENGINES), default="sim",
+    run.add_argument("--engine", default="sim", metavar="{" + ",".join(ENGINES) + "}",
                      help="execution backend: deterministic discrete-event "
                           "(sim), real event loop (asyncio), lockstep rounds "
-                          "(sync) or the model checker's FIFO schedule (mc)")
+                          "(sync), the model checker's FIFO schedule (mc) or "
+                          "one OS process per node over real sockets (net)")
     run.add_argument("--trace", action="store_true", help="print the event trace")
 
     table1 = sub.add_parser("table1", help="print the paper's Table 1")
@@ -169,8 +171,15 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", action="store_true", dest="as_json",
                        help="machine-readable report on stdout")
 
-    bench = sub.add_parser("bench", help="hot-path benchmarks -> BENCH_hotpath.json")
+    bench = sub.add_parser("bench",
+                           help="benchmarks -> BENCH_hotpath.json / BENCH_net.json")
+    bench.add_argument("--engine", choices=["hotpath", "net"], default="hotpath",
+                       help="hotpath: simulator micro-benchmarks; net: fast-path "
+                            "rate + throughput/latency over real sockets vs sim")
     bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--runs", type=int, default=10,
+                       help="net bench: runs per workload per engine")
+    bench.add_argument("--n", type=int, default=7, help="net bench: system size")
     bench.add_argument("--smoke", action="store_true",
                        help="tiny sizes, one repeat — seconds, for CI")
     bench.add_argument("--sizes", type=lambda s: tuple(int(x) for x in s.split(",")),
@@ -178,7 +187,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated instance sizes (default 7,13,19,25,31)")
     bench.add_argument("--out", default=None,
                        help="output path (default benchmarks/results/"
-                            "BENCH_hotpath.json under the current directory)")
+                            "BENCH_<engine>.json under the current directory)")
     return parser
 
 
@@ -337,19 +346,28 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .metrics.bench import DEFAULT_SIZES, SMOKE_SIZES, write_hotpath_bench
-
-    if args.smoke:
-        sizes = args.sizes or SMOKE_SIZES
-        repeats = 1
-    else:
-        sizes = args.sizes or DEFAULT_SIZES
-        repeats = args.repeats
-    path = write_hotpath_bench(
-        out=args.out,
-        sizes=sizes,
-        repeats=repeats,
+    from .metrics.bench import (
+        DEFAULT_SIZES,
+        SMOKE_SIZES,
+        write_hotpath_bench,
+        write_net_bench,
     )
+
+    if args.engine == "net":
+        runs = 2 if args.smoke else args.runs
+        path = write_net_bench(out=args.out, n=args.n, runs=runs)
+    else:
+        if args.smoke:
+            sizes = args.sizes or SMOKE_SIZES
+            repeats = 1
+        else:
+            sizes = args.sizes or DEFAULT_SIZES
+            repeats = args.repeats
+        path = write_hotpath_bench(
+            out=args.out,
+            sizes=sizes,
+            repeats=repeats,
+        )
     print(path.read_text(), end="")
     print(f"wrote {path}", file=sys.stderr)
     return 0

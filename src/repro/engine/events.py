@@ -218,6 +218,8 @@ class EventStats(EventSink):
         self.service_calls = 0
         self.fault_activations = 0
         self.decide_steps: dict[ProcessId, int] = {}
+        self.decide_kinds: dict[Any, int] = {}
+        self.decide_times: dict[ProcessId, float] = {}
 
     def emit(self, event: RunEvent) -> None:
         if isinstance(event, SendEvent):
@@ -229,7 +231,10 @@ class EventStats(EventSink):
         elif isinstance(event, FaultEvent):
             self.fault_activations += 1
         elif isinstance(event, DecideEvent):
-            self.decide_steps.setdefault(event.pid, event.step)
+            if event.pid not in self.decide_steps:
+                self.decide_steps[event.pid] = event.step
+                self.decide_times[event.pid] = event.time
+                self.decide_kinds[event.kind] = self.decide_kinds.get(event.kind, 0) + 1
 
     @property
     def one_step_fraction(self) -> float:

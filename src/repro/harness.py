@@ -290,7 +290,7 @@ def all_algorithms() -> list[AlgorithmSpec]:
 
 
 #: The execution backends ``Scenario.engine`` selects between.
-ENGINES = ("sim", "asyncio", "sync", "mc")
+ENGINES = ("sim", "asyncio", "sync", "mc", "net")
 
 
 @dataclass
@@ -320,8 +320,9 @@ class Scenario:
             discrete-event backend only).
         engine: which backend :meth:`run` drives — ``"sim"`` (deterministic
             discrete-event), ``"asyncio"`` (real event loop), ``"sync"``
-            (deterministic lockstep rounds) or ``"mc"`` (the model
-            checker's state machine on its FIFO baseline schedule).
+            (deterministic lockstep rounds), ``"mc"`` (the model
+            checker's state machine on its FIFO baseline schedule) or
+            ``"net"`` (one OS process per node over real sockets).
         event_sink: optional :class:`~repro.engine.events.EventSink`
             receiving the structured run events of any backend.
     """
@@ -420,9 +421,10 @@ class Scenario:
         """Run the scenario on the selected :attr:`engine`.
 
         Returns a :class:`~repro.sim.runner.RunResult` for the ``"sim"``,
-        ``"sync"`` and ``"mc"`` backends and an
+        ``"sync"`` and ``"mc"`` backends, an
         :class:`~repro.runtime.asyncio_runner.AsyncRunResult` for
-        ``"asyncio"`` — both expose the shared observability surface
+        ``"asyncio"`` and a :class:`~repro.net.cluster.NetRunResult` for
+        ``"net"`` — all expose the shared observability surface
         (``correct_decisions``, ``max_correct_step``, ``end_time``,
         ``agreement_holds()``, …).
         """
@@ -432,6 +434,8 @@ class Scenario:
             return self._run_sync()
         if self.engine == "mc":
             return self._run_mc()
+        if self.engine == "net":
+            return self.run_net()
         return self.build().run_until_decided()
 
     def _run_sync(self) -> RunResult:
@@ -489,6 +493,37 @@ class Scenario:
             end_time=float(system.deliveries),
             drained=not system.pending,
         )
+
+    def run_net(
+        self,
+        timeout: float = 30.0,
+        transport: str = "uds",
+        mean_delay: float = 0.0005,
+    ):
+        """Run the same deployment as real OS processes over sockets.
+
+        One forked worker per node, framed traffic through the hub of
+        :class:`~repro.net.cluster.NetCluster`, the plane's crash-model
+        faults projected onto link behaviors.  Returns a
+        :class:`~repro.net.cluster.NetRunResult` (the asyncio result
+        surface plus per-node exit codes).
+        """
+        from .net.cluster import NetCluster
+        from .net.faults import plan_from_plane
+
+        protocols, services = self.components()
+        cluster = NetCluster(
+            self.config,
+            protocols,
+            faulty=frozenset(self.faults),
+            services=services,
+            seed=self.seed,
+            mean_delay=mean_delay,
+            event_sink=self.event_sink,
+            transport=transport,
+            link_plan=plan_from_plane(self._plane),
+        )
+        return cluster.run(timeout)
 
     def run_many(
         self,

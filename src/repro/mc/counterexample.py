@@ -116,6 +116,24 @@ def run_schedule(
     return system
 
 
+def replay_with_events(counterexample: Counterexample, build_system):
+    """Replay the trace with an :class:`~repro.engine.events.EventLog`
+    attached, so the violation renders as the same typed event stream
+    every execution backend emits (cross-engine-comparable: deliveries,
+    decisions, service calls — not checker-internal records).
+
+    ``build_system`` is the scenario factory ``(spec, event_sink=...) ->
+    McSystem``.  Returns ``(system, log)``; ``system`` is ``None`` when
+    the schedule is infeasible (the log still holds the events up to the
+    first unmatched record).
+    """
+    from ..engine.events import EventLog
+
+    log = EventLog()
+    system = build_system(counterexample.spec, event_sink=log)
+    return run_schedule(system, counterexample.schedule), log
+
+
 def minimize(
     counterexample: Counterexample,
     build_system,

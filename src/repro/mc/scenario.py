@@ -237,10 +237,18 @@ def _build_behavior(
     raise ConfigurationError(f"unknown byzantine kind {kind!r}")
 
 
-def build_system(spec: dict[str, Any]) -> McSystem:
-    """Instantiate a fresh, unstarted :class:`McSystem` from a spec."""
+def build_system(spec: dict[str, Any], event_sink=None) -> McSystem:
+    """Instantiate a fresh, unstarted :class:`McSystem` from a spec.
+
+    ``event_sink`` (an :class:`~repro.engine.events.EventSink`) makes the
+    system emit the cross-engine structured event stream while it runs —
+    used by counterexample replay to render traces comparably to every
+    other backend.
+    """
     config, protocols, services, faulty = _build_components(spec)
-    return McSystem(config, protocols, services=services, faulty=faulty)
+    return McSystem(
+        config, protocols, services=services, faulty=faulty, event_sink=event_sink
+    )
 
 
 def build_simulation(

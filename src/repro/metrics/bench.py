@@ -17,6 +17,14 @@ Importable benchmark logic behind ``python -m repro bench`` and
 
 Results are written as one JSON document (``BENCH_hotpath.json``) with the
 commit hash, so regressions are diffable across commits.
+
+The socket-engine group (``bench --engine net`` → ``BENCH_net.json``)
+measures the E18 axis instead: fast-path decision rate, throughput and
+decision latency over real sockets versus the simulator at the same
+``(n, t)``, computed entirely from streaming
+:class:`~repro.engine.events.EventStats` sinks folded into a
+:class:`~repro.metrics.collectors.StreamAggregate` — no run results are
+retained.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ from ..conditions.generators import all_vectors, multiset_vectors
 from ..conditions.incremental import ViewStats
 from ..conditions.views import View
 from ..harness import Scenario, dex_freq
-from ..workloads.inputs import unanimous
+from ..workloads.inputs import split, unanimous
 
 #: Default instance sizes for the scaling group (the E14 axis; every size
 #: keeps t = (n-1)//6 ≥ 1 so the DEX resilience n > 6t holds).
@@ -187,6 +195,88 @@ def run_hotpath_bench(
         "predicate": bench_predicate(repeats=max(repeats, 3)),
         "coverage": bench_coverage(repeats=repeats),
     }
+
+
+#: Workload mix of the socket-engine bench (the E18 axis): the one-step
+#: condition holds for ``unanimous`` and ``thin-split`` but real timing
+#: decides whether each node's first n−t arrivals witness it.
+NET_WORKLOADS: tuple[tuple[str, Any], ...] = (
+    ("unanimous", lambda n: unanimous(1, n)),
+    ("thin-split", lambda n: split(1, 2, n, 1)),
+    ("contended", lambda n: split(1, 2, n, n // 2)),
+)
+
+
+def run_net_bench(
+    n: int = 7, runs: int = 10, timeout: float = 20.0
+) -> dict[str, Any]:
+    """Fast-path rate + throughput/latency: real sockets vs the simulator.
+
+    Every run streams its events into a fresh
+    :class:`~repro.engine.events.EventStats` sink; per-engine
+    :class:`~repro.metrics.collectors.StreamAggregate` collectors fold the
+    counters, so the bench holds O(workloads × engines) state no matter
+    how many messages cross the wire.
+    """
+    from .collectors import StreamAggregate
+
+    workloads = []
+    for name, make_inputs in NET_WORKLOADS:
+        inputs = make_inputs(n)
+        aggregates = {
+            engine: StreamAggregate(label=f"{name}/{engine}")
+            for engine in ("sim", "net")
+        }
+        for engine, aggregate in aggregates.items():
+            for seed in range(1, runs + 1):
+                stats = aggregate.new_sink()
+                scenario = Scenario(
+                    dex_freq(), inputs, seed=seed, engine=engine, event_sink=stats
+                )
+                if engine == "net":
+                    result = scenario.run_net(timeout=timeout)
+                else:
+                    result = scenario.run()
+                aggregate.add_stats(
+                    stats,
+                    wall_seconds=getattr(result, "wall_seconds", None),
+                    timed_out=getattr(result, "timed_out", False),
+                )
+        workloads.append(
+            {
+                "workload": name,
+                "inputs": inputs,
+                "sim": aggregates["sim"].summary(),
+                "net": aggregates["net"].summary(),
+            }
+        )
+    return {
+        "benchmark": "net",
+        "commit": _commit_hash(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": time.time(),
+        "n": n,
+        "t": (n - 1) // 6,
+        "runs_per_workload": runs,
+        "workloads": workloads,
+    }
+
+
+def write_net_bench(
+    out: pathlib.Path | str | None = None,
+    n: int = 7,
+    runs: int = 10,
+    timeout: float = 20.0,
+) -> pathlib.Path:
+    """Run the socket-engine bench and persist ``BENCH_net.json``."""
+    report = run_net_bench(n=n, runs=runs, timeout=timeout)
+    if out is None:
+        out = pathlib.Path("benchmarks") / "results" / "BENCH_net.json"
+    path = pathlib.Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
 
 
 def write_hotpath_bench(

@@ -1,0 +1,69 @@
+"""``repro.net`` — the real-socket execution engine (fifth backend).
+
+Every other backend (``sim``, ``asyncio``, ``sync``, ``mc``) delivers
+messages in-memory; this package runs each consensus node as its own OS
+process and ships every payload through a kernel socket, so the one-step
+fast path races against *genuine* network nondeterminism — scheduler
+jitter, socket buffering, real reordering — instead of a simulated clock.
+
+Layout:
+
+* :mod:`repro.net.wire` — length-prefixed framing and the versioned codec
+  (the wire protocol proper);
+* :mod:`repro.net.node` — the worker process hosting one sans-IO
+  :class:`~repro.runtime.protocol.Protocol` behind
+  :class:`~repro.engine.interpreter.ExecutionPorts`;
+* :mod:`repro.net.cluster` — the orchestrator: spawn, connect, collect,
+  with deadlines and straggler kill;
+* :mod:`repro.net.faults` — link-level fault behaviors (drop, delay,
+  duplicate, cut) and the projection of the
+  :class:`~repro.engine.faults.FaultPlane` onto them;
+* :mod:`repro.net.events` — the hub-side adapter emitting the shared
+  typed :mod:`repro.engine.events` stream.
+
+Entry point: ``Scenario(..., engine="net")`` or ``python -m repro run
+--engine net``.
+"""
+
+from .cluster import NetCluster, NetRunResult
+from .faults import (
+    CutAfter,
+    DelayLink,
+    DropLink,
+    DuplicateLink,
+    LinkFault,
+    LinkPlan,
+    ProcessCrash,
+    plan_from_plane,
+)
+from .wire import (
+    CODEC_JSON,
+    CODEC_PICKLE,
+    WIRE_VERSION,
+    FrameDecoder,
+    FrameTooLarge,
+    TruncatedStream,
+    WireError,
+    encode_frame,
+)
+
+__all__ = [
+    "NetCluster",
+    "NetRunResult",
+    "LinkFault",
+    "LinkPlan",
+    "DropLink",
+    "DelayLink",
+    "DuplicateLink",
+    "CutAfter",
+    "ProcessCrash",
+    "plan_from_plane",
+    "WIRE_VERSION",
+    "CODEC_PICKLE",
+    "CODEC_JSON",
+    "FrameDecoder",
+    "FrameTooLarge",
+    "TruncatedStream",
+    "WireError",
+    "encode_frame",
+]

@@ -1,0 +1,476 @@
+"""The cluster orchestrator: spawn, connect, route, collect — with deadlines.
+
+:class:`NetCluster` is the hub of a star topology.  It forks one worker
+process per consensus node (:func:`~repro.net.node.node_main`), accepts
+their connections on a single listener (Unix-domain socket by default,
+TCP loopback on request), and then runs a ``selectors`` event loop that
+routes every frame node→hub→destination.  Centralising the traffic buys
+what a full mesh cannot:
+
+* **link authentication** — the hub overrides each ``MsgSend``'s claimed
+  source with the connection's proven pid (paper §2.1: a Byzantine node
+  cannot forge another sender's identity);
+* **fault injection** — every frame crosses the :class:`~repro.net.faults.
+  LinkPlan`, so drops/delays/duplicates/cuts happen at the transport;
+* **shared services** — trusted abstractions like the §2.2 oracle must
+  aggregate calls *across* processes, so they execute at the hub;
+* **observability** — the hub emits the same typed
+  :mod:`repro.engine.events` stream as every in-memory backend;
+* **liveness** — one place enforces the per-run deadline, detects stalls
+  (every undecided correct node dead, nothing in flight), and kills
+  stragglers, so a crashed or silent node can never hang a run.
+
+Seeded per-message jitter (``uniform(0.5, 1.5) × mean_delay``, self-sends
+undelayed) mirrors the asyncio runner, and — as there — real scheduling
+makes interleavings only *mostly* reproducible; exact-replay tests belong
+on the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import random
+import selectors
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..engine.events import EventSink
+from ..engine.interpreter import dispatch_service_call
+from ..errors import SimulationError
+from ..runtime.asyncio_runner import AsyncRunResult
+from ..runtime.effects import SERVICE_SENDER, Deliver
+from ..runtime.protocol import Protocol
+from ..runtime.services import Service, ServiceReply
+from ..types import Decision, ProcessId, RunStats, SystemConfig
+from .events import HubEvents, StreamClock
+from .faults import LinkPlan, ProcessCrash
+from .node import node_main
+from .wire import (
+    CODEC_PICKLE,
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    Hello,
+    MsgDecide,
+    MsgDeliver,
+    MsgLog,
+    MsgOutput,
+    MsgSend,
+    MsgService,
+    Start,
+    Stop,
+    TruncatedStream,
+    encode_frame,
+)
+
+#: Supported transports for the hub listener.
+TRANSPORTS = ("uds", "tcp")
+
+
+@dataclass
+class NetRunResult(AsyncRunResult):
+    """Outcome of one socket-engine run.
+
+    Extends the shared wall-clock result surface with per-node OS exit
+    codes (``None`` = the worker never terminated and was killed) and the
+    transport used, so robustness tests can assert *how* each process
+    died, not just that the run survived it.
+    """
+
+    exit_codes: dict[ProcessId, int | None] = field(default_factory=dict)
+    transport: str = "uds"
+
+
+@dataclass
+class _Conn:
+    """One node's hub-side connection state."""
+
+    pid: ProcessId
+    sock: socket.socket
+    decoder: FrameDecoder
+
+
+class NetCluster:
+    """Run one protocol deployment as real OS processes over sockets.
+
+    Args:
+        config: system parameters.
+        protocols: one protocol (or Byzantine behavior) per process —
+            built exactly as for every other backend; workers inherit them
+            via fork (closures and all), so nothing is pickled.
+        faulty: declared-faulty process ids (bookkeeping, as everywhere).
+        services: trusted services by name; executed at the hub.
+        seed: seeds link jitter and probabilistic link faults.
+        mean_delay: average one-way hub→node delay in seconds.
+        event_sink: optional structured-event sink; times are wall-clock
+            seconds since the run started.
+        transport: ``"uds"`` (default) or ``"tcp"`` (loopback).
+        codec: wire codec (:data:`~repro.net.wire.CODEC_PICKLE` default).
+        max_frame: frame size cap, enforced on every link in both
+            directions.
+        link_plan: transport-level fault plan (see
+            :func:`~repro.net.faults.plan_from_plane`).
+        chaos: *unannounced* per-pid :class:`~repro.net.faults.
+            ProcessCrash` specs — invisible to ``faulty`` on purpose.
+        connect_timeout: how long to wait for all workers to dial in.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocols: Mapping[ProcessId, Protocol],
+        faulty: frozenset[ProcessId] | set[ProcessId] = frozenset(),
+        services: Mapping[str, Service] | None = None,
+        seed: int = 0,
+        mean_delay: float = 0.0005,
+        event_sink: EventSink | None = None,
+        transport: str = "uds",
+        codec: int = CODEC_PICKLE,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        link_plan: LinkPlan | None = None,
+        chaos: Mapping[ProcessId, ProcessCrash] | None = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if set(protocols) != set(config.processes):
+            raise SimulationError(
+                "protocols must cover exactly the process ids of the config"
+            )
+        if transport not in TRANSPORTS:
+            raise SimulationError(
+                f"unknown transport {transport!r} (one of: {', '.join(TRANSPORTS)})"
+            )
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise SimulationError(
+                "the net engine needs the fork start method (protocols hold "
+                "closures that cannot cross an exec boundary); this platform "
+                "does not provide it"
+            )
+        self.config = config
+        self.protocols = dict(protocols)
+        self.faulty = frozenset(faulty)
+        self.services = dict(services or {})
+        self.rng = random.Random(seed)
+        self.mean_delay = mean_delay
+        self.transport = transport
+        self.codec = codec
+        self.max_frame = max_frame
+        self.link_plan = link_plan if link_plan is not None else LinkPlan()
+        self.chaos = dict(chaos or {})
+        self.connect_timeout = connect_timeout
+        self.stats = RunStats()
+        self.decisions: dict[ProcessId, Decision] = {}
+        self.outputs: dict[ProcessId, list[Deliver]] = {
+            pid: [] for pid in config.processes
+        }
+        self._clock = StreamClock()
+        self.events = HubEvents(event_sink, self._clock)
+        self._conns: dict[ProcessId, _Conn] = {}
+        self._dead: set[ProcessId] = set()
+        self._selector: selectors.BaseSelector | None = None
+        # delay heap entries: (due, seq, dst, sender, payload, depth)
+        self._heap: list[tuple[float, int, ProcessId, ProcessId, Any, int]] = []
+        self._seq = 0
+        self._uds_dir: str | None = None
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def _make_listener(self) -> tuple[socket.socket, int, Any]:
+        if self.transport == "uds":
+            self._uds_dir = tempfile.mkdtemp(prefix="repro-net-")
+            address = os.path.join(self._uds_dir, "hub.sock")
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(address)
+            family = socket.AF_UNIX
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.bind(("127.0.0.1", 0))
+            address = listener.getsockname()
+            family = socket.AF_INET
+        listener.listen(self.config.n)
+        return listener, family, address
+
+    def _spawn(self, family: int, address: Any) -> dict[ProcessId, Any]:
+        ctx = multiprocessing.get_context("fork")
+        children = {}
+        for pid in self.config.processes:
+            proc = ctx.Process(
+                target=node_main,
+                args=(pid, self.protocols[pid], family, address),
+                kwargs={
+                    "codec": self.codec,
+                    "max_frame": self.max_frame,
+                    "crash": self.chaos.get(pid),
+                },
+                daemon=True,
+                name=f"repro-net-node-{pid}",
+            )
+            proc.start()
+            children[pid] = proc
+        return children
+
+    def _accept_all(self, listener: socket.socket) -> None:
+        """Accept connections and read Hellos until every node dialed in
+        (or the connect timeout passed — missing nodes are marked dead)."""
+        deadline = time.monotonic() + self.connect_timeout
+        listener.settimeout(0.1)
+        pending: list[tuple[socket.socket, FrameDecoder]] = []
+        while len(self._conns) + len(pending) < self.config.n:
+            if time.monotonic() > deadline:
+                break
+            try:
+                sock, _ = listener.accept()
+            except TimeoutError:
+                pass
+            else:
+                sock.settimeout(1.0)
+                if self.transport == "tcp":
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                pending.append((sock, FrameDecoder(self.max_frame)))
+            pending = [p for p in pending if not self._try_hello(*p, deadline)]
+        for sock, _ in pending:
+            sock.close()
+        for pid in self.config.processes:
+            if pid not in self._conns:
+                self._dead.add(pid)
+                self.events.fault(pid, "never-connected")
+
+    def _try_hello(
+        self, sock: socket.socket, decoder: FrameDecoder, deadline: float
+    ) -> bool:
+        """Read one frame off a fresh connection; register it on Hello."""
+        try:
+            data = sock.recv(4096)
+        except TimeoutError:
+            return False
+        except OSError:
+            sock.close()
+            return True
+        if not data:
+            sock.close()
+            return True
+        for msg in decoder.feed(data):
+            if isinstance(msg, Hello) and msg.pid in range(self.config.n):
+                self._conns[msg.pid] = _Conn(msg.pid, sock, decoder)
+                return True
+        return False
+
+    # -- frame plumbing --------------------------------------------------------------
+
+    def _write(self, pid: ProcessId, msg: Any) -> bool:
+        conn = self._conns.get(pid)
+        if conn is None or pid in self._dead:
+            return False
+        try:
+            conn.sock.sendall(encode_frame(msg, self.codec, self.max_frame))
+            return True
+        except OSError:
+            self._mark_dead(pid)
+            return False
+
+    def _mark_dead(self, pid: ProcessId) -> None:
+        if pid in self._dead:
+            return
+        self._dead.add(pid)
+        conn = self._conns.get(pid)
+        if conn is not None:
+            if self._selector is not None:
+                try:
+                    self._selector.unregister(conn.sock)
+                except (KeyError, ValueError):
+                    pass
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+
+    def _jitter(self) -> float:
+        return self.rng.uniform(0.5, 1.5) * self.mean_delay
+
+    def _schedule(
+        self, dst: ProcessId, sender: ProcessId, payload: Any, depth: int, delay: float
+    ) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            (time.monotonic() + delay, self._seq, dst, sender, payload, depth),
+        )
+
+    def _route(self, src: ProcessId, msg: MsgSend) -> None:
+        """One node→node message: authenticate, count, fault-inject, queue."""
+        self.stats.messages_sent += 1
+        self.events.send(src, msg.dst, msg.payload, msg.depth)
+        for extra in self.link_plan.route(src, msg.dst, self.rng):
+            base = 0.0 if msg.dst == src else self._jitter()
+            self._schedule(msg.dst, src, msg.payload, msg.depth, base + extra)
+
+    def _deliver_due(self, now: float) -> None:
+        while self._heap and self._heap[0][0] <= now:
+            _, _, dst, sender, payload, depth = heapq.heappop(self._heap)
+            if self._write(dst, MsgDeliver(sender, payload, depth)):
+                self.stats.messages_delivered += 1
+                self.events.deliver(dst, sender, payload, depth)
+
+    def _handle(self, conn: _Conn, msg: Any) -> None:
+        pid = conn.pid
+        if isinstance(msg, MsgSend):
+            self._route(pid, msg)  # src override: link-authenticated sender
+        elif isinstance(msg, MsgDecide):
+            if pid not in self.decisions:
+                self.decisions[pid] = Decision(
+                    msg.value, msg.kind, step=msg.step, time=time.monotonic()
+                )
+                self.events.decide(pid, msg.value, msg.kind, msg.step)
+        elif isinstance(msg, MsgOutput):
+            self.outputs[pid].append(Deliver(msg.tag, msg.sender, msg.value))
+            self.events.output(pid, msg.tag, msg.sender, msg.value)
+        elif isinstance(msg, MsgService):
+            self.events.service(pid, msg.call.service, msg.call.payload)
+            dispatch_service_call(
+                self.services,
+                pid,
+                msg.call,
+                msg.depth,
+                time.monotonic(),
+                self._deliver_reply,
+            )
+        elif isinstance(msg, MsgLog):
+            self.events.log(pid, msg.event, msg.data)
+
+    def _deliver_reply(self, reply: ServiceReply, payload: Any) -> None:
+        # Simulated-units reply delay is replaced by hub jitter, exactly as
+        # on the asyncio backend.
+        self._schedule(reply.dst, SERVICE_SENDER, payload, reply.depth, self._jitter())
+
+    # -- liveness -------------------------------------------------------------------
+
+    def _all_correct_decided(self) -> bool:
+        return all(
+            pid in self.decisions
+            for pid in self.config.processes
+            if pid not in self.faulty
+        )
+
+    def _stalled(self) -> bool:
+        """No progress is possible: every undecided correct node is dead
+        and nothing is queued for delivery.  Sound because a dead node's
+        outstanding frames are drained before its EOF is observed."""
+        if self._heap:
+            return False
+        return all(
+            pid in self._dead
+            for pid in self.config.processes
+            if pid not in self.faulty and pid not in self.decisions
+        )
+
+    # -- the run --------------------------------------------------------------------
+
+    def run(self, timeout: float = 30.0) -> NetRunResult:
+        """Spawn, connect, route until every correct node decided (or the
+        deadline), then tear everything down — stragglers killed, exit
+        codes collected, sockets and the UDS path removed."""
+        start = time.monotonic()
+        self._clock.start()
+        listener, family, address = self._make_listener()
+        children = self._spawn(family, address)
+        timed_out = False
+        try:
+            self._accept_all(listener)
+            for pid, crash in sorted(self.chaos.items()):
+                self.events.fault(pid, "ProcessCrash", f"after={crash.after}")
+            self._selector = selectors.DefaultSelector()
+            for conn in self._conns.values():
+                self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+            for pid in self._conns:
+                self._write(pid, Start())
+            deadline = start + timeout
+            while not self._all_correct_decided():
+                now = time.monotonic()
+                if now >= deadline:
+                    timed_out = True
+                    break
+                if self._stalled():
+                    timed_out = True
+                    break
+                wait = deadline - now
+                if self._heap:
+                    wait = min(wait, max(self._heap[0][0] - now, 0.0))
+                for key, _ in self._selector.select(min(wait, 0.05)):
+                    self._pump(key.data)
+                self._deliver_due(time.monotonic())
+        finally:
+            self._shutdown(listener)
+            exit_codes = self._reap(children)
+        return NetRunResult(
+            config=self.config,
+            decisions=dict(self.decisions),
+            outputs=self.outputs,
+            stats=self.stats,
+            faulty=self.faulty,
+            wall_seconds=time.monotonic() - start,
+            timed_out=timed_out,
+            exit_codes=exit_codes,
+            transport=self.transport,
+        )
+
+    def _pump(self, conn: _Conn) -> None:
+        """Drain one readable connection into the frame handler."""
+        try:
+            data = conn.sock.recv(65536)
+        except TimeoutError:
+            return
+        except OSError:
+            self._mark_dead(conn.pid)
+            return
+        if not data:
+            try:
+                conn.decoder.eof()
+            except TruncatedStream as exc:
+                self.events.fault(conn.pid, "truncated-stream", str(exc))
+            self._mark_dead(conn.pid)
+            return
+        for msg in conn.decoder.feed(data):
+            self._handle(conn, msg)
+
+    def _shutdown(self, listener: socket.socket) -> None:
+        for pid in list(self._conns):
+            if pid not in self._dead:
+                self._write(pid, Stop())
+        for pid in list(self._conns):
+            self._mark_dead(pid)
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        try:
+            listener.close()
+        except OSError:
+            pass
+        if self._uds_dir is not None:
+            for name in ("hub.sock",):
+                try:
+                    os.unlink(os.path.join(self._uds_dir, name))
+                except OSError:
+                    pass
+            try:
+                os.rmdir(self._uds_dir)
+            except OSError:
+                pass
+            self._uds_dir = None
+
+    def _reap(self, children: Mapping[ProcessId, Any]) -> dict[ProcessId, int | None]:
+        """Join every worker, escalating terminate → kill for stragglers."""
+        exit_codes: dict[ProcessId, int | None] = {}
+        for pid, proc in children.items():
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+            exit_codes[pid] = proc.exitcode
+            proc.close()
+        return exit_codes

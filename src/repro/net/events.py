@@ -1,0 +1,90 @@
+"""Hub-side event emission: the socket engine on the shared event stream.
+
+The orchestrator observes every frame that crosses the hub and translates
+it into the same typed :mod:`repro.engine.events` vocabulary the other
+four backends emit, so :class:`~repro.engine.events.EventStats`,
+:class:`~repro.engine.events.TracerSink`, :class:`~repro.engine.events.
+EventLog` — and any metrics built on them — work unchanged over real
+sockets.  Event ``time`` is wall-clock seconds since the run started
+(the same convention as the asyncio backend).
+
+One approximation is inherent to the topology: a ``DeliverEvent`` is
+emitted when the hub hands the frame to the destination's socket, not when
+the destination process dequeues it.  The gap is one socket hop; per-run
+counters (the thing :class:`EventStats` computes) are exact either way.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..engine.events import (
+    DecideEvent,
+    DeliverEvent,
+    EventSink,
+    FaultEvent,
+    LogEvent,
+    OutputEvent,
+    SendEvent,
+    ServiceEvent,
+)
+from ..types import ProcessId
+
+
+class StreamClock:
+    """Wall-clock offsets since :meth:`start` (monotonic source)."""
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    def start(self) -> None:
+        self._t0 = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+
+class HubEvents:
+    """Emit typed run events for hub-observed traffic.
+
+    A thin guard layer: every method is a no-op when no sink is attached,
+    so the cluster keeps a single ``self.events.<kind>(...)`` call per
+    observation and pays nothing when nobody is watching.
+    """
+
+    __slots__ = ("sink", "clock")
+
+    def __init__(self, sink: EventSink | None, clock: StreamClock) -> None:
+        self.sink = sink
+        self.clock = clock
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
+        if self.sink is not None:
+            self.sink.emit(SendEvent(self.clock.now(), src, dst, payload, depth))
+
+    def deliver(
+        self, dst: ProcessId, sender: ProcessId, payload: Any, depth: int
+    ) -> None:
+        if self.sink is not None:
+            self.sink.emit(DeliverEvent(self.clock.now(), dst, sender, payload, depth))
+
+    def decide(self, pid: ProcessId, value: Any, kind: Any, step: int) -> None:
+        if self.sink is not None:
+            self.sink.emit(DecideEvent(self.clock.now(), pid, value, kind, step))
+
+    def output(self, pid: ProcessId, tag: str, sender: ProcessId, value: Any) -> None:
+        if self.sink is not None:
+            self.sink.emit(OutputEvent(self.clock.now(), pid, tag, sender, value))
+
+    def service(self, pid: ProcessId, service: str, payload: Any) -> None:
+        if self.sink is not None:
+            self.sink.emit(ServiceEvent(self.clock.now(), pid, service, payload))
+
+    def log(self, pid: ProcessId, event: str, data: dict[str, Any]) -> None:
+        if self.sink is not None:
+            self.sink.emit(LogEvent(self.clock.now(), pid, event, data))
+
+    def fault(self, pid: ProcessId, fault: str, detail: str = "") -> None:
+        if self.sink is not None:
+            self.sink.emit(FaultEvent(self.clock.now(), pid, fault, detail))

@@ -1,0 +1,242 @@
+"""Link-level faults: the transport projection of the fault plane.
+
+On the in-memory backends a fault is a wrapper *protocol* — the faulty
+process itself misbehaves.  On the socket engine the same wrappers still
+run inside the node processes (the :class:`~repro.engine.faults.FaultPlane`
+builds them exactly as everywhere else), but the transport adds a second,
+independent enforcement point: the hub routes every frame through a
+:class:`LinkPlan`, which can drop, delay, duplicate, or cut traffic
+per source link.
+
+Two things live here:
+
+* the :class:`LinkFault` behaviors and :func:`plan_from_plane`, which
+  projects the crash-model faults of a plane onto links (``Silent`` — a
+  crashed node sends nothing, so its link drops everything; ``Crash(b)`` —
+  the link dies after ``b`` point-to-point messages, matching the
+  message-budget semantics of the other backends).  Byzantine faults have
+  *no* link projection — equivocation is a payload property, not a link
+  property — and are skipped: their wrapper protocols ride inside the node
+  processes and their traffic crosses the wire verbatim.
+* :class:`ProcessCrash`, the chaos spec for an *unannounced* OS-process
+  death.  It is deliberately not a :class:`~repro.engine.faults.Fault`:
+  the fault plane (and therefore the correct set, validation, and every
+  invariant check) must not know about it — that is the point.  The node
+  worker calls ``os._exit`` mid-run, which only a real-process engine can
+  model at all.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from dataclasses import dataclass
+from random import Random
+from typing import Iterable, Mapping, Sequence
+
+from ..engine.faults import Crash, FaultPlane, Silent
+from ..types import ProcessId
+
+__all__ = [
+    "LinkFault",
+    "DropLink",
+    "DelayLink",
+    "DuplicateLink",
+    "CutAfter",
+    "LinkPlan",
+    "plan_from_plane",
+    "ProcessCrash",
+]
+
+#: Environment marker set by the node worker's main; :class:`ProcessCrash`
+#: refuses to kill any process that does not carry it, so a chaos spec
+#: that leaks into the wrong engine (or the test runner) is inert.
+NODE_ENV_MARKER = "REPRO_NET_NODE"
+
+
+class LinkFault(abc.ABC):
+    """How one source link mistreats the frames crossing it.
+
+    A fault maps each message to the list of *extra delays* of the copies
+    that survive it: ``[]`` drops the message, ``[0.0]`` passes it
+    unchanged, ``[0.0, 0.0]`` duplicates it.  Faults on a link compose in
+    order, each applied to every surviving copy.  Instances may keep
+    per-run state (:class:`CutAfter` counts messages), so build a fresh
+    plan per run — :func:`plan_from_plane` does.
+    """
+
+    @abc.abstractmethod
+    def deliveries(self, src: ProcessId, dst: ProcessId, rng: Random) -> list[float]:
+        """Extra delays of the surviving copies of one message."""
+
+    def describe(self) -> str:
+        """One-line description for the event stream."""
+        return ""
+
+
+class DropLink(LinkFault):
+    """Drop each message with probability ``probability`` (1.0 = dead link)."""
+
+    def __init__(self, probability: float = 1.0) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"drop probability {probability} outside [0, 1]")
+        self.probability = probability
+
+    def deliveries(self, src: ProcessId, dst: ProcessId, rng: Random) -> list[float]:
+        if self.probability >= 1.0 or rng.random() < self.probability:
+            return []
+        return [0.0]
+
+    def describe(self) -> str:
+        return f"p={self.probability}"
+
+
+class DelayLink(LinkFault):
+    """Add ``extra`` seconds (plus uniform ``jitter``) to every message."""
+
+    def __init__(self, extra: float, jitter: float = 0.0) -> None:
+        if extra < 0.0 or jitter < 0.0:
+            raise ValueError("link delay must be non-negative")
+        self.extra = extra
+        self.jitter = jitter
+
+    def deliveries(self, src: ProcessId, dst: ProcessId, rng: Random) -> list[float]:
+        return [self.extra + (rng.uniform(0.0, self.jitter) if self.jitter else 0.0)]
+
+    def describe(self) -> str:
+        return f"extra={self.extra}s"
+
+
+class DuplicateLink(LinkFault):
+    """Deliver ``copies`` of each message with probability ``probability``."""
+
+    def __init__(self, probability: float = 1.0, copies: int = 2) -> None:
+        if copies < 1:
+            raise ValueError("a duplicated message has at least one copy")
+        self.probability = probability
+        self.copies = copies
+
+    def deliveries(self, src: ProcessId, dst: ProcessId, rng: Random) -> list[float]:
+        if self.probability >= 1.0 or rng.random() < self.probability:
+            return [0.0] * self.copies
+        return [0.0]
+
+    def describe(self) -> str:
+        return f"copies={self.copies}"
+
+
+class CutAfter(LinkFault):
+    """Pass the first ``budget`` messages, then cut the link forever.
+
+    The transport projection of :class:`~repro.engine.faults.Crash`: the
+    first ``budget`` point-to-point messages get out, the rest die — the
+    same "prefix of the broadcast escaped" asymmetry the message-budget
+    wrappers produce in-memory.
+    """
+
+    def __init__(self, budget: int) -> None:
+        if budget < 0:
+            raise ValueError("cut budget must be non-negative")
+        self.budget = budget
+        self._passed = 0
+
+    def deliveries(self, src: ProcessId, dst: ProcessId, rng: Random) -> list[float]:
+        if self._passed >= self.budget:
+            return []
+        self._passed += 1
+        return [0.0]
+
+    def describe(self) -> str:
+        return f"budget={self.budget}"
+
+
+class LinkPlan:
+    """The transport's full fault mapping: faults per source link.
+
+    Args:
+        per_source: fault chain applied to every frame *from* each pid.
+        everywhere: fault chain applied to every frame on every link
+            (after the per-source chain) — ambient loss/delay/duplication.
+    """
+
+    def __init__(
+        self,
+        per_source: Mapping[ProcessId, Sequence[LinkFault]] | None = None,
+        everywhere: Sequence[LinkFault] = (),
+    ) -> None:
+        self.per_source = {pid: list(chain) for pid, chain in (per_source or {}).items()}
+        self.everywhere = list(everywhere)
+
+    def __bool__(self) -> bool:
+        return bool(self.per_source) or bool(self.everywhere)
+
+    def chain_for(self, src: ProcessId) -> Iterable[LinkFault]:
+        yield from self.per_source.get(src, ())
+        yield from self.everywhere
+
+    def route(self, src: ProcessId, dst: ProcessId, rng: Random) -> list[float]:
+        """Extra delays of the copies that survive the link, ``[]`` = dropped."""
+        copies = [0.0]
+        for fault in self.chain_for(src):
+            if not copies:
+                return copies
+            copies = [
+                base + extra
+                for base in copies
+                for extra in fault.deliveries(src, dst, rng)
+            ]
+        return copies
+
+    def describe(self) -> dict[ProcessId, str]:
+        """Per-source one-liners for fault announcement on the event stream."""
+        out: dict[ProcessId, str] = {}
+        for pid, chain in sorted(self.per_source.items()):
+            out[pid] = ", ".join(
+                f"{type(f).__name__}({f.describe()})" for f in chain
+            )
+        return out
+
+
+def plan_from_plane(plane: FaultPlane) -> LinkPlan:
+    """Project a fault plane's crash-model faults onto link behaviors.
+
+    ``Silent`` becomes a dead source link, ``Crash(budget)`` a
+    :class:`CutAfter`.  Byzantine faults are skipped, not rejected (unlike
+    :meth:`FaultPlane.crash_schedule`): on this engine they are enforced by
+    the wrapper protocols running inside the node processes, and the link
+    carries their traffic untouched.
+    """
+    per_source: dict[ProcessId, list[LinkFault]] = {}
+    for pid, fault in plane.faults.items():
+        if isinstance(fault, Silent):
+            per_source[pid] = [DropLink(1.0)]
+        elif isinstance(fault, Crash):
+            per_source[pid] = [CutAfter(fault.budget)]
+    return LinkPlan(per_source=per_source)
+
+
+@dataclass(frozen=True)
+class ProcessCrash:
+    """Unannounced chaos: the node's OS process dies abruptly mid-run.
+
+    The process calls ``os._exit`` (no cleanup, no goodbye frame) once it
+    has written ``after`` point-to-point messages — the send that would be
+    message ``after + 1`` kills it instead.  ``after=0`` dies at the first
+    send attempt.  Unlike every :class:`~repro.engine.faults.Fault`, this
+    is invisible to the fault plane: the dead pid stays in the correct
+    set, which is exactly the straggler regime the cluster's deadline and
+    EOF handling must survive.
+    """
+
+    after: int = 0
+    exit_code: int = 17
+
+    def maybe_kill(self, sent: int) -> None:
+        """Kill the current process if its send budget is exhausted.
+
+        Inert unless ``REPRO_NET_NODE`` is set in the environment — only a
+        net-engine node worker may ever be killed, never the test runner
+        or an in-memory backend that a chaos spec leaked into.
+        """
+        if sent >= self.after and os.environ.get(NODE_ENV_MARKER):
+            os._exit(self.exit_code)

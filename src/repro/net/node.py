@@ -1,0 +1,234 @@
+"""The node worker: one sans-IO protocol behind a real socket.
+
+A worker process hosts exactly one :class:`~repro.runtime.protocol.
+Protocol` (honest or a Byzantine behavior wrapper — it cannot tell) and
+connects to the orchestrator's hub socket.  The protocol is driven through
+the standard path — :func:`~repro.runtime.protocol.guarded` handler calls,
+:func:`~repro.engine.interpreter.interpret` effect execution — with a
+:class:`NodeWorker` as the :class:`~repro.engine.interpreter.
+ExecutionPorts` implementation: ``send`` writes a frame, ``broadcast``
+inherits the shared per-destination fan-out (self-copy included; the hub
+routes it back with zero jitter), ``decide`` reports to the hub once.
+Because the interpreter and the rewriters are reused unchanged, every
+fault that works in-memory works over the wire.
+
+Workers are *forked*, not spawned: protocols routinely hold closures
+(behavior factories, ``uc_factory`` lambdas) that pickle cannot move
+across an exec boundary, while fork inherits them copy-on-write.  The
+worker's lifecycle is defensive at every edge — connect retries with
+exponential backoff, a receive timeout so a dead hub cannot wedge it, and
+``os._exit`` termination so a forked child never runs the parent's
+cleanup handlers.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Any
+
+from ..engine.interpreter import ExecutionPorts, interpret
+from ..errors import SimulationError
+from ..runtime.effects import Deliver, Log, ServiceCall
+from ..runtime.protocol import Protocol, guarded
+from ..types import ProcessId
+from .faults import NODE_ENV_MARKER, ProcessCrash
+from .wire import (
+    CODEC_PICKLE,
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    Hello,
+    MsgDecide,
+    MsgDeliver,
+    MsgLog,
+    MsgOutput,
+    MsgSend,
+    MsgService,
+    Start,
+    Stop,
+    encode_frame,
+)
+
+#: Worker exit codes (collected by the cluster for post-mortems).
+EXIT_OK = 0
+EXIT_RECV_TIMEOUT = 3
+EXIT_CONNECT_FAILED = 4
+EXIT_INTERNAL_ERROR = 5
+
+
+def connect_with_retry(
+    family: int,
+    address: Any,
+    attempts: int = 30,
+    base_delay: float = 0.01,
+    max_delay: float = 0.5,
+) -> socket.socket:
+    """Connect to the hub, retrying with exponential backoff.
+
+    Workers fork before the orchestrator finishes arming its listener's
+    accept loop, so the first attempts may be refused; backoff doubles from
+    ``base_delay`` up to ``max_delay`` per retry.
+
+    Raises:
+        SimulationError: every attempt failed (the last ``OSError`` is in
+            the message).
+    """
+    delay = base_delay
+    last_error: OSError | None = None
+    for _ in range(attempts):
+        sock = socket.socket(family, socket.SOCK_STREAM)
+        try:
+            sock.connect(address)
+        except OSError as exc:
+            sock.close()
+            last_error = exc
+            time.sleep(delay)
+            delay = min(delay * 2, max_delay)
+        else:
+            if family == socket.AF_INET:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+    raise SimulationError(
+        f"could not connect to hub at {address!r} after {attempts} attempts: "
+        f"{last_error!r}"
+    )
+
+
+class NodeWorker(ExecutionPorts):
+    """Execution ports whose far side is a socket to the hub.
+
+    Args:
+        pid: hosted process id.
+        protocol: the protocol (or behavior wrapper) to drive.
+        sock: connected hub socket.
+        codec: wire codec for outgoing frames.
+        max_frame: frame size cap (must match the hub's).
+        crash: optional :class:`~repro.net.faults.ProcessCrash` chaos spec;
+            checked before every outgoing message write.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        protocol: Protocol,
+        sock: socket.socket,
+        codec: int = CODEC_PICKLE,
+        max_frame: int = DEFAULT_MAX_FRAME,
+        crash: ProcessCrash | None = None,
+    ) -> None:
+        self.pid = pid
+        self.protocol = protocol
+        self.config = protocol.config
+        self.sock = sock
+        self.codec = codec
+        self.max_frame = max_frame
+        self.crash = crash
+        self._sent = 0
+        self._hello_sent = False
+        self._decided = False
+
+    def _write(self, msg: Any) -> None:
+        # Chaos check on every post-handshake frame: "outgoing message" for a
+        # ProcessCrash budget means anything the node tells the world — a
+        # send, a service call, even its decision announcement.  The Hello
+        # handshake is exempt so a budget of zero still registers the node
+        # (dying unconnected is the listener-timeout path, a separate regime).
+        if self._hello_sent and self.crash is not None:
+            self.crash.maybe_kill(self._sent)
+        self.sock.sendall(encode_frame(msg, self.codec, self.max_frame))
+        self._sent += 1
+
+    # -- ExecutionPorts (broadcast inherits the per-destination default) ------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
+        self._write(MsgSend(src, dst, payload, depth))
+
+    def decide(self, pid: ProcessId, value: Any, kind: Any, depth: int) -> None:
+        if not self._decided:
+            self._decided = True
+            self._write(MsgDecide(pid, value, kind, depth))
+
+    def output(self, pid: ProcessId, effect: Deliver, depth: int) -> None:
+        self._write(MsgOutput(pid, effect.tag, effect.sender, effect.value))
+
+    def service_call(self, pid: ProcessId, call: ServiceCall, depth: int) -> None:
+        self._write(MsgService(pid, call, depth))
+
+    def log_record(self, pid: ProcessId, record: Log, depth: int) -> None:
+        self._write(MsgLog(pid, record.event, record.data))
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def run(self, recv_timeout: float = 60.0) -> int:
+        """Drive the protocol until the hub says stop; return an exit code.
+
+        The loop is frame-driven: ``Start`` runs ``on_start``, each
+        ``MsgDeliver`` runs one guarded handler call, ``Stop`` (or the hub
+        closing the connection) ends the run.  ``recv_timeout`` is a
+        failsafe against a hub that died without closing its sockets.
+        """
+        decoder = FrameDecoder(self.max_frame)
+        self.sock.settimeout(recv_timeout)
+        self._write(Hello(self.pid))
+        self._hello_sent = True
+        self._sent = 0
+        started = False
+        while True:
+            try:
+                data = self.sock.recv(65536)
+            except TimeoutError:
+                return EXIT_RECV_TIMEOUT
+            except OSError:
+                return EXIT_OK  # hub tore the connection down: run is over
+            if not data:
+                return EXIT_OK
+            for msg in decoder.feed(data):
+                if isinstance(msg, Start):
+                    if not started:
+                        started = True
+                        interpret(self, self.pid, self.protocol.on_start(), 0)
+                elif isinstance(msg, MsgDeliver):
+                    effects = guarded(self.protocol, msg.sender, msg.payload)
+                    interpret(self, self.pid, effects, msg.depth)
+                elif isinstance(msg, Stop):
+                    return EXIT_OK
+
+
+def node_main(
+    pid: ProcessId,
+    protocol: Protocol,
+    family: int,
+    address: Any,
+    codec: int = CODEC_PICKLE,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    crash: ProcessCrash | None = None,
+    recv_timeout: float = 60.0,
+) -> None:
+    """Entry point of the forked worker process (never returns).
+
+    Sets the :data:`~repro.net.faults.NODE_ENV_MARKER` that arms
+    :class:`~repro.net.faults.ProcessCrash`, runs the worker, and leaves
+    via ``os._exit`` so a forked child cannot re-run the parent's atexit
+    machinery or flush inherited buffers twice.
+    """
+    os.environ[NODE_ENV_MARKER] = "1"
+    code = EXIT_INTERNAL_ERROR
+    sock: socket.socket | None = None
+    try:
+        sock = connect_with_retry(family, address)
+        worker = NodeWorker(pid, protocol, sock, codec, max_frame, crash)
+        code = worker.run(recv_timeout)
+    except SimulationError:
+        code = EXIT_CONNECT_FAILED
+    except OSError:
+        code = EXIT_OK  # the hub went away mid-write: the run is over
+    except Exception:
+        code = EXIT_INTERNAL_ERROR
+    finally:
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+    os._exit(code)

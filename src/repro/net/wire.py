@@ -1,0 +1,255 @@
+"""The framed wire protocol of the socket engine.
+
+Every frame on a link is::
+
+    +----------------+---------+----------+-----------------+
+    | length (4B BE) | version | codec id | payload (bytes) |
+    +----------------+---------+----------+-----------------+
+
+``length`` counts the body (version byte + codec byte + payload), so a
+reader can always buffer exactly one frame without understanding it.  The
+version byte rejects cross-version clusters at the first frame instead of
+letting them mis-decode each other's payloads, and the codec byte selects
+the payload encoding:
+
+* ``CODEC_PICKLE`` — the default; consensus payloads are arbitrary frozen
+  dataclasses (proposals, envelopes, IDB messages), which JSON cannot
+  round-trip.  Pickle is only safe because every peer is a process *we
+  forked on this machine* — the engine runs trusted local clusters, not an
+  open port.
+* ``CODEC_JSON`` — JSON-safe payloads only; useful for interop tests and
+  for eyeballing frames on the wire.
+
+Size caps are enforced on both sides: :func:`encode_frame` refuses to
+build an oversized frame and :class:`FrameDecoder` rejects an oversized
+*declared* length before buffering a single payload byte, so a garbage or
+hostile length prefix cannot balloon memory.
+
+:class:`FrameDecoder` is sans-IO: feed it whatever ``recv`` returned —
+half a header, three frames and a tail, one byte at a time — and it yields
+exactly the complete frames.  :meth:`FrameDecoder.eof` distinguishes a
+clean end-of-stream from a peer that died mid-frame.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import ReproError
+from ..runtime.effects import ServiceCall
+from ..types import ProcessId
+
+#: Protocol version carried in every frame header.
+WIRE_VERSION = 1
+
+#: Codec identifiers (the codec byte of the frame header).
+CODEC_PICKLE = 1
+CODEC_JSON = 2
+
+#: Default cap on the frame body; a consensus payload is a few hundred
+#: bytes, so anything near this is a bug or an attack, not traffic.
+DEFAULT_MAX_FRAME = 1 << 20
+
+_LENGTH = struct.Struct("!I")
+_HEADER_BYTES = 2  # version + codec id
+
+
+class WireError(ReproError):
+    """A frame violated the wire protocol (version, codec, or framing)."""
+
+
+class FrameTooLarge(WireError):
+    """A frame exceeded the configured size cap (refused on both sides)."""
+
+
+class TruncatedStream(WireError):
+    """The stream ended mid-frame (the peer died while writing)."""
+
+
+def _encode_payload(obj: Any, codec: int) -> bytes:
+    if codec == CODEC_PICKLE:
+        return pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
+    if codec == CODEC_JSON:
+        return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    raise WireError(f"unknown codec id {codec}")
+
+
+def _decode_payload(data: bytes, codec: int) -> Any:
+    if codec == CODEC_PICKLE:
+        return pickle.loads(data)
+    if codec == CODEC_JSON:
+        return json.loads(data.decode("utf-8"))
+    raise WireError(f"unknown codec id {codec}")
+
+
+def encode_frame(
+    obj: Any, codec: int = CODEC_PICKLE, max_frame: int = DEFAULT_MAX_FRAME
+) -> bytes:
+    """Encode one message as a complete wire frame.
+
+    Raises:
+        FrameTooLarge: the encoded body exceeds ``max_frame``.
+        WireError: unknown codec id.
+    """
+    payload = _encode_payload(obj, codec)
+    body_len = _HEADER_BYTES + len(payload)
+    if body_len > max_frame:
+        raise FrameTooLarge(
+            f"frame body of {body_len} bytes exceeds the cap of {max_frame}"
+        )
+    return _LENGTH.pack(body_len) + bytes((WIRE_VERSION, codec)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser for one direction of one link.
+
+    Feed raw socket bytes with :meth:`feed`; complete frames come out
+    decoded, in order.  The decoder owns the protocol checks: declared
+    length against the cap *before* buffering, version byte, codec byte.
+
+    Args:
+        max_frame: size cap on the frame body (must match the writer's).
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> Iterator[Any]:
+        """Absorb ``data`` and yield every frame it completes.
+
+        Raises:
+            FrameTooLarge: a declared body length exceeds the cap (raised
+                as soon as the length prefix is readable, without waiting
+                for — or buffering — the oversized body).
+            WireError: version mismatch or unknown codec id.
+        """
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return
+            (body_len,) = _LENGTH.unpack_from(self._buffer)
+            if body_len > self.max_frame:
+                raise FrameTooLarge(
+                    f"peer declared a {body_len}-byte frame; cap is {self.max_frame}"
+                )
+            if body_len < _HEADER_BYTES:
+                raise WireError(f"frame body of {body_len} bytes is too short")
+            total = _LENGTH.size + body_len
+            if len(self._buffer) < total:
+                return
+            version = self._buffer[_LENGTH.size]
+            codec = self._buffer[_LENGTH.size + 1]
+            payload = bytes(self._buffer[_LENGTH.size + _HEADER_BYTES : total])
+            del self._buffer[:total]
+            if version != WIRE_VERSION:
+                raise WireError(
+                    f"wire version mismatch: peer speaks v{version}, "
+                    f"this end speaks v{WIRE_VERSION}"
+                )
+            yield _decode_payload(payload, codec)
+
+    def eof(self) -> None:
+        """Signal end-of-stream; raises if the peer died mid-frame.
+
+        Raises:
+            TruncatedStream: bytes of an incomplete frame were buffered.
+        """
+        if self._buffer:
+            raise TruncatedStream(
+                f"stream ended with {len(self._buffer)} bytes of an incomplete frame"
+            )
+
+
+# -- wire message vocabulary ---------------------------------------------------------
+#
+# The control-plane messages exchanged between the hub and its nodes.  All
+# of them travel pickled (CODEC_PICKLE): consensus payloads are arbitrary
+# dataclasses.  Frozen + slotted for the same reasons as the effects.
+
+
+@dataclass(frozen=True, slots=True)
+class Hello:
+    """Node → hub: first frame after connecting; identifies the node."""
+
+    pid: ProcessId
+
+
+@dataclass(frozen=True, slots=True)
+class Start:
+    """Hub → node: run ``on_start`` and begin processing deliveries."""
+
+
+@dataclass(frozen=True, slots=True)
+class Stop:
+    """Hub → node: the run is over; exit cleanly."""
+
+
+@dataclass(frozen=True, slots=True)
+class MsgSend:
+    """Node → hub: ship ``payload`` to ``dst`` (src is link-authenticated:
+    the hub overrides it with the connection's pid, so a Byzantine node
+    cannot forge another sender's identity — same link model as §2.1)."""
+
+    src: ProcessId
+    dst: ProcessId
+    payload: Any
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class MsgDeliver:
+    """Hub → node: one message delivery."""
+
+    sender: ProcessId
+    payload: Any
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class MsgDecide:
+    """Node → hub: the hosted protocol decided (first decision only)."""
+
+    pid: ProcessId
+    value: Any
+    kind: Any
+    step: int
+
+
+@dataclass(frozen=True, slots=True)
+class MsgOutput:
+    """Node → hub: a top-level protocol upcall (e.g. an IDB delivery)."""
+
+    pid: ProcessId
+    tag: str
+    sender: ProcessId
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class MsgService:
+    """Node → hub: invoke a trusted service (services live at the hub —
+    they model shared abstractions, e.g. the §2.2 oracle consensus, and
+    must aggregate calls across processes)."""
+
+    pid: ProcessId
+    call: ServiceCall
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class MsgLog:
+    """Node → hub: a structured trace record."""
+
+    pid: ProcessId
+    event: str
+    data: dict[str, Any] = field(default_factory=dict)

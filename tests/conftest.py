@@ -2,9 +2,38 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.types import SystemConfig
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Hard wall-clock cap for ``@pytest.mark.net`` tests.
+
+    Socket-engine tests fork real processes; a hub bug that swallows the
+    deadline would otherwise hang the whole suite.  SIGALRM interrupts the
+    test body even when it is blocked in a syscall (select/recv), which a
+    soft in-Python timeout cannot do.
+    """
+    marker = item.get_closest_marker("net")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    timeout = marker.kwargs.get("timeout", 60)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"net test exceeded the hard {timeout}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

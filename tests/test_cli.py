@@ -67,6 +67,35 @@ class TestCommands:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_run_help_lists_all_five_engines(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--help"])
+        out = capsys.readouterr().out
+        for engine in ("sim", "asyncio", "sync", "mc", "net"):
+            assert engine in out
+
+    def test_unknown_engine_is_a_one_line_error(self, capsys):
+        code = main(["run", "-i", "1,1,1,1,1,1,1", "--engine", "bogus"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert err.count("\n") == 1  # one line, not a traceback
+        assert "unknown engine 'bogus'" in err
+        assert "sim" in err and "net" in err  # names the valid choices
+
+    @pytest.mark.net
+    def test_run_engine_net(self, capsys):
+        code = main([
+            "run", "-i", "1,1,1,1", "--engine", "net", "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "agreement=ok" in out
+
+    def test_bench_engine_choices_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--engine", "bogus"])
+        assert "hotpath" in capsys.readouterr().err
+
     def test_table1_static(self, capsys):
         code = main(["table1"])
         out = capsys.readouterr().out

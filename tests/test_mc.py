@@ -12,6 +12,7 @@ from repro.mc.counterexample import (
     minimize,
     replay_matches,
     replay_on_simulator,
+    replay_with_events,
     run_schedule,
 )
 from repro.mc.explorer import Explorer
@@ -277,6 +278,26 @@ class TestStoredUnderResilientCounterexample:
     def test_minimized_trace_stays_minimal(self, ce):
         again = minimize(ce, build_system, build_invariants)
         assert len(again.schedule) == len(ce.schedule)
+
+    def test_replay_carries_the_shared_event_stream(self, ce):
+        # Replaying a stored trace must emit the same typed event stream
+        # every execution engine emits, so the violation renders in the
+        # cross-engine vocabulary (deliveries + decisions), not
+        # checker-internal records.
+        from repro.engine.events import DecideEvent, DeliverEvent
+
+        final, log = replay_with_events(ce, build_system)
+        assert final is not None
+        deliveries = log.of_type(DeliverEvent)
+        assert len(deliveries) == len(ce.schedule)
+        decided = {
+            event.pid: [event.value, event.kind.value, event.step]
+            for event in log.of_type(DecideEvent)
+            if event.pid in ce.decisions
+        }
+        assert decided == ce.decisions
+        # The log renders the violation itself: two different values.
+        assert len({event.value for event in log.of_type(DecideEvent)}) > 1
 
 
 class TestSuite:

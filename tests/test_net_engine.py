@@ -1,0 +1,361 @@
+"""The socket engine end to end: real processes, real sockets, real faults.
+
+Two layers:
+
+* unmarked unit tests for the link-fault algebra
+  (:class:`~repro.net.faults.LinkPlan`, :func:`plan_from_plane`) and the
+  inertness of :class:`~repro.net.faults.ProcessCrash` outside a node
+  process — pure, no forking;
+* ``@pytest.mark.net`` integration tests that fork node processes and run
+  full consensus rounds over UDS/TCP, under a hard SIGALRM timeout (see
+  ``conftest.py``) so a hung hub cannot stall the suite.
+
+The parity test replays the frozen ``seed_decisions.json`` scenarios over
+real sockets.  The wire engine shares protocols and inputs with the
+simulator but not its clock, so per-seed *timing* differs: the assertion is
+the paper's safety surface — agreement, validity, termination — not
+step-for-step equality.
+"""
+
+import json
+import multiprocessing
+import pathlib
+import random
+
+import pytest
+
+from repro.engine.events import (
+    DecideEvent,
+    DeliverEvent,
+    EventLog,
+    EventStats,
+    SendEvent,
+    TeeSink,
+)
+from repro.engine.faults import Crash, Equivocate, Silent
+from repro.harness import (
+    ENGINES,
+    Scenario,
+    bosco_strong,
+    bosco_weak,
+    brasileiro,
+    dex_freq,
+    dex_prv,
+    izumi,
+    twostep,
+)
+from repro.net import (
+    CutAfter,
+    DelayLink,
+    DropLink,
+    DuplicateLink,
+    LinkPlan,
+    NetCluster,
+    ProcessCrash,
+    plan_from_plane,
+)
+from repro.types import DecisionKind
+from repro.workloads.inputs import split, unanimous
+
+DATA = pathlib.Path(__file__).parent / "data" / "seed_decisions.json"
+
+# Same registries as the fixture replay in test_incremental_equiv.py: the
+# parity test rebuilds the exact scenarios the fixture was recorded from.
+SEED_ALGOS = {
+    "dex-freq": dex_freq,
+    "dex-prv": dex_prv,
+    "bosco-weak": bosco_weak,
+    "bosco-strong": bosco_strong,
+    "izumi": izumi,
+    "brasileiro": brasileiro,
+    "twostep": twostep,
+}
+SEED_FAULTS = {
+    None: lambda n: {},
+    "silent": lambda n: {n - 1: Silent()},
+    "crash": lambda n: {n - 1: Crash(budget=3)},
+    "equivocate": lambda n: {n - 1: Equivocate(1, 2)},
+}
+SEED_INPUTS = {
+    "unanimous": lambda n: unanimous(1, n),
+}
+
+
+def assert_no_leaks():
+    """No worker processes or hub socket dirs left behind."""
+    leaked = [p for p in multiprocessing.active_children() if "repro-net" in p.name]
+    assert not leaked, f"leaked node processes: {leaked}"
+    residue = list(pathlib.Path("/tmp").glob("repro-net-*"))
+    assert not residue, f"leaked socket directories: {residue}"
+
+
+class TestLinkPlan:
+    def test_empty_plan_is_falsy_and_passes_everything(self):
+        plan = LinkPlan()
+        assert not plan
+        assert plan.route(0, 1, random.Random(0)) == [0.0]
+
+    def test_drop_link_full_probability_drops(self):
+        plan = LinkPlan(per_source={3: [DropLink(1.0)]})
+        assert plan.route(3, 0, random.Random(0)) == []
+        assert plan.route(0, 3, random.Random(0)) == [0.0]  # inbound unaffected
+
+    def test_drop_link_zero_probability_passes(self):
+        plan = LinkPlan(everywhere=[DropLink(0.0)])
+        assert plan.route(0, 1, random.Random(0)) == [0.0]
+
+    def test_drop_link_validates_probability(self):
+        with pytest.raises(ValueError):
+            DropLink(1.5)
+
+    def test_delay_link_adds_latency(self):
+        plan = LinkPlan(everywhere=[DelayLink(extra=0.25)])
+        assert plan.route(0, 1, random.Random(0)) == [0.25]
+
+    def test_delay_link_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DelayLink(extra=-0.1)
+
+    def test_duplicate_link_multiplies_copies(self):
+        plan = LinkPlan(everywhere=[DuplicateLink(probability=1.0, copies=3)])
+        assert len(plan.route(0, 1, random.Random(0))) == 3
+
+    def test_cut_after_budget_is_stateful_per_source(self):
+        plan = LinkPlan(per_source={2: [CutAfter(budget=2)]})
+        rng = random.Random(0)
+        assert plan.route(2, 0, rng) == [0.0]
+        assert plan.route(2, 1, rng) == [0.0]
+        assert plan.route(2, 0, rng) == []  # budget exhausted
+        assert plan.route(2, 1, rng) == []
+
+    def test_faults_compose_drop_then_duplicate(self):
+        plan = LinkPlan(
+            per_source={0: [DropLink(1.0), DuplicateLink(copies=4)]}
+        )
+        assert plan.route(0, 1, random.Random(0)) == []
+
+    def test_describe_names_the_chain(self):
+        plan = LinkPlan(per_source={1: [DropLink(1.0), CutAfter(5)]})
+        described = plan.describe()
+        assert "DropLink" in described[1] and "CutAfter" in described[1]
+
+
+class TestPlanFromPlane:
+    def _plane(self, faults, n=7, t=1):
+        from repro.engine.faults import FaultPlane
+        from repro.types import SystemConfig
+
+        return FaultPlane(SystemConfig(n, t), faults)
+
+    def test_silent_becomes_total_drop(self):
+        plan = plan_from_plane(self._plane({6: Silent()}))
+        assert plan.route(6, 0, random.Random(0)) == []
+
+    def test_crash_becomes_cut_after_budget(self):
+        plan = plan_from_plane(self._plane({6: Crash(budget=2)}))
+        rng = random.Random(0)
+        assert plan.route(6, 0, rng) == [0.0]
+        assert plan.route(6, 1, rng) == [0.0]
+        assert plan.route(6, 2, rng) == []
+
+    def test_byzantine_faults_ride_in_node_not_on_the_link(self):
+        # Equivocate wraps the protocol inside the worker; the link plan
+        # must leave its traffic alone.
+        plan = plan_from_plane(self._plane({6: Equivocate(1, 2)}))
+        assert plan.route(6, 0, random.Random(0)) == [0.0]
+
+    def test_empty_plane_is_empty_plan(self):
+        assert not plan_from_plane(self._plane({}))
+
+
+class TestProcessCrashInert:
+    def test_does_not_kill_outside_a_node_process(self):
+        # The env marker is absent in the test process, so this must be a
+        # no-op rather than os._exit'ing the pytest runner.
+        ProcessCrash(after=0).maybe_kill(sent=100)
+
+    def test_frozen(self):
+        crash = ProcessCrash(after=3)
+        with pytest.raises(Exception):
+            crash.after = 5
+
+
+@pytest.mark.net
+class TestNetSmoke:
+    def test_net_is_a_registered_engine(self):
+        assert "net" in ENGINES
+
+    def test_uds_n4_unanimous_decides_one_step(self, config4):
+        result = Scenario(
+            dex_freq(), unanimous(1, 4), seed=7, engine="net"
+        ).run()
+        assert result.all_correct_decided()
+        assert result.agreement_holds()
+        assert result.decided_value == 1
+        assert_no_leaks()
+
+    def test_uds_n7_unanimous_decides_one_step(self):
+        result = Scenario(dex_freq(), unanimous(1, 7), seed=1, engine="net").run()
+        assert result.all_correct_decided()
+        assert result.decided_value == 1
+        assert {d.kind for d in result.correct_decisions.values()} == {
+            DecisionKind.ONE_STEP
+        }
+        assert not result.timed_out
+        assert result.exit_codes and all(
+            code == 0 for code in result.exit_codes.values()
+        )
+        assert_no_leaks()
+
+    def test_tcp_transport(self):
+        result = Scenario(dex_freq(), unanimous(1, 4), seed=3, engine="net").run_net(
+            timeout=20.0, transport="tcp"
+        )
+        assert result.transport == "tcp"
+        assert result.all_correct_decided()
+        assert result.decided_value == 1
+        assert_no_leaks()
+
+    def test_split_inputs_still_terminate(self):
+        result = Scenario(dex_freq(), split(1, 2, 7, 3), seed=5, engine="net").run()
+        assert result.all_correct_decided()
+        assert result.agreement_holds()
+        assert_no_leaks()
+
+
+@pytest.mark.net
+class TestNetEvents:
+    def test_event_stream_reaches_sinks(self):
+        log, stats = EventLog(), EventStats()
+        result = Scenario(
+            dex_freq(),
+            unanimous(1, 7),
+            seed=2,
+            engine="net",
+            event_sink=TeeSink(log, stats),
+        ).run()
+        assert result.all_correct_decided()
+        assert any(isinstance(e, SendEvent) for e in log.events)
+        assert any(isinstance(e, DeliverEvent) for e in log.events)
+        decided = [e for e in log.events if isinstance(e, DecideEvent)]
+        assert {e.pid for e in decided} == set(result.correct_decisions)
+        assert stats.one_step_fraction == 1.0
+        # The stream clock is wall-clock offsets from the run start.
+        times = [e.time for e in log.events]
+        assert times == sorted(times) and all(t >= 0.0 for t in times)
+
+
+@pytest.mark.net
+class TestNetFaults:
+    def test_silent_node_over_the_wire(self):
+        result = Scenario(
+            dex_freq(), unanimous(1, 7), faults={6: Silent()}, seed=4, engine="net"
+        ).run()
+        assert result.all_correct_decided()
+        assert result.decided_value == 1
+        assert 6 not in result.correct_decisions
+        assert_no_leaks()
+
+    def test_crash_budget_over_the_wire(self):
+        result = Scenario(
+            dex_freq(), unanimous(1, 7), faults={6: Crash(budget=3)}, seed=4,
+            engine="net",
+        ).run()
+        assert result.all_correct_decided()
+        assert result.decided_value == 1
+        assert_no_leaks()
+
+    def test_equivocator_over_the_wire(self):
+        result = Scenario(
+            dex_freq(),
+            unanimous(1, 7),
+            faults={6: Equivocate(1, 2)},
+            seed=4,
+            engine="net",
+        ).run()
+        assert result.all_correct_decided()
+        assert result.agreement_holds()
+        assert result.decided_value == 1
+        assert_no_leaks()
+
+    def test_ambient_link_chaos_still_decides(self):
+        # Duplicated and delayed (but not dropped) traffic: liveness and
+        # safety must survive; the hub dedups nothing, the protocol must.
+        scenario = Scenario(dex_freq(), unanimous(1, 7), seed=9)
+        protocols, services = scenario.components()
+        cluster = NetCluster(
+            scenario.config,
+            protocols,
+            services=services,
+            seed=9,
+            link_plan=LinkPlan(
+                everywhere=[DuplicateLink(probability=0.5, copies=2), DelayLink(0.001, jitter=0.002)]
+            ),
+        )
+        result = cluster.run(timeout=20.0)
+        assert result.all_correct_decided()
+        assert result.agreement_holds()
+        assert result.decided_value == 1
+        assert_no_leaks()
+
+
+@pytest.mark.net(timeout=120)
+class TestNetRobustness:
+    def test_crashed_plus_silent_terminates_with_partial_decisions(self):
+        # One node killed by chaos at its first outgoing frame, one silent:
+        # the hub must detect the stall, return partial decisions, and reap
+        # every child.  twostep needs all n-t echoes, so the correct nodes
+        # other than the victims still decide; pid 6 never can.
+        scenario = Scenario(
+            twostep(), unanimous(1, 7), faults={5: Silent()}, seed=11
+        )
+        protocols, services = scenario.components()
+        cluster = NetCluster(
+            scenario.config,
+            protocols,
+            faulty=frozenset({5}),
+            services=services,
+            seed=11,
+            link_plan=plan_from_plane(scenario._plane),
+            chaos={6: ProcessCrash(after=0)},
+        )
+        result = cluster.run(timeout=8.0)
+        decided = set(result.correct_decisions)
+        assert decided == {0, 1, 2, 3, 4}
+        assert result.agreement_holds()
+        assert result.decided_value == 1
+        assert result.timed_out  # partial: an undecided correct pid remains
+        assert result.exit_codes[6] == 17  # ProcessCrash exit_code default
+        assert_no_leaks()
+
+
+@pytest.mark.net(timeout=420)
+class TestSeedParityOverSockets:
+    """Replay the frozen n=7 fixture scenarios over real sockets.
+
+    Timing-dependent fields (kinds, steps, message counts) may legitimately
+    differ from the simulator; agreement, validity, and who decides must
+    not.  Every n=7 fixture record is unanimous-input, so validity pins the
+    decided value exactly.
+    """
+
+    def test_at_least_thirty_scenarios_agree_with_the_simulator(self):
+        records = [rec for rec in json.loads(DATA.read_text()) if rec["n"] == 7]
+        assert len(records) >= 30
+        for rec in records:
+            assert rec["inputs"] == "unanimous"  # value pinned by validity
+            scenario = Scenario(
+                SEED_ALGOS[rec["algorithm"]](),
+                SEED_INPUTS[rec["inputs"]](rec["n"]),
+                faults=SEED_FAULTS[rec["fault"]](rec["n"]),
+                seed=rec["seed"],
+                engine="net",
+            )
+            result = scenario.run()
+            context = (rec["algorithm"], rec["fault"], rec["seed"])
+            assert result.all_correct_decided(), context
+            assert result.agreement_holds(), context
+            assert result.decided_value == 1, context
+            sim_decided = {int(pid) for pid in rec["decisions"]}
+            assert set(result.correct_decisions) == sim_decided, context
+        assert_no_leaks()

@@ -1,0 +1,167 @@
+"""Wire-protocol edge cases: framing, caps, codecs, truncation.
+
+Pure in-memory tests of :mod:`repro.net.wire` — no sockets, no processes —
+covering the decode paths a hostile or dying peer exercises: split reads
+across frame boundaries, oversized declared lengths, streams that end
+mid-frame, and version/codec mismatches.
+"""
+
+import struct
+
+import pytest
+
+from repro.net.wire import (
+    CODEC_JSON,
+    CODEC_PICKLE,
+    WIRE_VERSION,
+    FrameDecoder,
+    FrameTooLarge,
+    Hello,
+    MsgDecide,
+    MsgDeliver,
+    MsgSend,
+    Start,
+    Stop,
+    TruncatedStream,
+    WireError,
+    encode_frame,
+)
+
+
+def decode_all(data: bytes, max_frame: int = 1 << 20) -> list:
+    decoder = FrameDecoder(max_frame)
+    frames = list(decoder.feed(data))
+    decoder.eof()
+    return frames
+
+
+class TestRoundTrip:
+    def test_pickle_codec_roundtrips_wire_messages(self):
+        messages = [
+            Hello(3),
+            Start(),
+            MsgSend(src=1, dst=2, payload={"value": 7}, depth=4),
+            MsgDeliver(sender=0, payload=(1, "x"), depth=1),
+            MsgDecide(pid=2, value=1, kind="one-step", step=1),
+            Stop(),
+        ]
+        data = b"".join(encode_frame(m) for m in messages)
+        assert decode_all(data) == messages
+
+    def test_json_codec_roundtrips_json_safe_payloads(self):
+        payloads = [{"a": 1}, [1, 2, 3], "text", None, True]
+        data = b"".join(encode_frame(p, codec=CODEC_JSON) for p in payloads)
+        assert decode_all(data) == payloads
+
+    def test_mixed_codecs_on_one_stream(self):
+        data = encode_frame({"j": 1}, codec=CODEC_JSON) + encode_frame(Hello(0))
+        assert decode_all(data) == [{"j": 1}, Hello(0)]
+
+    def test_unknown_codec_on_encode(self):
+        with pytest.raises(WireError, match="unknown codec"):
+            encode_frame("x", codec=77)
+
+
+class TestSplitReads:
+    def test_one_byte_at_a_time(self):
+        messages = [Hello(1), MsgSend(1, 2, "payload", 0), Stop()]
+        data = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(data)):
+            out.extend(decoder.feed(data[i : i + 1]))
+        decoder.eof()
+        assert out == messages
+
+    def test_split_exactly_at_frame_boundary(self):
+        first, second = encode_frame(Hello(0)), encode_frame(Hello(1))
+        decoder = FrameDecoder()
+        assert list(decoder.feed(first)) == [Hello(0)]
+        assert decoder.pending_bytes == 0
+        assert list(decoder.feed(second)) == [Hello(1)]
+
+    def test_split_inside_length_prefix(self):
+        data = encode_frame(Hello(9))
+        decoder = FrameDecoder()
+        assert list(decoder.feed(data[:2])) == []
+        assert decoder.pending_bytes == 2
+        assert list(decoder.feed(data[2:])) == [Hello(9)]
+
+    def test_two_frames_and_a_tail_in_one_read(self):
+        tail_frame = encode_frame(Stop())
+        data = encode_frame(Hello(0)) + encode_frame(Start()) + tail_frame[:3]
+        decoder = FrameDecoder()
+        assert list(decoder.feed(data)) == [Hello(0), Start()]
+        assert decoder.pending_bytes == 3
+        assert list(decoder.feed(tail_frame[3:])) == [Stop()]
+
+
+class TestSizeCaps:
+    def test_encode_refuses_oversized_payload(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame(b"x" * 100, max_frame=50)
+
+    def test_encode_allows_exactly_max(self):
+        frame = encode_frame(b"x" * 100)
+        body_len = len(frame) - 4
+        assert encode_frame(b"x" * 100, max_frame=body_len)  # boundary is inclusive
+
+    def test_decoder_rejects_declared_oversize_before_the_body_arrives(self):
+        # Only the 4-byte length prefix of a "frame" claiming a huge body:
+        # the decoder must refuse on the prefix alone, without buffering.
+        prefix = struct.pack("!I", 10 * 1024 * 1024)
+        decoder = FrameDecoder(max_frame=1024)
+        with pytest.raises(FrameTooLarge, match="cap is 1024"):
+            list(decoder.feed(prefix))
+
+    def test_decoder_rejects_undersized_body(self):
+        data = struct.pack("!I", 1) + bytes([WIRE_VERSION])
+        with pytest.raises(WireError, match="too short"):
+            list(FrameDecoder().feed(data))
+
+
+class TestTruncation:
+    def test_eof_mid_frame_raises(self):
+        data = encode_frame(MsgSend(0, 1, "value", 0))
+        decoder = FrameDecoder()
+        assert list(decoder.feed(data[:-5])) == []
+        with pytest.raises(TruncatedStream):
+            decoder.eof()
+
+    def test_eof_on_clean_boundary_is_silent(self):
+        decoder = FrameDecoder()
+        assert list(decoder.feed(encode_frame(Stop()))) == [Stop()]
+        decoder.eof()
+
+    def test_eof_on_empty_stream_is_silent(self):
+        FrameDecoder().eof()
+
+
+class TestVersioning:
+    def _frame_with_header(self, version: int, codec: int) -> bytes:
+        good = encode_frame("payload", codec=CODEC_PICKLE)
+        body = bytearray(good)
+        body[4] = version
+        body[5] = codec
+        return bytes(body)
+
+    def test_version_mismatch_is_rejected(self):
+        data = self._frame_with_header(version=WIRE_VERSION + 1, codec=CODEC_PICKLE)
+        with pytest.raises(WireError, match="wire version mismatch"):
+            list(FrameDecoder().feed(data))
+
+    def test_version_mismatch_names_both_versions(self):
+        data = self._frame_with_header(version=9, codec=CODEC_PICKLE)
+        with pytest.raises(WireError, match=r"v9.*v1"):
+            list(FrameDecoder().feed(data))
+
+    def test_unknown_codec_id_is_rejected(self):
+        data = self._frame_with_header(version=WIRE_VERSION, codec=55)
+        with pytest.raises(WireError, match="unknown codec id 55"):
+            list(FrameDecoder().feed(data))
+
+    def test_frames_after_a_good_one_still_checked(self):
+        data = encode_frame(Hello(0)) + self._frame_with_header(99, CODEC_PICKLE)
+        decoder = FrameDecoder()
+        with pytest.raises(WireError):
+            list(decoder.feed(data))
