@@ -23,7 +23,9 @@ The package provides:
 * :mod:`repro.byzantine` — a programmable adversary library;
 * :mod:`repro.harness` — declarative scenario construction;
 * :mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.analysis`,
-  :mod:`repro.apps` — experiment support and the motivating applications.
+  :mod:`repro.apps` — experiment support and the motivating applications;
+* :mod:`repro.shard` — the keyspace-sharded multi-consensus service (many
+  concurrent DEX instances, batched, multiplexed over one engine).
 
 Quickstart::
 
@@ -52,6 +54,7 @@ from .errors import (
 )
 from .harness import (
     AlgorithmSpec,
+    Deployment,
     Collapse,
     Crash,
     Custom,
@@ -89,6 +92,7 @@ __all__ = [
     "LegalityChecker",
     # harness
     "Scenario",
+    "Deployment",
     "AlgorithmSpec",
     "run_once",
     "all_algorithms",

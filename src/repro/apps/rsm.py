@@ -15,6 +15,12 @@ applied to a simple key-value store; losers are re-proposed in later
 slots.  The report carries exactly what the paper argues about: the
 distribution of per-slot decision steps as a function of contention and
 failures.
+
+:data:`Command` and :class:`KeyValueStore` are shared vocabulary: the
+sharded multi-consensus service (:mod:`repro.shard`) applies the same
+commands to one store per shard, generalizing this module's single
+replicated log (and its contention model) to many concurrent, batched
+logs over one engine.
 """
 
 from __future__ import annotations

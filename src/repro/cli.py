@@ -12,8 +12,11 @@ Commands:
 * ``check``     — model-check the named verification suite
   (:mod:`repro.mc`): exhaustive schedule exploration within delay
   bounds, per enumerated byzantine variant;
-* ``bench``     — hot-path micro-benchmarks (``--engine hotpath``) or the
-  socket-engine throughput/latency/fast-path comparison (``--engine net``).
+* ``bench``     — benchmark workloads: hot-path micro-benchmarks
+  (``--workload hotpath``), the socket-engine throughput/latency/fast-path
+  comparison (``--workload net``), or the sharded multi-consensus service
+  sweep (``--workload shard``); ``--engine`` stays as a compatibility
+  alias for the first two.
 
 Every command prints plain-text tables (diff-friendly) and returns a
 non-zero exit code on property violations, so the CLI can serve as a
@@ -140,6 +143,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(sim), real event loop (asyncio), lockstep rounds "
                           "(sync), the model checker's FIFO schedule (mc) or "
                           "one OS process per node over real sockets (net)")
+    run.add_argument("--net-jitter", choices=["uniform", "lognormal"],
+                     default="uniform",
+                     help="net engine: per-message hub delay model — bounded "
+                          "uniform jitter or a long-tailed lognormal of the "
+                          "same mean")
     run.add_argument("--trace", action="store_true", help="print the event trace")
 
     table1 = sub.add_parser("table1", help="print the paper's Table 1")
@@ -172,14 +180,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="machine-readable report on stdout")
 
     bench = sub.add_parser("bench",
-                           help="benchmarks -> BENCH_hotpath.json / BENCH_net.json")
-    bench.add_argument("--engine", choices=["hotpath", "net"], default="hotpath",
+                           help="benchmarks -> BENCH_hotpath.json / BENCH_net.json "
+                                "/ BENCH_shard.json")
+    bench.add_argument("--workload", choices=["hotpath", "net", "shard"],
+                       default=None,
                        help="hotpath: simulator micro-benchmarks; net: fast-path "
-                            "rate + throughput/latency over real sockets vs sim")
+                            "rate + throughput/latency over real sockets vs sim; "
+                            "shard: sharded multi-consensus service sweep "
+                            "(throughput/latency/one-step rate vs shard count "
+                            "and key skew)")
+    bench.add_argument("--engine", choices=["hotpath", "net"], default=None,
+                       help="compatibility alias for --workload (hotpath/net)")
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--runs", type=int, default=10,
-                       help="net bench: runs per workload per engine")
-    bench.add_argument("--n", type=int, default=7, help="net bench: system size")
+                       help="net bench: runs per workload per engine; shard "
+                            "bench: seeds per cell (default 3)")
+    bench.add_argument("--n", type=int, default=7,
+                       help="net/shard bench: system size")
+    bench.add_argument("--shards", type=lambda s: tuple(int(x) for x in s.split(",")),
+                       default=None,
+                       help="shard bench: comma-separated shard counts "
+                            "(default 1,2,4)")
+    bench.add_argument("--count", type=int, default=48,
+                       help="shard bench: client commands per run")
     bench.add_argument("--smoke", action="store_true",
                        help="tiny sizes, one repeat — seconds, for CI")
     bench.add_argument("--sizes", type=lambda s: tuple(int(x) for x in s.split(",")),
@@ -187,7 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated instance sizes (default 7,13,19,25,31)")
     bench.add_argument("--out", default=None,
                        help="output path (default benchmarks/results/"
-                            "BENCH_<engine>.json under the current directory)")
+                            "BENCH_<workload>.json under the current directory)")
     return parser
 
 
@@ -206,6 +229,7 @@ def _cmd_run(args) -> int:
         seed=args.seed,
         trace=args.trace,
         engine=args.engine,
+        net_jitter=args.net_jitter,
     )
     if args.runs > 1:
         aggregate = scenario.run_many(range(args.seed, args.seed + args.runs))
@@ -348,12 +372,25 @@ def _cmd_check(args) -> int:
 def _cmd_bench(args) -> int:
     from .metrics.bench import (
         DEFAULT_SIZES,
+        SHARD_COUNTS,
         SMOKE_SIZES,
         write_hotpath_bench,
         write_net_bench,
+        write_shard_bench,
     )
 
-    if args.engine == "net":
+    workload = args.workload or args.engine or "hotpath"
+    if workload == "shard":
+        runs = 3 if args.runs == 10 else args.runs  # net-oriented default
+        path = write_shard_bench(
+            out=args.out,
+            n=args.n,
+            shards=args.shards or SHARD_COUNTS,
+            count=args.count,
+            runs=runs,
+            smoke=args.smoke,
+        )
+    elif workload == "net":
         runs = 2 if args.smoke else args.runs
         path = write_net_bench(out=args.out, n=args.n, runs=runs)
     else:

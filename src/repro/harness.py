@@ -70,7 +70,10 @@ from .underlying.oracle import SERVICE_NAME, OracleConsensus, OracleService
 
 __all__ = [
     "AlgorithmSpec",
+    "Deployment",
+    "ENGINES",
     "HonestFactory",
+    "NET_JITTERS",
     "Scenario",
     "run_once",
     # algorithm registry
@@ -286,11 +289,197 @@ def all_algorithms() -> list[AlgorithmSpec]:
     ]
 
 
-# -- scenario ---------------------------------------------------------------------------
+# -- deployment -------------------------------------------------------------------------
 
 
 #: The execution backends ``Scenario.engine`` selects between.
 ENGINES = ("sim", "asyncio", "sync", "mc", "net")
+
+#: Hub jitter models of the socket engine (see :mod:`repro.net.cluster`).
+NET_JITTERS = ("uniform", "lognormal")
+
+
+@dataclass
+class Deployment:
+    """A fully wired, engine-agnostic deployment.
+
+    Where :class:`Scenario` is the *declarative* layer (algorithm registry,
+    input vectors, fault validation), a ``Deployment`` is the layer below:
+    concrete per-process protocols plus trusted services, ready to run on
+    any backend.  ``Scenario.run`` builds one internally; multi-instance
+    frontends that wire their own protocols (e.g.
+    :class:`repro.shard.service.ShardedService`) build one directly and
+    get every engine for free.
+
+    Args:
+        config: system parameters.
+        protocols: one (possibly fault-wrapped) protocol per process.
+        services: trusted services by name.
+        faulty: ids of the faulty processes.
+        seed: backend PRNG seed (scheduling, jitter).
+        trace: enable the legacy tracer on the discrete-event backend.
+        latency, scheduler, max_events: discrete-event backend knobs.
+        event_sink: receives the structured run events of any backend.
+        net_jitter: hub jitter model on the socket engine — ``"uniform"``
+            (bounded) or ``"lognormal"`` (long-tailed), both seeded.
+    """
+
+    config: SystemConfig
+    protocols: dict[ProcessId, Protocol]
+    services: dict[str, Service] = field(default_factory=dict)
+    faulty: frozenset = frozenset()
+    seed: int = 0
+    trace: bool = False
+    latency: LatencyModel | None = None
+    scheduler: DeliveryScheduler | None = None
+    max_events: int | None = None
+    event_sink: EventSink | None = None
+    net_jitter: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.net_jitter not in NET_JITTERS:
+            raise ConfigurationError(
+                f"unknown net jitter {self.net_jitter!r} "
+                f"(one of: {', '.join(NET_JITTERS)})"
+            )
+
+    def run(self, engine: str = "sim", **kwargs: Any):
+        """Run on ``engine``, forwarding ``kwargs`` to its runner method."""
+        if engine == "asyncio":
+            return self.run_async(**kwargs)
+        if engine == "sync":
+            return self.run_sync(**kwargs)
+        if engine == "mc":
+            return self.run_mc(**kwargs)
+        if engine == "net":
+            return self.run_net(**kwargs)
+        if engine == "sim":
+            return self.run_sim(**kwargs)
+        raise ConfigurationError(
+            f"unknown engine {engine!r} (one of: {', '.join(ENGINES)})"
+        )
+
+    def build_sim(self) -> Simulation:
+        """The fully wired discrete-event simulation (not yet run)."""
+        kwargs: dict[str, Any] = {}
+        if self.max_events is not None:
+            kwargs["max_events"] = self.max_events
+        return Simulation(
+            self.config,
+            self.protocols,
+            faulty=self.faulty,
+            latency=self.latency,
+            scheduler=self.scheduler,
+            services=self.services,
+            seed=self.seed,
+            trace=self.trace,
+            event_sink=self.event_sink,
+            **kwargs,
+        )
+
+    def run_sim(self) -> RunResult:
+        """Run on the deterministic discrete-event backend."""
+        return self.build_sim().run_until_decided()
+
+    def run_sync(self) -> RunResult:
+        """Run on the deterministic lockstep-round backend."""
+        from .sim.synchronous import LockstepSimulation
+
+        return LockstepSimulation(
+            self.config,
+            self.protocols,
+            faulty=self.faulty,
+            services=self.services,
+            seed=self.seed,
+            trace=self.trace,
+            event_sink=self.event_sink,
+        ).run_until_decided()
+
+    def run_mc(self) -> RunResult:
+        """Run the model checker's state machine on its FIFO baseline
+        schedule and repackage the outcome as a :class:`RunResult`."""
+        from .mc.state import McSystem
+        from .sim.trace import Tracer
+        from .types import Decision, RunStats
+
+        system = McSystem(
+            self.config,
+            self.protocols,
+            services=self.services,
+            faulty=self.faulty,
+            event_sink=self.event_sink,
+        )
+        system.run_fifo()
+        decisions = {
+            pid: Decision(value, kind, step=step)
+            for pid, (value, kind, step) in system.decisions.items()
+        }
+        outputs = {
+            pid: [Deliver(tag, sender, value) for tag, sender, value in out]
+            for pid, out in system.outputs.items()
+        }
+        stats = RunStats(
+            messages_sent=system.counter,
+            messages_delivered=system.deliveries,
+            decisions=dict(decisions),
+            end_time=float(system.deliveries),
+        )
+        return RunResult(
+            config=self.config,
+            decisions=decisions,
+            outputs=outputs,
+            stats=stats,
+            tracer=Tracer(enabled=False),
+            faulty=self.faulty,
+            end_time=float(system.deliveries),
+            drained=not system.pending,
+        )
+
+    def run_async(self, timeout: float = 30.0, mean_delay: float = 0.001):
+        """Run on the asyncio runtime; returns an
+        :class:`~repro.runtime.asyncio_runner.AsyncRunResult`."""
+        from .runtime.asyncio_runner import AsyncioRunner
+
+        runner = AsyncioRunner(
+            self.config,
+            self.protocols,
+            faulty=self.faulty,
+            services=self.services,
+            seed=self.seed,
+            mean_delay=mean_delay,
+            event_sink=self.event_sink,
+        )
+        return runner.run_sync(timeout)
+
+    def run_net(
+        self,
+        timeout: float = 30.0,
+        transport: str = "uds",
+        mean_delay: float = 0.0005,
+        link_plan: Any = None,
+        batch_deliveries: bool = True,
+    ):
+        """Run as real OS processes over sockets; returns a
+        :class:`~repro.net.cluster.NetRunResult`."""
+        from .net.cluster import NetCluster
+
+        cluster = NetCluster(
+            self.config,
+            self.protocols,
+            faulty=self.faulty,
+            services=self.services,
+            seed=self.seed,
+            mean_delay=mean_delay,
+            event_sink=self.event_sink,
+            transport=transport,
+            link_plan=link_plan,
+            jitter=self.net_jitter,
+            batch_deliveries=batch_deliveries,
+        )
+        return cluster.run(timeout)
+
+
+# -- scenario ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -340,6 +529,7 @@ class Scenario:
     max_events: int | None = None
     engine: str = "sim"
     event_sink: EventSink | None = None
+    net_jitter: str = "uniform"
     #: derived in ``__post_init__`` — not an init arg, ignored by clones.
     config: SystemConfig = field(init=False, repr=False, compare=False)
 
@@ -364,6 +554,11 @@ class Scenario:
         if self.engine not in ENGINES:
             raise ConfigurationError(
                 f"unknown engine {self.engine!r} (one of: {', '.join(ENGINES)})"
+            )
+        if self.net_jitter not in NET_JITTERS:
+            raise ConfigurationError(
+                f"unknown net jitter {self.net_jitter!r} "
+                f"(one of: {', '.join(NET_JITTERS)})"
             )
 
     # -- wiring ----------------------------------------------------------------------
@@ -398,24 +593,27 @@ class Scenario:
         self._plane.announce(self.event_sink)
         return protocols, services
 
-    def build(self) -> Simulation:
-        """Construct the fully wired discrete-event simulation (not yet run)."""
+    def deployment(self) -> Deployment:
+        """Wire the protocols/services into an engine-agnostic
+        :class:`Deployment` (builds fresh protocol instances each call)."""
         protocols, services = self.components()
-        kwargs: dict[str, Any] = {}
-        if self.max_events is not None:
-            kwargs["max_events"] = self.max_events
-        return Simulation(
-            self.config,
-            protocols,
-            faulty=frozenset(self.faults),
-            latency=self.latency,
-            scheduler=self.scheduler,
+        return Deployment(
+            config=self.config,
+            protocols=protocols,
             services=services,
+            faulty=frozenset(self.faults),
             seed=self.seed,
             trace=self.trace,
+            latency=self.latency,
+            scheduler=self.scheduler,
+            max_events=self.max_events,
             event_sink=self.event_sink,
-            **kwargs,
+            net_jitter=self.net_jitter,
         )
+
+    def build(self) -> Simulation:
+        """Construct the fully wired discrete-event simulation (not yet run)."""
+        return self.deployment().build_sim()
 
     def run(self):
         """Run the scenario on the selected :attr:`engine`.
@@ -428,77 +626,16 @@ class Scenario:
         (``correct_decisions``, ``max_correct_step``, ``end_time``,
         ``agreement_holds()``, …).
         """
-        if self.engine == "asyncio":
-            return self.run_async()
-        if self.engine == "sync":
-            return self._run_sync()
-        if self.engine == "mc":
-            return self._run_mc()
         if self.engine == "net":
             return self.run_net()
-        return self.build().run_until_decided()
-
-    def _run_sync(self) -> RunResult:
-        """Run on the deterministic lockstep-round backend."""
-        from .sim.synchronous import LockstepSimulation
-
-        protocols, services = self.components()
-        return LockstepSimulation(
-            self.config,
-            protocols,
-            faulty=frozenset(self.faults),
-            services=services,
-            seed=self.seed,
-            trace=self.trace,
-            event_sink=self.event_sink,
-        ).run_until_decided()
-
-    def _run_mc(self) -> RunResult:
-        """Run the model checker's state machine on its FIFO baseline
-        schedule and repackage the outcome as a :class:`RunResult`."""
-        from .mc.state import McSystem
-        from .sim.trace import Tracer
-        from .types import Decision, RunStats
-
-        protocols, services = self.components()
-        system = McSystem(
-            self.config,
-            protocols,
-            services=services,
-            faulty=frozenset(self.faults),
-            event_sink=self.event_sink,
-        )
-        system.run_fifo()
-        decisions = {
-            pid: Decision(value, kind, step=step)
-            for pid, (value, kind, step) in system.decisions.items()
-        }
-        outputs = {
-            pid: [Deliver(tag, sender, value) for tag, sender, value in out]
-            for pid, out in system.outputs.items()
-        }
-        stats = RunStats(
-            messages_sent=system.counter,
-            messages_delivered=system.deliveries,
-            decisions=dict(decisions),
-            end_time=float(system.deliveries),
-        )
-        return RunResult(
-            config=self.config,
-            decisions=decisions,
-            outputs=outputs,
-            stats=stats,
-            tracer=Tracer(enabled=False),
-            faulty=frozenset(self.faults),
-            end_time=float(system.deliveries),
-            drained=not system.pending,
-        )
+        return self.deployment().run(self.engine)
 
     def run_net(
         self,
         timeout: float = 30.0,
         transport: str = "uds",
         mean_delay: float = 0.0005,
+        batch_deliveries: bool = True,
     ):
         """Run the same deployment as real OS processes over sockets.
 
@@ -508,22 +645,15 @@ class Scenario:
         :class:`~repro.net.cluster.NetRunResult` (the asyncio result
         surface plus per-node exit codes).
         """
-        from .net.cluster import NetCluster
         from .net.faults import plan_from_plane
 
-        protocols, services = self.components()
-        cluster = NetCluster(
-            self.config,
-            protocols,
-            faulty=frozenset(self.faults),
-            services=services,
-            seed=self.seed,
-            mean_delay=mean_delay,
-            event_sink=self.event_sink,
+        return self.deployment().run_net(
+            timeout=timeout,
             transport=transport,
+            mean_delay=mean_delay,
             link_plan=plan_from_plane(self._plane),
+            batch_deliveries=batch_deliveries,
         )
-        return cluster.run(timeout)
 
     def run_many(
         self,
@@ -573,19 +703,7 @@ class Scenario:
 
         Returns an :class:`~repro.runtime.asyncio_runner.AsyncRunResult`.
         """
-        from .runtime.asyncio_runner import AsyncioRunner
-
-        protocols, services = self.components()
-        runner = AsyncioRunner(
-            self.config,
-            protocols,
-            faulty=frozenset(self.faults),
-            services=services,
-            seed=self.seed,
-            mean_delay=mean_delay,
-            event_sink=self.event_sink,
-        )
-        return runner.run_sync(timeout)
+        return self.deployment().run_async(timeout=timeout, mean_delay=mean_delay)
 
 
 def run_once(

@@ -207,6 +207,46 @@ NET_WORKLOADS: tuple[tuple[str, Any], ...] = (
 )
 
 
+def bench_delivery_batching(
+    n: int = 7, runs: int = 5, timeout: float = 20.0
+) -> dict[str, Any]:
+    """Hub frame economy: per-destination delivery batching off vs on.
+
+    Same contended workload, same seeds; the only difference is whether
+    the hub coalesces co-scheduled deliveries into
+    :class:`~repro.net.wire.MsgDeliverBatch` frames.  Message semantics
+    are identical (``messages_delivered`` matches); what changes is how
+    many frames — syscalls — the hub pays for them.
+    """
+    inputs = split(1, 2, n, n // 2)
+    modes: dict[str, dict[str, Any]] = {}
+    for mode, batched in (("unbatched", False), ("batched", True)):
+        frames = 0
+        delivered = 0
+        wall = 0.0
+        for seed in range(1, runs + 1):
+            scenario = Scenario(dex_freq(), inputs, seed=seed)
+            result = scenario.run_net(timeout=timeout, batch_deliveries=batched)
+            frames += result.hub_frames
+            delivered += result.stats.messages_delivered
+            wall += result.wall_seconds
+        modes[mode] = {
+            "runs": runs,
+            "hub_frames": frames,
+            "messages_delivered": delivered,
+            "wall_seconds": round(wall, 4),
+            "hub_frames_per_s": round(frames / wall, 1) if wall else 0.0,
+            "hub_msgs_per_s": round(delivered / wall, 1) if wall else 0.0,
+        }
+    batched_frames = modes["batched"]["hub_frames"]
+    modes["frame_reduction"] = (
+        round(modes["unbatched"]["hub_frames"] / batched_frames, 2)
+        if batched_frames
+        else None
+    )
+    return modes
+
+
 def run_net_bench(
     n: int = 7, runs: int = 10, timeout: float = 20.0
 ) -> dict[str, Any]:
@@ -260,6 +300,9 @@ def run_net_bench(
         "t": (n - 1) // 6,
         "runs_per_workload": runs,
         "workloads": workloads,
+        "delivery_batching": bench_delivery_batching(
+            n=n, runs=min(runs, 5), timeout=timeout
+        ),
     }
 
 
@@ -273,6 +316,149 @@ def write_net_bench(
     report = run_net_bench(n=n, runs=runs, timeout=timeout)
     if out is None:
         out = pathlib.Path("benchmarks") / "results" / "BENCH_net.json"
+    path = pathlib.Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+# -- sharded-service bench (the E19 axis) --------------------------------------------
+
+#: Shard counts of the scaling sweep (same command count per cell, so more
+#: shards = more instances deciding concurrently in the same virtual time).
+SHARD_COUNTS = (1, 2, 4)
+
+#: Key-skew models swept per shard count (skew drives contention, and
+#: contention drives the one-step rate).
+SHARD_SKEWS = ("uniform", "zipf")
+
+
+def _mean_numeric(rows: Sequence[dict[str, Any]]) -> dict[str, Any]:
+    """Field-wise mean of the numeric entries of same-shaped dicts."""
+    if not rows:
+        return {}
+    out: dict[str, Any] = {}
+    for key, value in rows[0].items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            out[key] = value
+            continue
+        out[key] = round(sum(float(r[key]) for r in rows) / len(rows), 4)
+    return out
+
+
+def run_shard_bench(
+    n: int = 7,
+    shards: Sequence[int] = SHARD_COUNTS,
+    count: int = 48,
+    runs: int = 3,
+    contention: float = 0.3,
+    timeout: float = 30.0,
+    net_shards: Sequence[int] | None = (1, 2),
+    net_count: int = 12,
+    net_runs: int = 1,
+) -> dict[str, Any]:
+    """The E19 sweep: sharded-service throughput/latency/one-step rate.
+
+    Per cell (engine × skew × shard count) the same seeded client stream
+    runs through :class:`~repro.shard.service.ShardedService`; cell rows
+    are field-wise means over ``runs`` seeds of the per-shard and
+    aggregate summaries the shard metrics fold from the event stream.
+    ``scaling`` extracts the headline: aggregate commands-per-time versus
+    shard count, per skew, on the simulator (virtual time) and — for the
+    smaller net sweep — wall time.
+
+    Args:
+        n: replica count (t is the frequency pair's max).
+        shards: shard counts of the simulator sweep.
+        count: commands per simulator run.
+        runs: seeds per simulator cell.
+        contention: per-slot contention probability of the sweep.
+        timeout: per-run deadline (net cells).
+        net_shards: shard counts of the socket-engine sweep (``None`` or
+            empty = skip the net cells entirely).
+        net_count, net_runs: the net sweep's smaller stream and seed count.
+    """
+    from ..shard.service import ShardedService
+
+    cells: list[dict[str, Any]] = []
+    scaling: dict[str, dict[str, dict[str, float]]] = {}
+
+    def sweep(engine: str, sweep_shards: Sequence[int], sweep_count: int,
+              sweep_runs: int) -> None:
+        for skew in SHARD_SKEWS:
+            for shard_count in sweep_shards:
+                reports = []
+                for seed in range(1, sweep_runs + 1):
+                    service = ShardedService(
+                        n=n,
+                        shards=shard_count,
+                        contention=contention,
+                        skew=skew,
+                        seed=seed,
+                        engine=engine,
+                    )
+                    reports.append(service.run(count=sweep_count, timeout=timeout))
+                divergences = sum(1 for r in reports if r.divergence)
+                aggregate = _mean_numeric([r.aggregate for r in reports])
+                per_shard = [
+                    _mean_numeric([r.per_shard[s] for r in reports])
+                    for s in range(shard_count)
+                ]
+                cells.append(
+                    {
+                        "engine": engine,
+                        "skew": skew,
+                        "shards": shard_count,
+                        "count": sweep_count,
+                        "runs": sweep_runs,
+                        "divergences": divergences,
+                        "aggregate": aggregate,
+                        "per_shard": per_shard,
+                    }
+                )
+                scaling.setdefault(engine, {}).setdefault(skew, {})[
+                    str(shard_count)
+                ] = aggregate.get("throughput_cmds", 0.0)
+
+    sweep("sim", shards, count, runs)
+    if net_shards:
+        sweep("net", net_shards, net_count, net_runs)
+    return {
+        "benchmark": "shard",
+        "commit": _commit_hash(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": time.time(),
+        "n": n,
+        "t": max((n - 1) // 6, 0),
+        "contention": contention,
+        "cells": cells,
+        "scaling": scaling,
+    }
+
+
+def write_shard_bench(
+    out: pathlib.Path | str | None = None,
+    n: int = 7,
+    shards: Sequence[int] = SHARD_COUNTS,
+    count: int = 48,
+    runs: int = 3,
+    smoke: bool = False,
+) -> pathlib.Path:
+    """Run the sharded-service bench and persist ``BENCH_shard.json``.
+
+    ``smoke`` shrinks everything (shards 1–2, short stream, one seed, sim
+    plus one tiny net cell) to CI scale.
+    """
+    if smoke:
+        report = run_shard_bench(
+            n=n, shards=(1, 2), count=12, runs=1,
+            net_shards=(2,), net_count=8, net_runs=1,
+        )
+    else:
+        report = run_shard_bench(n=n, shards=shards, count=count, runs=runs)
+    if out is None:
+        out = pathlib.Path("benchmarks") / "results" / "BENCH_shard.json"
     path = pathlib.Path(out)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2) + "\n")

@@ -34,6 +34,7 @@ from .faults import (
     LinkFault,
     LinkPlan,
     ProcessCrash,
+    ReorderLink,
     plan_from_plane,
 )
 from .wire import (
@@ -55,6 +56,7 @@ __all__ = [
     "DropLink",
     "DelayLink",
     "DuplicateLink",
+    "ReorderLink",
     "CutAfter",
     "ProcessCrash",
     "plan_from_plane",

@@ -46,6 +46,7 @@ from ..runtime.asyncio_runner import AsyncRunResult
 from ..runtime.effects import SERVICE_SENDER, Deliver
 from ..runtime.protocol import Protocol
 from ..runtime.services import Service, ServiceReply
+from ..sim.latency import LognormalLatency
 from ..types import Decision, ProcessId, RunStats, SystemConfig
 from .events import HubEvents, StreamClock
 from .faults import LinkPlan, ProcessCrash
@@ -54,9 +55,11 @@ from .wire import (
     CODEC_PICKLE,
     DEFAULT_MAX_FRAME,
     FrameDecoder,
+    FrameTooLarge,
     Hello,
     MsgDecide,
     MsgDeliver,
+    MsgDeliverBatch,
     MsgLog,
     MsgOutput,
     MsgSend,
@@ -69,6 +72,13 @@ from .wire import (
 
 #: Supported transports for the hub listener.
 TRANSPORTS = ("uds", "tcp")
+
+#: Hub jitter models (seeded either way).
+JITTERS = ("uniform", "lognormal")
+
+#: Deliveries coalesced into one frame at most — keeps a batched frame far
+#: below the frame size cap even with large consensus payloads.
+DELIVERY_BATCH_CHUNK = 32
 
 
 @dataclass
@@ -83,6 +93,9 @@ class NetRunResult(AsyncRunResult):
 
     exit_codes: dict[ProcessId, int | None] = field(default_factory=dict)
     transport: str = "uds"
+    #: frames the hub wrote to node sockets (delivery batching shrinks this
+    #: without changing ``stats.messages_delivered``).
+    hub_frames: int = 0
 
 
 @dataclass
@@ -114,6 +127,13 @@ class NetCluster:
             directions.
         link_plan: transport-level fault plan (see
             :func:`~repro.net.faults.plan_from_plane`).
+        jitter: per-message delay model — ``"uniform"`` (bounded,
+            ``uniform(0.5, 1.5) × mean_delay``) or ``"lognormal"``
+            (long-tailed with the same mean; see
+            :class:`~repro.sim.latency.LognormalLatency`).
+        batch_deliveries: coalesce co-scheduled deliveries per destination
+            into :class:`~repro.net.wire.MsgDeliverBatch` frames (fewer
+            hub syscalls; per-message semantics unchanged).
         chaos: *unannounced* per-pid :class:`~repro.net.faults.
             ProcessCrash` specs — invisible to ``faulty`` on purpose.
         connect_timeout: how long to wait for all workers to dial in.
@@ -134,6 +154,8 @@ class NetCluster:
         link_plan: LinkPlan | None = None,
         chaos: Mapping[ProcessId, ProcessCrash] | None = None,
         connect_timeout: float = 10.0,
+        jitter: str = "uniform",
+        batch_deliveries: bool = True,
     ) -> None:
         if set(protocols) != set(config.processes):
             raise SimulationError(
@@ -142,6 +164,10 @@ class NetCluster:
         if transport not in TRANSPORTS:
             raise SimulationError(
                 f"unknown transport {transport!r} (one of: {', '.join(TRANSPORTS)})"
+            )
+        if jitter not in JITTERS:
+            raise SimulationError(
+                f"unknown jitter model {jitter!r} (one of: {', '.join(JITTERS)})"
             )
         if "fork" not in multiprocessing.get_all_start_methods():
             raise SimulationError(
@@ -161,6 +187,13 @@ class NetCluster:
         self.link_plan = link_plan if link_plan is not None else LinkPlan()
         self.chaos = dict(chaos or {})
         self.connect_timeout = connect_timeout
+        self.jitter = jitter
+        self.batch_deliveries = batch_deliveries
+        self._lognormal = (
+            LognormalLatency(mean_delay) if jitter == "lognormal" and mean_delay > 0
+            else None
+        )
+        self.hub_frames = 0
         self.stats = RunStats()
         self.decisions: dict[ProcessId, Decision] = {}
         self.outputs: dict[ProcessId, list[Deliver]] = {
@@ -266,6 +299,7 @@ class NetCluster:
             return False
         try:
             conn.sock.sendall(encode_frame(msg, self.codec, self.max_frame))
+            self.hub_frames += 1
             return True
         except OSError:
             self._mark_dead(pid)
@@ -288,6 +322,8 @@ class NetCluster:
                 pass
 
     def _jitter(self) -> float:
+        if self._lognormal is not None:
+            return self._lognormal.sample(self.rng, 0, 0)
         return self.rng.uniform(0.5, 1.5) * self.mean_delay
 
     def _schedule(
@@ -308,11 +344,48 @@ class NetCluster:
             self._schedule(msg.dst, src, msg.payload, msg.depth, base + extra)
 
     def _deliver_due(self, now: float) -> None:
+        if not self.batch_deliveries:
+            while self._heap and self._heap[0][0] <= now:
+                _, _, dst, sender, payload, depth = heapq.heappop(self._heap)
+                if self._write(dst, MsgDeliver(sender, payload, depth)):
+                    self.stats.messages_delivered += 1
+                    self.events.deliver(dst, sender, payload, depth)
+            return
+        # Coalesce every due delivery per destination into one frame (per
+        # 32-entry chunk): multiplexed workloads make whole quorums of
+        # instance traffic come due in the same sweep, and one frame per
+        # destination replaces one syscall per message.  Per-destination
+        # delivery order is exactly the heap's pop order, as before.
+        batches: dict[ProcessId, list[tuple[ProcessId, Any, int]]] = {}
+        order: list[ProcessId] = []
         while self._heap and self._heap[0][0] <= now:
             _, _, dst, sender, payload, depth = heapq.heappop(self._heap)
-            if self._write(dst, MsgDeliver(sender, payload, depth)):
-                self.stats.messages_delivered += 1
-                self.events.deliver(dst, sender, payload, depth)
+            if dst not in batches:
+                batches[dst] = []
+                order.append(dst)
+            batches[dst].append((sender, payload, depth))
+        for dst in order:
+            entries = batches[dst]
+            for at in range(0, len(entries), DELIVERY_BATCH_CHUNK):
+                chunk = entries[at : at + DELIVERY_BATCH_CHUNK]
+                delivered: list[tuple[ProcessId, Any, int]] = []
+                if len(chunk) == 1:
+                    if self._write(dst, MsgDeliver(*chunk[0])):
+                        delivered = chunk
+                else:
+                    try:
+                        if self._write(dst, MsgDeliverBatch(tuple(chunk))):
+                            delivered = chunk
+                    except FrameTooLarge:
+                        # huge payloads: fall back to one frame per message
+                        delivered = [
+                            entry
+                            for entry in chunk
+                            if self._write(dst, MsgDeliver(*entry))
+                        ]
+                for sender, payload, depth in delivered:
+                    self.stats.messages_delivered += 1
+                    self.events.deliver(dst, sender, payload, depth)
 
     def _handle(self, conn: _Conn, msg: Any) -> None:
         pid = conn.pid
@@ -414,6 +487,7 @@ class NetCluster:
             timed_out=timed_out,
             exit_codes=exit_codes,
             transport=self.transport,
+            hub_frames=self.hub_frames,
         )
 
     def _pump(self, conn: _Conn) -> None:

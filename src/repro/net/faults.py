@@ -42,6 +42,7 @@ __all__ = [
     "DropLink",
     "DelayLink",
     "DuplicateLink",
+    "ReorderLink",
     "CutAfter",
     "LinkPlan",
     "plan_from_plane",
@@ -123,6 +124,35 @@ class DuplicateLink(LinkFault):
 
     def describe(self) -> str:
         return f"copies={self.copies}"
+
+
+class ReorderLink(LinkFault):
+    """Scramble arrival order: each message is independently held back by
+    a random delay in ``[0, window]`` with probability ``probability``.
+
+    A later message that draws no (or a smaller) extra delay overtakes an
+    earlier one, so FIFO order on the link is destroyed while every
+    message still arrives — pure reordering, the one asynchrony the
+    existing drop/delay/duplicate faults never isolate.  Safety must be
+    indifferent to it: an asynchronous-model algorithm's agreement
+    argument never assumes link order.
+    """
+
+    def __init__(self, probability: float = 0.5, window: float = 0.005) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"reorder probability {probability} outside [0, 1]")
+        if window <= 0.0:
+            raise ValueError("reorder window must be positive")
+        self.probability = probability
+        self.window = window
+
+    def deliveries(self, src: ProcessId, dst: ProcessId, rng: Random) -> list[float]:
+        if self.probability >= 1.0 or rng.random() < self.probability:
+            return [rng.uniform(0.0, self.window)]
+        return [0.0]
+
+    def describe(self) -> str:
+        return f"p={self.probability}, window={self.window}s"
 
 
 class CutAfter(LinkFault):

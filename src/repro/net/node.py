@@ -41,6 +41,7 @@ from .wire import (
     Hello,
     MsgDecide,
     MsgDeliver,
+    MsgDeliverBatch,
     MsgLog,
     MsgOutput,
     MsgSend,
@@ -191,6 +192,11 @@ class NodeWorker(ExecutionPorts):
                 elif isinstance(msg, MsgDeliver):
                     effects = guarded(self.protocol, msg.sender, msg.payload)
                     interpret(self, self.pid, effects, msg.depth)
+                elif isinstance(msg, MsgDeliverBatch):
+                    # Identical to the same deliveries as consecutive frames.
+                    for sender, payload, depth in msg.entries:
+                        effects = guarded(self.protocol, sender, payload)
+                        interpret(self, self.pid, effects, depth)
                 elif isinstance(msg, Stop):
                     return EXIT_OK
 

@@ -216,6 +216,21 @@ class MsgDeliver:
 
 
 @dataclass(frozen=True, slots=True)
+class MsgDeliverBatch:
+    """Hub → node: several co-scheduled deliveries in one frame.
+
+    When many queued messages for one destination come due in the same
+    delivery sweep (typical for multiplexed workloads: every instance's
+    quorum traffic lands together), the hub coalesces them instead of
+    paying per-message framing and syscall costs.  Entries are
+    ``(sender, payload, depth)`` in delivery order — the node processes
+    them exactly as consecutive :class:`MsgDeliver` frames.
+    """
+
+    entries: tuple[tuple[ProcessId, Any, int], ...]
+
+
+@dataclass(frozen=True, slots=True)
 class MsgDecide:
     """Node → hub: the hosted protocol decided (first decision only)."""
 

@@ -1,0 +1,167 @@
+"""Key→shard routing and the ``(shard, slot)`` instance multiplexer.
+
+A sharded service runs one independent replicated log per shard; every
+shard advances through consecutive consensus slots.  Two pieces make that
+work over a *single* transport:
+
+* :func:`shard_of` — the deterministic key→shard mapping.  It hashes with
+  ``zlib.crc32``, never ``hash()``: the builtin string hash is salted per
+  process (``PYTHONHASHSEED``), so forked node workers on the ``net``
+  engine would disagree about which shard owns a key.
+* :class:`ShardMultiplexer` — a composite protocol hosting one consensus
+  child per *instance* ``(shard, slot)``.  Children are named
+  ``s<shard>.<slot>``, so every message a child sends travels inside an
+  :class:`~repro.runtime.effects.Envelope` tagged with its instance — the
+  shard-tagged frames the transport multiplexes.  On the ``net`` engine
+  this means many instances share one hub connection per node instead of
+  one cluster per instance.
+
+The multiplexer generalizes :class:`repro.apps.pipeline.SlotMultiplexer`
+from slot keys to ``(shard, slot)`` keys; like it, an instance comes into
+existence two ways — locally via :meth:`ShardMultiplexer.propose`, or
+remotely when the first envelope for an unseen instance arrives, in which
+case it is created *without* proposing (a lagging replica participating in
+a round it has not reached).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable
+
+from ..runtime.composite import CompositeProtocol, Envelope
+from ..runtime.effects import Decide, Deliver, Effect
+from ..runtime.protocol import Protocol
+from ..types import DecisionKind, ProcessId, SystemConfig, Value
+
+__all__ = [
+    "INSTANCE_DECIDED_TAG",
+    "shard_of",
+    "instance_name",
+    "parse_instance",
+    "ShardMultiplexer",
+]
+
+#: Upcall tag of a per-instance decision surfaced by the multiplexer.
+INSTANCE_DECIDED_TAG = "shard-slot-decided"
+
+#: builds the consensus instance for one ``(shard, slot)``:
+#: ``(shard, slot, proposal) -> Protocol``.
+ShardInstanceFactory = Callable[[int, int, Value], Protocol]
+
+
+def shard_of(key: Any, shards: int) -> int:
+    """The shard owning ``key`` — stable across processes and machines.
+
+    ``crc32`` of the key's string form, reduced mod ``shards``; the builtin
+    ``hash()`` is process-salted for strings and would split a forked
+    cluster's keyspace inconsistently.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    return zlib.crc32(str(key).encode("utf-8")) % shards
+
+
+def instance_name(shard: int, slot: int) -> str:
+    """Component name of one consensus instance: ``s<shard>.<slot>``."""
+    return f"s{shard}.{slot}"
+
+
+def parse_instance(component: str) -> tuple[int, int] | None:
+    """Inverse of :func:`instance_name`; ``None`` for foreign components."""
+    if not component.startswith("s"):
+        return None
+    shard_text, dot, slot_text = component[1:].partition(".")
+    if not dot:
+        return None
+    try:
+        return int(shard_text), int(slot_text)
+    except ValueError:
+        return None
+
+
+class ShardMultiplexer(CompositeProtocol):
+    """Hosts one consensus child per ``(shard, slot)``, created lazily.
+
+    Args:
+        process_id: hosting replica.
+        config: system parameters (shared by every instance).
+        make_instance: per-instance consensus factory.
+        shards: number of shards — instance keys outside ``[0, shards)``
+            are rejected (Byzantine shard-number inflation guard).
+        max_slots: ceiling on slot numbers (slot-number inflation guard).
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        make_instance: ShardInstanceFactory,
+        shards: int,
+        max_slots: int = 10_000,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        super().__init__(process_id, config)
+        self._make_instance = make_instance
+        self.shards = shards
+        self._max_slots = max_slots
+        self._proposed: set[tuple[int, int]] = set()
+        self.decided: dict[tuple[int, int], tuple[Value, DecisionKind]] = {}
+
+    # -- instance management ---------------------------------------------------------
+
+    def _instance_of(self, component: str) -> tuple[int, int] | None:
+        key = parse_instance(component)
+        if key is None:
+            return None
+        shard, slot = key
+        if not 0 <= shard < self.shards:
+            return None  # Byzantine shard-number inflation guard
+        if not 0 <= slot < self._max_slots:
+            return None  # Byzantine slot-number inflation guard
+        return key
+
+    def _ensure(self, shard: int, slot: int) -> Protocol:
+        name = instance_name(shard, slot)
+        if name not in self._children:
+            self.add_child(name, self._make_instance(shard, slot, None))
+        return self.child(name)
+
+    def propose(self, shard: int, slot: int, value: Value) -> list[Effect]:
+        """Start this replica's participation in instance ``(shard, slot)``."""
+        if (shard, slot) in self._proposed:
+            return []
+        self._proposed.add((shard, slot))
+        name = instance_name(shard, slot)
+        if name in self._children:
+            node = self.child(name)
+            node.proposal = value  # created lazily by a remote message
+        else:
+            node = self.add_child(name, self._make_instance(shard, slot, value))
+        return self.child_call(name, node.on_start())
+
+    # -- routing ---------------------------------------------------------------------
+
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if isinstance(payload, Envelope):
+            key = self._instance_of(payload.component)
+            if key is not None:
+                self._ensure(*key)
+        return super().on_message(sender, payload)
+
+    def on_child_output(self, name: str, effect: Effect) -> list[Effect]:
+        key = self._instance_of(name)
+        if key is None or not isinstance(effect, Decide):
+            return []
+        if key in self.decided:
+            return []
+        self.decided[key] = (effect.value, effect.kind)
+        shard, slot = key
+        return [
+            Deliver(
+                INSTANCE_DECIDED_TAG,
+                self.process_id,
+                (shard, slot, effect.value, effect.kind),
+            )
+        ]

@@ -1,0 +1,512 @@
+"""The sharded replicated-state-machine service.
+
+The paper's §1.1 motivation — replicated servers ordering client update
+requests — at "heavy traffic" scale: the keyspace is split into shards,
+each shard orders its own batched command log through consecutive DEX
+instances, and *all* instances of *all* shards multiplex over one engine
+(one hub connection per node on the socket engine).
+
+Pieces:
+
+* :func:`shard_workload` — a seeded client request stream with
+  configurable key skew (``uniform`` or ``zipf``; skew drives contention,
+  and contention drives the one-step rate) in open loop (arrivals paced by
+  ``rate`` per slot-tick) or closed loop (everything enqueued up front);
+* :class:`ShardNode` — one replica: a :class:`~repro.shard.router.
+  ShardMultiplexer` of per-``(shard, slot)`` DEX instances, one
+  :class:`~repro.shard.batcher.ShardBatcher` and one
+  :class:`~repro.apps.rsm.KeyValueStore` per shard.  When a slot decides,
+  the batch is applied, losers are re-proposed, and the next slot opens;
+  when every shard drains, the replica emits its single top-level
+  ``Decide`` whose value is the *digest* of all applied batches — so the
+  engines' agreement check doubles as the cross-shard divergence check,
+  even when replicas are forked OS processes whose stores the parent
+  cannot inspect;
+* :class:`ShardedService` — the frontend: builds the deployment (through
+  the harness's :class:`~repro.harness.Deployment`), runs it on any
+  engine, and folds the typed event stream into per-shard and aggregate
+  throughput/latency/one-step-rate (see :mod:`repro.shard.metrics`).
+
+Contention is modelled exactly like :mod:`repro.apps.rsm`, generalized per
+``(shard, slot)``: with probability ``contention`` a slot has two competing
+batches (head vs. shifted-by-one rival) and each replica independently saw
+one of them first.  All coins are derived from arithmetic-integer seeds —
+never from string hashes — so forked replicas flip identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..apps.rsm import Command, KeyValueStore
+from ..conditions.frequency import FrequencyPair
+from ..core.dex import DexConsensus
+from ..engine.events import EventSink, combine
+from ..engine.faults import Fault, FaultPlane
+from ..errors import ConfigurationError
+from ..harness import AlgorithmSpec, Deployment
+from ..runtime.composite import CompositeProtocol
+from ..runtime.effects import Decide, Deliver, Effect
+from ..runtime.protocol import Protocol
+from ..types import DecisionKind, ProcessId, SystemConfig, Value
+from ..underlying.oracle import SERVICE_NAME, OracleConsensus, OracleService
+from .batcher import ShardBatcher
+from .metrics import ShardStreamSink
+from .router import INSTANCE_DECIDED_TAG, ShardMultiplexer, shard_of
+
+__all__ = [
+    "shard_workload",
+    "ShardNode",
+    "ShardReport",
+    "ShardedService",
+    "dex_shard_factory",
+]
+
+#: Key-skew models of the workload generator.
+SKEWS = ("uniform", "zipf")
+
+
+def shard_workload(
+    count: int,
+    keyspace: int = 32,
+    skew: str = "uniform",
+    zipf_alpha: float = 1.2,
+    rate: int | None = None,
+    seed: int = 0,
+) -> list[tuple[int, Command]]:
+    """A reproducible client request stream: ``[(arrival_slot, command)]``.
+
+    Args:
+        count: number of ``set`` commands.
+        keyspace: number of distinct keys (``k0`` … ``k<keyspace-1>``).
+        skew: ``"uniform"`` — every key equally likely; ``"zipf"`` — key
+            rank ``r`` drawn with weight ``1/r^alpha`` (hot keys
+            concentrate traffic on few shards, the adverse case).
+        zipf_alpha: zipf exponent (higher = more skewed).
+        rate: open-loop arrival rate in commands per slot-tick; ``None``
+            runs closed-loop (everything arrives at slot 0).
+        seed: workload seed (independent of the engine seed).
+    """
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if keyspace < 1:
+        raise ConfigurationError("need at least one key")
+    if skew not in SKEWS:
+        raise ConfigurationError(f"unknown skew {skew!r} (one of: {', '.join(SKEWS)})")
+    if rate is not None and rate < 1:
+        raise ConfigurationError("open-loop rate must be at least 1 per slot")
+    rng = random.Random(seed * 7_919 + 11)
+    keys = [f"k{i}" for i in range(keyspace)]
+    weights = (
+        [1.0 / (rank + 1) ** zipf_alpha for rank in range(keyspace)]
+        if skew == "zipf"
+        else None
+    )
+    stream: list[tuple[int, Command]] = []
+    for j in range(count):
+        arrival = 0 if rate is None else j // rate
+        key = keys[rng.randrange(keyspace)] if weights is None else rng.choices(keys, weights)[0]
+        stream.append((arrival, ("set", key, j)))
+    return stream
+
+
+# -- deterministic contention coins ---------------------------------------------------
+
+
+def _slot_rng(seed: int, shard: int, slot: int, pid: int = -1) -> random.Random:
+    """A PRNG keyed by ``(seed, shard, slot[, pid])`` via pure integer
+    arithmetic — identical in every replica process regardless of
+    ``PYTHONHASHSEED`` (tuple seeds with strings would be salted)."""
+    key = ((seed + 1) * 1_000_003 + shard) * 1_000_003 + slot
+    return random.Random(key * 1_000_003 + pid + 7)
+
+
+def proposal_for(
+    pid: ProcessId,
+    shard: int,
+    slot: int,
+    batcher: ShardBatcher,
+    contention: float,
+    seed: int,
+) -> tuple:
+    """This replica's batch proposal for ``(shard, slot)``.
+
+    With probability ``contention`` the slot is contended: two concurrent
+    client submissions race, and each replica saw one of the two batches
+    first (an independent fair coin per replica, so a random majority
+    backs the head batch) — the multi-shard generalization of
+    :meth:`repro.apps.rsm.ReplicatedStateMachine._slot_proposals`.
+    """
+    head = batcher.head_batch()
+    rival = batcher.rival_batch()
+    if (
+        rival != head
+        and contention > 0.0
+        and _slot_rng(seed, shard, slot).random() < contention
+    ):
+        return head if _slot_rng(seed, shard, slot, pid).random() < 0.5 else rival
+    return head
+
+
+def dex_shard_factory(process_id: ProcessId, config: SystemConfig):
+    """Per-``(shard, slot)`` DEX instances (frequency pair) over the shared
+    oracle UC: each instance uses its own oracle instance key, so one
+    :class:`~repro.underlying.oracle.OracleService` serves every shard."""
+    pair = FrequencyPair(config.n, config.t)
+
+    def make(shard: int, slot: int, proposal: Value) -> Protocol:
+        return DexConsensus(
+            process_id,
+            config,
+            pair,
+            proposal,
+            uc_factory=lambda pid, cfg, key=(shard, slot): OracleConsensus(
+                pid, cfg, instance=key
+            ),
+        )
+
+    return make
+
+
+class ShardNode(CompositeProtocol):
+    """One replica of the sharded service.
+
+    Args:
+        process_id: replica id.
+        config: system parameters.
+        shards: shard count.
+        arrivals: the full client stream (``[(arrival_slot, command)]``);
+            the node routes each command to its shard via
+            :func:`~repro.shard.router.shard_of`.
+        make_instance: per-``(shard, slot)`` consensus factory.
+        max_batch, max_wait: batch bounds per shard (see
+            :class:`~repro.shard.batcher.ShardBatcher`).
+        contention: probability a slot has two competing batches.
+        seed: contention-coin seed (must match across replicas).
+    """
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        config: SystemConfig,
+        shards: int,
+        arrivals: Sequence[tuple[int, Command]],
+        make_instance,
+        max_batch: int = 4,
+        max_wait: int = 2,
+        contention: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= contention <= 1.0:
+            raise ConfigurationError("contention must be in [0, 1]")
+        super().__init__(process_id, config)
+        self.shards = shards
+        self.contention = contention
+        self.seed = seed
+        self._mux = self.add_child(
+            "mux", ShardMultiplexer(process_id, config, make_instance, shards)
+        )
+        self._batchers = {s: ShardBatcher(max_batch, max_wait) for s in range(shards)}
+        self._arrivals: dict[int, list[tuple[int, Command]]] = {
+            s: [] for s in range(shards)
+        }
+        for arrival, command in arrivals:
+            self._arrivals[shard_of(command[1], shards)].append((arrival, command))
+        self._slot = {s: 0 for s in range(shards)}
+        self.stores = {s: KeyValueStore() for s in range(shards)}
+        self.applied: dict[int, list[tuple]] = {s: [] for s in range(shards)}
+        self._drained: set[int] = set()
+        self._done = False
+
+    # -- slot lifecycle --------------------------------------------------------------
+
+    def _inject(self, shard: int) -> None:
+        """Move every arrival due by the shard's current slot into its batcher."""
+        now = self._slot[shard]
+        pending = self._arrivals[shard]
+        while pending and pending[0][0] <= now:
+            _, command = pending.pop(0)
+            self._batchers[shard].submit(command, now)
+
+    def _open(self, shard: int) -> list[Effect]:
+        """Open the shard's next slot — full batch, aged partial batch,
+        heartbeat (empty batch, to advance the slot clock while traffic is
+        still arriving), or nothing if the shard drained."""
+        slot = self._slot[shard]
+        self._inject(shard)
+        batcher = self._batchers[shard]
+        future = bool(self._arrivals[shard])
+        if batcher.ready(slot) or (len(batcher) and not future):
+            batch = proposal_for(
+                self.process_id, shard, slot, batcher, self.contention, self.seed
+            )
+        elif len(batcher) or future:
+            batch = ()  # heartbeat: ages the partial batch / awaits arrivals
+        else:
+            self._drained.add(shard)
+            return self._maybe_finish()
+        effects: list[Effect] = [
+            self.log("shard.open", shard=shard, slot=slot, size=len(batch))
+        ]
+        effects.extend(self.child_call("mux", self._mux.propose(shard, slot, batch)))
+        return effects
+
+    def _maybe_finish(self) -> list[Effect]:
+        if self._done or len(self._drained) < self.shards:
+            return []
+        self._done = True
+        digest = tuple(
+            (shard, tuple(self.applied[shard])) for shard in range(self.shards)
+        )
+        return [Decide(digest, DecisionKind.UNDERLYING)]
+
+    def _apply(self, shard: int, batch: Any) -> int:
+        """Apply one decided batch; returns the number of applied commands.
+        Malformed (Byzantine-injected) entries are skipped, not applied."""
+        applied = 0
+        if not isinstance(batch, tuple):
+            return 0
+        for command in batch:
+            if (
+                isinstance(command, tuple)
+                and len(command) == 3
+                and command[0] == "set"
+            ):
+                self.stores[shard].apply(command)
+                applied += 1
+        return applied
+
+    # -- protocol hooks --------------------------------------------------------------
+
+    def on_start(self) -> list[Effect]:
+        effects: list[Effect] = []
+        for shard in range(self.shards):
+            effects.extend(self._open(shard))
+        return effects
+
+    def on_child_output(self, name: str, effect: Effect) -> list[Effect]:
+        if not (isinstance(effect, Deliver) and effect.tag == INSTANCE_DECIDED_TAG):
+            return []
+        shard, slot, batch, kind = effect.value
+        if slot != self._slot[shard]:
+            return [self.log("shard.stale-decision", shard=shard, slot=slot)]
+        safe_batch = batch if isinstance(batch, tuple) else ()
+        self._apply(shard, batch)
+        self.applied[shard].append(safe_batch)
+        self._batchers[shard].acknowledge(safe_batch, now=slot + 1)
+        self._slot[shard] = slot + 1
+        effects: list[Effect] = [effect]  # re-surface for the runner's outputs
+        effects.append(
+            self.log(
+                "shard.decide",
+                shard=shard,
+                slot=slot,
+                kind=kind.value,
+                size=len(safe_batch),
+            )
+        )
+        effects.extend(self._open(shard))
+        return effects
+
+
+@dataclass
+class ShardReport:
+    """Outcome of one sharded-service run.
+
+    ``digest`` is the agreed value — per shard, the ordered tuple of
+    applied batches — from which ``states`` is reconstructed by replay, so
+    the report is identical no matter which engine (in-memory or forked
+    processes) produced it.
+    """
+
+    shards: int
+    engine: str
+    commands: int
+    slots: int
+    duration: float
+    digest: tuple | None
+    divergence: bool
+    per_shard: list[dict[str, Any]]
+    aggregate: dict[str, Any]
+    states: dict[int, dict[str, int]] = field(default_factory=dict)
+    result: Any = None
+
+    @property
+    def throughput(self) -> float:
+        """Applied commands per time unit (virtual on sim, wall on net)."""
+        return self.commands / self.duration if self.duration else 0.0
+
+
+class ShardedService:
+    """Frontend: run a client stream through the sharded consensus service.
+
+    Args:
+        n: replica count.
+        t: failure bound (default: the frequency pair's max, ``(n-1)//6``).
+        shards: shard count.
+        max_batch, max_wait: per-shard batch bounds.
+        contention: per-slot contention probability.
+        skew: key skew of the workload (``uniform`` / ``zipf``).
+        zipf_alpha: zipf exponent when ``skew == "zipf"``.
+        keyspace: distinct keys in the workload.
+        rate: open-loop arrivals per slot tick (``None`` = closed loop).
+        faults: fault spec per faulty replica (validated by the
+            :class:`~repro.engine.faults.FaultPlane`, as everywhere).
+        seed: master seed — engine scheduling, workload and contention
+            coins all derive from it.
+        engine: any of the harness engines (``sim``/``asyncio``/``net``…).
+        uc_step_cost: causal step cost of the oracle UC (feeds the
+            per-slot step accounting of the metrics).
+        net_jitter: hub jitter model on the socket engine
+            (``"uniform"`` or ``"lognormal"``).
+        event_sink: optional extra sink receiving the run's event stream.
+    """
+
+    def __init__(
+        self,
+        n: int = 7,
+        t: int | None = None,
+        shards: int = 2,
+        max_batch: int = 4,
+        max_wait: int = 2,
+        contention: float = 0.0,
+        skew: str = "uniform",
+        zipf_alpha: float = 1.2,
+        keyspace: int = 32,
+        rate: int | None = None,
+        faults: Mapping[ProcessId, Fault] | None = None,
+        seed: int = 0,
+        engine: str = "sim",
+        uc_step_cost: int = 2,
+        net_jitter: str = "uniform",
+        event_sink: EventSink | None = None,
+    ) -> None:
+        self.config = SystemConfig(n, t if t is not None else max((n - 1) // 6, 0))
+        if not self.config.satisfies(6):
+            raise ConfigurationError(
+                f"the sharded service deploys DEX (frequency pair): needs "
+                f"n > 6t, got n={n}, t={self.config.t}"
+            )
+        self.shards = shards
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.contention = contention
+        self.skew = skew
+        self.zipf_alpha = zipf_alpha
+        self.keyspace = keyspace
+        self.rate = rate
+        self.seed = seed
+        self.engine = engine
+        self.uc_step_cost = uc_step_cost
+        self.net_jitter = net_jitter
+        self.event_sink = event_sink
+        self._plane = FaultPlane(
+            self.config, faults, failure_model="byzantine", algorithm_name="shard-dex"
+        )
+
+    #: minimal spec handed to fault builders (garbage templates and names).
+    _SPEC = AlgorithmSpec(name="shard-dex", make=lambda *a: None, required_ratio=6)
+
+    def deployment(
+        self, arrivals: Sequence[tuple[int, Command]], sink: EventSink | None
+    ) -> Deployment:
+        """The engine-agnostic deployment: one :class:`ShardNode` per
+        replica (faulty ones wrapped by the plane) plus the shared oracle."""
+        services = {
+            SERVICE_NAME: OracleService(self.config, step_cost=self.uc_step_cost)
+        }
+        protocols: dict[ProcessId, Protocol] = {}
+        for pid in self.config.processes:
+            make_honest = lambda value, pid=pid: ShardNode(  # noqa: E731
+                pid,
+                self.config,
+                self.shards,
+                arrivals,
+                dex_shard_factory(pid, self.config),
+                max_batch=self.max_batch,
+                max_wait=self.max_wait,
+                contention=self.contention,
+                seed=self.seed,
+            )
+            protocols[pid] = self._plane.build(pid, make_honest, None, self._SPEC)
+        self._plane.announce(sink)
+        return Deployment(
+            config=self.config,
+            protocols=protocols,
+            services=services,
+            faulty=frozenset(self._plane.faults),
+            seed=self.seed,
+            event_sink=sink,
+            net_jitter=self.net_jitter,
+        )
+
+    def run(self, count: int = 16, timeout: float = 30.0) -> ShardReport:
+        """Generate the workload, run it on the configured engine, and
+        assemble the per-shard/aggregate report."""
+        arrivals = shard_workload(
+            count,
+            keyspace=self.keyspace,
+            skew=self.skew,
+            zipf_alpha=self.zipf_alpha,
+            rate=self.rate,
+            seed=self.seed,
+        )
+        shard_sink = ShardStreamSink(self.shards, uc_step_cost=self.uc_step_cost)
+        sink = combine(shard_sink, self.event_sink)
+        deployment = self.deployment(arrivals, sink)
+        if self.engine == "net":
+            from ..net.faults import plan_from_plane
+
+            result = deployment.run_net(
+                timeout=timeout, link_plan=plan_from_plane(self._plane)
+            )
+        elif self.engine == "asyncio":
+            result = deployment.run_async(timeout=timeout)
+        else:
+            result = deployment.run(self.engine)
+        divergence = not result.agreement_holds() or not result.correct_decisions
+        undecided = [
+            pid
+            for pid in self.config.processes
+            if pid not in self._plane.faults and pid not in result.correct_decisions
+        ]
+        if undecided:
+            divergence = True
+        digest = result.decided_value if result.correct_decisions else None
+        duration = getattr(result, "wall_seconds", None) or result.end_time
+        commands, slots, states = 0, 0, {}
+        if digest is not None and not divergence:
+            for shard, batches in digest:
+                store = KeyValueStore()
+                for batch in batches:
+                    for command in batch:
+                        store.apply(command)
+                states[shard] = dict(store.data)
+                commands += sum(len(batch) for batch in batches)
+                slots += len(batches)
+        per_shard, aggregate = shard_sink.report(
+            commands_by_shard=(
+                {
+                    shard: sum(len(batch) for batch in batches)
+                    for shard, batches in digest
+                }
+                if digest is not None and not divergence
+                else None
+            ),
+            duration=duration,
+        )
+        return ShardReport(
+            shards=self.shards,
+            engine=self.engine,
+            commands=commands,
+            slots=slots,
+            duration=duration,
+            digest=digest,
+            divergence=divergence,
+            per_shard=per_shard,
+            aggregate=aggregate,
+            states=states,
+            result=result,
+        )

@@ -130,6 +130,7 @@ class TestScenarioDataclass:
         "max_events",
         "engine",
         "event_sink",
+        "net_jitter",
         "config",
     }
 

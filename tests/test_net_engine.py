@@ -52,6 +52,7 @@ from repro.net import (
     LinkPlan,
     NetCluster,
     ProcessCrash,
+    ReorderLink,
     plan_from_plane,
 )
 from repro.types import DecisionKind
@@ -358,4 +359,95 @@ class TestSeedParityOverSockets:
             assert result.decided_value == 1, context
             sim_decided = {int(pid) for pid in rec["decisions"]}
             assert set(result.correct_decisions) == sim_decided, context
+        assert_no_leaks()
+
+
+class TestReorderLink:
+    """Pure reordering: every message arrives exactly once, later."""
+
+    def test_full_probability_delays_within_window(self):
+        plan = LinkPlan(everywhere=[ReorderLink(1.0, window=0.005)])
+        rng = random.Random(0)
+        for _ in range(20):
+            (delay,) = plan.route(0, 1, rng)
+            assert 0.0 <= delay <= 0.005
+
+    def test_zero_probability_passes_immediately(self):
+        plan = LinkPlan(everywhere=[ReorderLink(0.0, window=0.005)])
+        assert plan.route(0, 1, random.Random(0)) == [0.0]
+
+    def test_never_drops_or_duplicates(self):
+        plan = LinkPlan(everywhere=[ReorderLink(0.5, window=0.01)])
+        rng = random.Random(1)
+        for _ in range(50):
+            assert len(plan.route(0, 1, rng)) == 1
+
+    def test_validates_probability_and_window(self):
+        with pytest.raises(ValueError):
+            ReorderLink(1.5)
+        with pytest.raises(ValueError):
+            ReorderLink(0.5, window=0.0)
+
+    def test_describe_names_the_parameters(self):
+        plan = LinkPlan(per_source={2: [ReorderLink(0.7, window=0.004)]})
+        described = plan.describe()
+        assert "ReorderLink" in described[2]
+        assert "p=0.7" in described[2]
+
+
+@pytest.mark.net
+class TestNetReordering:
+    def test_reordering_alone_never_violates_agreement(self):
+        # Aggressive reordering on every link of a *contended* round: the
+        # algorithm is asynchronous, so pure reordering (no loss, no
+        # duplication) must leave agreement and termination intact.
+        scenario = Scenario(dex_freq(), split(1, 2, 7, 3), seed=13)
+        protocols, services = scenario.components()
+        cluster = NetCluster(
+            scenario.config,
+            protocols,
+            services=services,
+            seed=13,
+            link_plan=LinkPlan(everywhere=[ReorderLink(0.7, window=0.004)]),
+        )
+        result = cluster.run(timeout=20.0)
+        assert result.agreement_holds()
+        assert result.all_correct_decided()
+        assert result.decided_value in (1, 2)
+        assert_no_leaks()
+
+
+@pytest.mark.net
+class TestDeliveryBatching:
+    def test_batched_mode_decides_identically_with_fewer_frames(self):
+        # Coalescing co-scheduled deliveries into MsgDeliverBatch frames
+        # must be invisible to the protocol: same decision either way.
+        # (Exact message *counts* are wall-clock dependent — nodes keep
+        # gossiping until the hub winds the run down — so the frame
+        # assertion is a strict ordering, not a ratio.)
+        results = {}
+        for batched in (False, True):
+            result = Scenario(
+                dex_freq(), unanimous(1, 7), seed=21, engine="net"
+            ).run_net(timeout=20.0, batch_deliveries=batched)
+            assert result.all_correct_decided()
+            assert result.decided_value == 1
+            results[batched] = result
+        # unbatched: one hub frame per delivered message (plus control).
+        assert results[False].hub_frames >= results[False].stats.messages_delivered
+        # batched: co-scheduled deliveries coalesce, far fewer frames.
+        assert results[True].hub_frames < results[True].stats.messages_delivered
+        assert results[True].hub_frames < results[False].hub_frames
+        assert_no_leaks()
+
+
+@pytest.mark.net
+class TestLognormalJitter:
+    def test_lognormal_hub_jitter_runs_to_decision(self):
+        result = Scenario(
+            dex_freq(), unanimous(1, 7), seed=6, engine="net",
+            net_jitter="lognormal",
+        ).run()
+        assert result.all_correct_decided()
+        assert result.decided_value == 1
         assert_no_leaks()

@@ -19,6 +19,7 @@ from repro.net.wire import (
     Hello,
     MsgDecide,
     MsgDeliver,
+    MsgDeliverBatch,
     MsgSend,
     Start,
     Stop,
@@ -165,3 +166,35 @@ class TestVersioning:
         decoder = FrameDecoder()
         with pytest.raises(WireError):
             list(decoder.feed(data))
+
+
+class TestDeliverBatch:
+    """Coalesced delivery frames (the hub's delivery-batching path)."""
+
+    def test_batch_roundtrips_preserving_entry_order(self):
+        batch = MsgDeliverBatch(
+            entries=((0, {"v": 1}, 2), (3, (1, "x"), 0), (0, None, 5))
+        )
+        assert decode_all(encode_frame(batch)) == [batch]
+
+    def test_batch_mixed_with_plain_delivers_on_one_stream(self):
+        messages = [
+            MsgDeliver(sender=1, payload="a", depth=0),
+            MsgDeliverBatch(entries=((2, "b", 1), (3, "c", 2))),
+            MsgDeliver(sender=4, payload="d", depth=3),
+        ]
+        data = b"".join(encode_frame(m) for m in messages)
+        assert decode_all(data) == messages
+
+    def test_oversized_batch_raises_frame_too_large(self):
+        # The hub catches this and falls back to per-message frames.
+        huge = MsgDeliverBatch(
+            entries=tuple((0, f"{i}:" + "x" * 1024, 0) for i in range(64))
+        )
+        with pytest.raises(FrameTooLarge):
+            encode_frame(huge, max_frame=4096)
+
+    def test_batch_is_immutable(self):
+        batch = MsgDeliverBatch(entries=((0, "x", 0),))
+        with pytest.raises(Exception):
+            batch.entries = ()

@@ -1,0 +1,405 @@
+"""The sharded multi-consensus service: routing, batching, multiplexing.
+
+Four layers, mirroring :mod:`repro.shard`'s structure:
+
+* pure unit tests for the key→shard mapping and the per-shard batcher;
+* multiplexer tests with stub children, pinning the isolation invariant —
+  two shards' messages never cross instances — and the Byzantine
+  inflation guards;
+* sim-engine service tests: exactly-once application, determinism (same
+  seed → identical applied batches), contention loser re-proposal,
+  open-loop heartbeats, faulty replicas;
+* ``@pytest.mark.net`` cross-engine parity: the same seeded stream
+  decides the *identical* digest on the simulator and over real sockets.
+"""
+
+import pytest
+
+from repro.engine.faults import Silent
+from repro.harness import Scenario, dex_freq
+from repro.runtime.composite import Envelope
+from repro.runtime.effects import Broadcast, Decide, Deliver, Log
+from repro.runtime.protocol import Protocol
+from repro.shard import (
+    INSTANCE_DECIDED_TAG,
+    ShardBatcher,
+    ShardMultiplexer,
+    ShardedService,
+    instance_name,
+    parse_instance,
+    shard_of,
+    shard_workload,
+    step_of_kind,
+)
+from repro.types import DecisionKind, SystemConfig
+from repro.workloads.inputs import unanimous
+
+from .test_net_engine import assert_no_leaks
+
+
+class TestShardOf:
+    def test_stable_across_calls_and_in_range(self):
+        for shards in (1, 2, 4, 7):
+            for key in ("k0", "k1", "x", 42):
+                shard = shard_of(key, shards)
+                assert 0 <= shard < shards
+                assert shard == shard_of(key, shards)
+
+    def test_single_shard_owns_everything(self):
+        assert all(shard_of(f"k{i}", 1) == 0 for i in range(50))
+
+    def test_keyspace_spreads_over_shards(self):
+        owners = {shard_of(f"k{i}", 4) for i in range(64)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_of("k0", 0)
+
+    def test_instance_name_roundtrip(self):
+        assert instance_name(3, 17) == "s3.17"
+        assert parse_instance("s3.17") == (3, 17)
+        assert parse_instance("mux") is None
+        assert parse_instance("s3") is None
+        assert parse_instance("s3.x") is None
+
+
+class TestShardBatcher:
+    def test_size_bound_closes_full_batch(self):
+        batcher = ShardBatcher(max_batch=3, max_wait=5)
+        for j in range(3):
+            batcher.submit(("set", "k", j), now=0)
+        assert batcher.ready(now=0)
+        assert batcher.head_batch() == (("set", "k", 0), ("set", "k", 1), ("set", "k", 2))
+
+    def test_time_bound_closes_aged_partial_batch(self):
+        batcher = ShardBatcher(max_batch=4, max_wait=2)
+        batcher.submit(("set", "k", 0), now=0)
+        assert not batcher.ready(now=0)
+        assert not batcher.ready(now=1)
+        assert batcher.ready(now=2)  # waited max_wait slots
+
+    def test_empty_queue_is_never_ready(self):
+        assert not ShardBatcher().ready(now=100)
+
+    def test_rival_batch_is_shifted_by_one(self):
+        batcher = ShardBatcher(max_batch=2)
+        for j in range(3):
+            batcher.submit(j, now=0)
+        assert batcher.head_batch() == (0, 1)
+        assert batcher.rival_batch() == (1, 2)
+
+    def test_rival_equals_head_when_no_concurrency_possible(self):
+        batcher = ShardBatcher(max_batch=4)
+        batcher.submit(0, now=0)
+        assert batcher.rival_batch() == batcher.head_batch() == (0,)
+
+    def test_acknowledge_removes_decided_keeps_losers(self):
+        batcher = ShardBatcher(max_batch=2, max_wait=0)
+        for j in range(3):
+            batcher.submit(j, now=0)
+        batcher.acknowledge((1, 2), now=1)  # the rival batch won
+        assert batcher.pending == (0,)  # loser stays queued for re-proposal
+
+    def test_acknowledge_ignores_foreign_commands(self):
+        batcher = ShardBatcher()
+        batcher.submit(0, now=0)
+        batcher.acknowledge(("never-queued", 0), now=1)  # Byzantine injection
+        assert len(batcher) == 0
+
+    def test_acknowledge_restarts_wait_clock_of_remainder(self):
+        batcher = ShardBatcher(max_batch=2, max_wait=2)
+        for j in range(3):
+            batcher.submit(j, now=0)
+        batcher.acknowledge((0, 1), now=5)
+        assert not batcher.ready(now=6)  # the survivor's clock restarted at 5
+        assert batcher.ready(now=7)
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            ShardBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            ShardBatcher(max_wait=-1)
+
+
+class _Recorder(Protocol):
+    """Stub consensus instance: records every delivery, broadcasts once."""
+
+    def __init__(self, process_id, config, proposal=None):
+        super().__init__(process_id, config)
+        self.proposal = proposal
+        self.received = []
+
+    def on_start(self):
+        return [Broadcast(("echo", self.proposal))]
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+        return []
+
+
+class _InstantDecider(_Recorder):
+    """Stub instance that decides its proposal immediately on start."""
+
+    def on_start(self):
+        return [Decide(self.proposal, DecisionKind.ONE_STEP)]
+
+    def decide_again(self):
+        return [Decide(("duplicate", self.proposal), DecisionKind.TWO_STEP)]
+
+
+class TestShardMultiplexer:
+    CONFIG = SystemConfig(4, 0)
+
+    def _mux(self, shards=2, factory=None):
+        make = factory or (
+            lambda shard, slot, proposal: _Recorder(0, self.CONFIG, proposal)
+        )
+        return ShardMultiplexer(0, self.CONFIG, make, shards=shards)
+
+    def test_propose_wraps_child_traffic_in_instance_envelope(self):
+        mux = self._mux()
+        effects = mux.propose(0, 0, "a")
+        (broadcast,) = [e for e in effects if isinstance(e, Broadcast)]
+        assert isinstance(broadcast.payload, Envelope)
+        assert broadcast.payload.component == instance_name(0, 0)
+
+    def test_repeated_propose_is_idempotent(self):
+        mux = self._mux()
+        assert mux.propose(1, 0, "a")
+        assert mux.propose(1, 0, "b") == []
+
+    def test_messages_never_cross_instances(self):
+        # The isolation invariant: two shards' (and two slots') envelopes
+        # reach exactly the addressed instance, never a neighbour.
+        mux = self._mux()
+        mux.propose(0, 0, "a")
+        mux.propose(1, 0, "b")
+        mux.propose(0, 1, "c")
+        mux.on_message(2, Envelope(instance_name(0, 0), ("vote", "x")))
+        mux.on_message(3, Envelope(instance_name(1, 0), ("vote", "y")))
+        received = {
+            name: mux.child(name).received
+            for name in (instance_name(0, 0), instance_name(1, 0), instance_name(0, 1))
+        }
+        assert received[instance_name(0, 0)] == [(2, ("vote", "x"))]
+        assert received[instance_name(1, 0)] == [(3, ("vote", "y"))]
+        assert received[instance_name(0, 1)] == []
+
+    def test_remote_envelope_creates_lagging_instance_without_proposal(self):
+        mux = self._mux()
+        mux.on_message(1, Envelope(instance_name(1, 3), ("vote", "z")))
+        child = mux.child(instance_name(1, 3))
+        assert child.proposal is None  # participating, not proposing
+        assert child.received == [(1, ("vote", "z"))]
+
+    def test_shard_inflation_guard_rejects_out_of_range_instances(self):
+        mux = self._mux(shards=2)
+        effects = mux.on_message(1, Envelope("s7.0", ("vote", "evil")))
+        assert "s7.0" not in mux._children
+        assert all(isinstance(e, Log) for e in effects)
+
+    def test_slot_inflation_guard_rejects_huge_slots(self):
+        mux = self._mux()
+        mux.on_message(1, Envelope(instance_name(0, 10_000_000), ("vote", "evil")))
+        assert instance_name(0, 10_000_000) not in mux._children
+
+    def test_first_decide_surfaces_as_tagged_upcall(self):
+        mux = self._mux(
+            factory=lambda shard, slot, proposal: _InstantDecider(
+                0, self.CONFIG, proposal
+            )
+        )
+        effects = mux.propose(1, 2, ("batch",))
+        (upcall,) = [e for e in effects if isinstance(e, Deliver)]
+        assert upcall.tag == INSTANCE_DECIDED_TAG
+        assert upcall.value == (1, 2, ("batch",), DecisionKind.ONE_STEP)
+        assert mux.decided[(1, 2)] == (("batch",), DecisionKind.ONE_STEP)
+
+    def test_duplicate_decides_are_dropped(self):
+        mux = self._mux(
+            factory=lambda shard, slot, proposal: _InstantDecider(
+                0, self.CONFIG, proposal
+            )
+        )
+        mux.propose(0, 0, ("batch",))
+        name = instance_name(0, 0)
+        again = mux.child_call(name, mux.child(name).decide_again())
+        assert again == []
+        assert mux.decided[(0, 0)] == (("batch",), DecisionKind.ONE_STEP)
+
+
+class TestShardWorkload:
+    def test_same_seed_same_stream(self):
+        assert shard_workload(40, seed=9) == shard_workload(40, seed=9)
+        assert shard_workload(40, seed=9) != shard_workload(40, seed=10)
+
+    def test_closed_loop_arrives_at_slot_zero(self):
+        assert all(arrival == 0 for arrival, _ in shard_workload(20, seed=1))
+
+    def test_open_loop_paces_arrivals_by_rate(self):
+        stream = shard_workload(10, rate=3, seed=1)
+        assert [arrival for arrival, _ in stream] == [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]
+
+    def test_values_are_the_command_index(self):
+        stream = shard_workload(5, seed=2)
+        assert [cmd[2] for _, cmd in stream] == [0, 1, 2, 3, 4]
+
+    def test_zipf_concentrates_on_hot_keys(self):
+        counts = {}
+        for _, (_, key, _) in shard_workload(
+            200, keyspace=16, skew="zipf", zipf_alpha=2.0, seed=3
+        ):
+            counts[key] = counts.get(key, 0) + 1
+        # rank-0 weight under alpha=2 is ~63%; uniform would give 12.5/200.
+        assert max(counts.values()) > 50
+
+    def test_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            shard_workload(10, skew="pareto")
+        with pytest.raises(ConfigurationError):
+            shard_workload(10, rate=0)
+        with pytest.raises(ConfigurationError):
+            shard_workload(10, keyspace=0)
+
+
+class TestStepOfKind:
+    def test_fast_paths_cost_one(self):
+        assert step_of_kind(DecisionKind.ONE_STEP) == 1
+        assert step_of_kind(DecisionKind.FAST) == 1
+
+    def test_two_step_costs_two(self):
+        assert step_of_kind(DecisionKind.TWO_STEP) == 2
+
+    def test_underlying_adds_uc_cost(self):
+        assert step_of_kind(DecisionKind.UNDERLYING, uc_step_cost=2) == 4
+        assert step_of_kind(DecisionKind.UNDERLYING, uc_step_cost=5) == 7
+
+
+def _applied_commands(report):
+    return sorted(
+        command
+        for _, batches in report.digest
+        for batch in batches
+        for command in batch
+    )
+
+
+class TestShardedServiceSim:
+    def test_closed_loop_applies_every_command_exactly_once(self):
+        service = ShardedService(n=7, shards=2, seed=3)
+        report = service.run(count=12)
+        assert not report.divergence
+        assert report.commands == 12
+        workload = [cmd for _, cmd in shard_workload(12, seed=3)]
+        assert _applied_commands(report) == sorted(workload)
+
+    def test_states_replay_the_digest(self):
+        report = ShardedService(n=7, shards=2, seed=4).run(count=10)
+        expected = {}
+        for _, (kind, key, value) in shard_workload(10, seed=4):
+            expected.setdefault(shard_of(key, 2), {})[key] = value
+        for shard, state in report.states.items():
+            assert state == expected.get(shard, {})
+
+    def test_shards_partition_the_keyspace(self):
+        report = ShardedService(n=7, shards=4, seed=5).run(count=24)
+        for shard, batches in report.digest:
+            for batch in batches:
+                for _, key, _ in batch:
+                    assert shard_of(key, 4) == shard
+
+    def test_same_seed_identical_digest_under_contention(self):
+        # The shard-tagged determinism claim: same seed → identical applied
+        # batches, even when half the slots are contended.
+        runs = [
+            ShardedService(n=7, shards=2, contention=0.5, seed=5).run(count=16)
+            for _ in range(2)
+        ]
+        assert runs[0].digest == runs[1].digest
+        assert not runs[0].divergence
+
+    def test_full_contention_still_applies_exactly_once(self):
+        report = ShardedService(n=7, shards=2, contention=1.0, seed=6).run(count=12)
+        assert not report.divergence
+        assert report.commands == 12
+        assert _applied_commands(report) == sorted(
+            cmd for _, cmd in shard_workload(12, seed=6)
+        )
+
+    def test_open_loop_heartbeats_terminate_and_drain(self):
+        report = ShardedService(n=7, shards=2, rate=2, seed=7).run(count=10)
+        assert not report.divergence
+        assert report.commands == 10
+        # trickling arrivals force more (smaller or empty) slots than the
+        # closed-loop minimum of ceil(commands_per_shard / max_batch).
+        assert report.slots >= 4
+
+    def test_silent_replica_tolerated(self):
+        report = ShardedService(n=7, shards=2, faults={6: Silent()}, seed=8).run(
+            count=8
+        )
+        assert not report.divergence
+        assert report.commands == 8
+
+    def test_report_metrics_shape(self):
+        report = ShardedService(n=7, shards=2, seed=9).run(count=12)
+        assert len(report.per_shard) == 2
+        for row in report.per_shard:
+            assert row["slots"] >= 1
+            assert row["runs"] == row["slots"]  # one folded stats per slot
+        agg = report.aggregate
+        assert agg["shards"] == 2
+        assert agg["commands"] == 12
+        assert agg["throughput_cmds"] > 0
+        assert 0.0 <= agg["one_step_frac"] <= 1.0
+        assert agg["sends"] > 0 and agg["delivers"] > 0
+
+    def test_uncontended_slots_take_the_one_step_path(self):
+        report = ShardedService(n=7, shards=2, contention=0.0, seed=10).run(count=12)
+        assert report.aggregate["one_step_frac"] == 1.0
+        assert report.aggregate["mean_step"] == 1.0
+
+    def test_sim_and_sync_engines_agree_on_the_digest(self):
+        digests = [
+            ShardedService(n=7, shards=2, contention=0.3, seed=11, engine=engine)
+            .run(count=8)
+            .digest
+            for engine in ("sim", "sync")
+        ]
+        assert digests[0] == digests[1] is not None
+
+    def test_rejects_insufficient_resilience(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="n > 6t"):
+            ShardedService(n=7, t=2)
+
+    def test_shard_scenario_field_reaches_net_run(self):
+        # Scenario grew a net_jitter knob for the shard benchmarks; it must
+        # validate eagerly like engine does.
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown net jitter"):
+            Scenario(dex_freq(), unanimous(1, 7), net_jitter="gamma")
+
+
+@pytest.mark.net
+class TestShardedServiceNet:
+    def test_sim_and_net_decide_identical_batches(self):
+        # Cross-engine determinism over real forked processes: contention 0
+        # keeps proposals timing-independent, so validity pins every batch
+        # and the two engines must produce byte-identical digests.
+        reports = {
+            engine: ShardedService(
+                n=7, shards=2, contention=0.0, seed=11, engine=engine
+            ).run(count=10, timeout=25.0)
+            for engine in ("sim", "net")
+        }
+        assert not reports["sim"].divergence
+        assert not reports["net"].divergence
+        assert reports["sim"].digest == reports["net"].digest is not None
+        assert reports["net"].commands == 10
+        assert_no_leaks()
