@@ -40,6 +40,7 @@ from .harness import (
     AlgorithmSpec,
     Collapse,
     Crash,
+    CrashRecover,
     Equivocate,
     Fault,
     Garbage,
@@ -106,6 +107,13 @@ def _parse_fault(spec: str) -> tuple[int, Fault]:
         if not args:
             raise argparse.ArgumentTypeError("saboteur needs a poison value")
         return pid, Saboteur(args[0])
+    if kind == "recover":
+        if not args:
+            raise argparse.ArgumentTypeError(
+                "recover needs a crash time: pid:recover:at[:restart_after]"
+            )
+        restart = float(args[1]) if len(args) > 1 else None
+        return pid, CrashRecover(at=float(args[0]), restart_after=restart)
     raise argparse.ArgumentTypeError(f"unknown fault kind {kind!r}")
 
 
@@ -132,7 +140,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault", "-f", dest="faults", type=_parse_fault,
                      action="append", default=[],
                      help="pid:kind[:args], repeatable (silent, crash, "
-                          "equivocate, garbage, spoiler, collapse, saboteur)")
+                          "equivocate, garbage, spoiler, collapse, saboteur, "
+                          "recover)")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--runs", type=int, default=1,
                      help="run this many seeds (seed..seed+runs-1) and print "
@@ -181,14 +190,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench",
                            help="benchmarks -> BENCH_hotpath.json / BENCH_net.json "
-                                "/ BENCH_shard.json")
-    bench.add_argument("--workload", choices=["hotpath", "net", "shard"],
+                                "/ BENCH_shard.json / BENCH_recovery.json")
+    bench.add_argument("--workload", choices=["hotpath", "net", "shard", "recovery"],
                        default=None,
                        help="hotpath: simulator micro-benchmarks; net: fast-path "
                             "rate + throughput/latency over real sockets vs sim; "
                             "shard: sharded multi-consensus service sweep "
                             "(throughput/latency/one-step rate vs shard count "
-                            "and key skew)")
+                            "and key skew); recovery: WAL replay latency vs log "
+                            "length, fsync throughput tax, and one socket-engine "
+                            "kill/restart/rejoin cell")
     bench.add_argument("--engine", choices=["hotpath", "net"], default=None,
                        help="compatibility alias for --workload (hotpath/net)")
     bench.add_argument("--repeats", type=int, default=3)
@@ -376,11 +387,18 @@ def _cmd_bench(args) -> int:
         SMOKE_SIZES,
         write_hotpath_bench,
         write_net_bench,
+        write_recovery_bench,
         write_shard_bench,
     )
 
     workload = args.workload or args.engine or "hotpath"
-    if workload == "shard":
+    if workload == "recovery":
+        path = write_recovery_bench(
+            out=args.out,
+            repeats=args.repeats,
+            smoke=args.smoke,
+        )
+    elif workload == "shard":
         runs = 3 if args.runs == 10 else args.runs  # net-oriented default
         path = write_shard_bench(
             out=args.out,

@@ -1,0 +1,105 @@
+"""Atomic-rename snapshots: compaction for the write-ahead log.
+
+A snapshot captures one :class:`~repro.shard.service.ShardNode`'s durable
+state — the per-shard slot frontier, the ordered applied-batch history
+(the material of the digest-of-applied-batches decision), and the KV
+contents — at a point where every WAL record at or before it is
+redundant.  Writing one lets :meth:`~repro.durable.recovery.
+NodeDurability.maybe_snapshot` reset the log, bounding replay length.
+
+Crash safety is the classic two-step: serialize into ``snapshot.tmp``,
+flush (and optionally fsync), then ``os.replace`` onto ``snapshot.bin``.
+``os.replace`` is atomic on POSIX, so a reader observes either the old
+complete snapshot or the new complete snapshot, never a torn hybrid — a
+crash mid-write loses at most the *new* snapshot, and the WAL records it
+would have compacted are still on disk.  The payload carries the same
+``length | crc32`` header as a WAL record, so a corrupt snapshot is
+detected and ignored (recovery then falls back to genesis + full log
+replay) instead of poisoning the restarted node.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = ["ShardSnapshot", "SnapshotStore", "SNAPSHOT_NAME"]
+
+#: File names inside a node's durability directory.
+SNAPSHOT_NAME = "snapshot.bin"
+SNAPSHOT_TMP = "snapshot.tmp"
+
+_HEADER = struct.Struct("!II")
+
+
+@dataclass(frozen=True)
+class ShardSnapshot:
+    """Point-in-time durable state of one sharded replica.
+
+    Attributes:
+        slots: next undecided slot per shard (the frontier).
+        applied: ordered applied batches per shard — index = slot; this is
+            the *full* history because the replica's top-level decision is
+            the digest over it.
+        kv: per-shard key→value contents at the frontier (redundant with
+            ``applied``, kept as a cheap cross-check for tests and tools).
+        seq: monotone snapshot counter (0 = never snapshotted).
+    """
+
+    slots: dict[int, int] = field(default_factory=dict)
+    applied: dict[int, tuple] = field(default_factory=dict)
+    kv: dict[int, dict[str, int]] = field(default_factory=dict)
+    seq: int = 0
+
+
+class SnapshotStore:
+    """Reads and atomically writes one node's snapshot file.
+
+    Args:
+        directory: the node's durability directory (must exist).
+        fsync: flush the temp file to stable storage before the rename.
+    """
+
+    def __init__(self, directory: str, fsync: bool = False) -> None:
+        self.directory = directory
+        self.fsync = fsync
+        self.path = os.path.join(directory, SNAPSHOT_NAME)
+        self._tmp = os.path.join(directory, SNAPSHOT_TMP)
+
+    def save(self, snapshot: ShardSnapshot) -> None:
+        """Write ``snapshot`` atomically (write temp → flush → rename)."""
+        payload = pickle.dumps(snapshot, pickle.HIGHEST_PROTOCOL)
+        blob = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        with open(self._tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        os.replace(self._tmp, self.path)
+
+    def load(self) -> ShardSnapshot | None:
+        """The last complete snapshot, or ``None``.
+
+        Missing, truncated, CRC-failing and unpicklable files all return
+        ``None`` — recovery falls back to genesis + log replay rather than
+        trusting a damaged snapshot.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                data = fh.read()
+        except OSError:
+            return None
+        if len(data) < _HEADER.size:
+            return None
+        length, crc = _HEADER.unpack_from(data)
+        payload = data[_HEADER.size : _HEADER.size + length]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            return None
+        try:
+            snapshot = pickle.loads(payload)
+        except Exception:
+            return None
+        return snapshot if isinstance(snapshot, ShardSnapshot) else None

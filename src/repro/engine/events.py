@@ -30,6 +30,7 @@ __all__ = [
     "ServiceEvent",
     "FaultEvent",
     "LogEvent",
+    "RestartEvent",
     "RoundEvent",
     "EventSink",
     "EventLog",
@@ -106,6 +107,15 @@ class LogEvent(RunEvent):
 
     event: str
     data: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class RestartEvent(RunEvent):
+    """``pid`` came back from a crash-recovery restart (``node.restart``):
+    the process is live again with a freshly built protocol instance and
+    is about to replay and rejoin."""
+
+    detail: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -217,6 +227,7 @@ class EventStats(EventSink):
         self.delivers = 0
         self.service_calls = 0
         self.fault_activations = 0
+        self.restarts = 0
         self.decide_steps: dict[ProcessId, int] = {}
         self.decide_kinds: dict[Any, int] = {}
         self.decide_times: dict[ProcessId, float] = {}
@@ -230,6 +241,8 @@ class EventStats(EventSink):
             self.service_calls += 1
         elif isinstance(event, FaultEvent):
             self.fault_activations += 1
+        elif isinstance(event, RestartEvent):
+            self.restarts += 1
         elif isinstance(event, DecideEvent):
             if event.pid not in self.decide_steps:
                 self.decide_steps[event.pid] = event.step

@@ -37,6 +37,7 @@ __all__ = [
     "Fault",
     "Silent",
     "Crash",
+    "CrashRecover",
     "Equivocate",
     "Garbage",
     "Spoiler",
@@ -44,6 +45,8 @@ __all__ = [
     "Saboteur",
     "Custom",
     "FaultPlane",
+    "RestartPlan",
+    "restart_plans",
 ]
 
 
@@ -99,6 +102,55 @@ class Crash(Fault):
 
     def describe(self) -> str:
         return f"budget={self.budget}"
+
+
+class CrashRecover(Fault):
+    """Crash at time ``at``, then (optionally) restart and rejoin.
+
+    The crash-*recovery* fault class: unlike :class:`Crash`, which kills a
+    process forever, the process comes back ``restart_after`` time units
+    later with a freshly built protocol instance.  What the restarted
+    instance remembers is the protocol's business — an in-memory protocol
+    restarts amnesiac, a :class:`~repro.shard.service.ShardNode` with a
+    :class:`~repro.durable.recovery.NodeDurability` replays its snapshot
+    and WAL, then catches missed slots up from peers.
+
+    Until the crash fires the process runs fully honestly, so ``build``
+    simply returns the honest protocol; the *scheduling* of the kill and
+    the relaunch is engine work (the sim queue's ``crash``/``restart``
+    events, the net cluster's timed SIGKILL + re-fork), driven by the
+    :class:`RestartPlan` projection below.
+
+    Args:
+        at: engine time of the kill (virtual seconds on the simulator,
+            wall-clock seconds after Start on the net engine).
+        restart_after: delay from kill to relaunch; ``None`` means the
+            process stays down (pure timed crash-stop).
+    """
+
+    model = "crash"
+
+    def __init__(self, at: float, restart_after: float | None = None) -> None:
+        if at < 0:
+            raise ConfigurationError("CrashRecover.at must be non-negative")
+        if restart_after is not None and restart_after < 0:
+            raise ConfigurationError(
+                "CrashRecover.restart_after must be non-negative"
+            )
+        self.at = at
+        self.restart_after = restart_after
+
+    @property
+    def recovers(self) -> bool:
+        return self.restart_after is not None
+
+    def build(self, pid, config, make_honest, value, spec) -> Protocol:
+        return make_honest(value)
+
+    def describe(self) -> str:
+        if self.restart_after is None:
+            return f"at={self.at}"
+        return f"at={self.at} restart_after={self.restart_after}"
 
 
 class Equivocate(Fault):
@@ -304,3 +356,50 @@ class FaultPlane:
             sink.emit(
                 FaultEvent(time, pid, fault=type(fault).__name__, detail=fault.describe())
             )
+
+    def recovering(self) -> frozenset[ProcessId]:
+        """Processes that crash but come back (``CrashRecover`` with a
+        restart) — engines wait for their decisions and agreement checks
+        include them, unlike crash-stop faulty processes."""
+        return frozenset(
+            pid
+            for pid, fault in self.faults.items()
+            if isinstance(fault, CrashRecover) and fault.recovers
+        )
+
+
+class RestartPlan:
+    """One process's kill/relaunch schedule, projected off the fault plane.
+
+    Args:
+        at: engine time of the kill (``None`` = no scheduled kill; the
+            plan only supplies the relaunch ``factory``, e.g. for chaos
+            :class:`~repro.net.faults.ProcessCrash` restarts).
+        restart_after: kill-to-relaunch delay (``None`` = stays down).
+        factory: zero-argument builder of the restarted protocol instance
+            — called *at restart time* (in the restarted child process on
+            the net engine), so a durable protocol scans its disk state
+            inside the factory.
+    """
+
+    def __init__(
+        self,
+        at: float | None,
+        restart_after: float | None,
+        factory: Callable[[], Protocol],
+    ) -> None:
+        self.at = at
+        self.restart_after = restart_after
+        self.factory = factory
+
+
+def restart_plans(
+    plane: FaultPlane, factory_for: Callable[[ProcessId], Callable[[], Protocol]]
+) -> dict[ProcessId, RestartPlan]:
+    """The engine-facing restart schedule for a plane's ``CrashRecover``
+    faults.  ``factory_for(pid)`` supplies the relaunch builder."""
+    plans: dict[ProcessId, RestartPlan] = {}
+    for pid, fault in plane.faults.items():
+        if isinstance(fault, CrashRecover):
+            plans[pid] = RestartPlan(fault.at, fault.restart_after, factory_for(pid))
+    return plans

@@ -45,15 +45,18 @@ from .engine.events import EventSink
 from .engine.faults import (
     Collapse,
     Crash,
+    CrashRecover,
     Custom,
     Equivocate,
     Fault,
     FaultPlane,
     Garbage,
     HonestFactory,
+    RestartPlan,
     Saboteur,
     Silent,
     Spoiler,
+    restart_plans,
 )
 from .errors import ConfigurationError
 from .runtime.composite import Envelope
@@ -90,12 +93,15 @@ __all__ = [
     "FaultPlane",
     "Silent",
     "Crash",
+    "CrashRecover",
     "Equivocate",
     "Garbage",
     "Spoiler",
     "Collapse",
     "Saboteur",
     "Custom",
+    "RestartPlan",
+    "restart_plans",
 ]
 
 
@@ -322,6 +328,14 @@ class Deployment:
         event_sink: receives the structured run events of any backend.
         net_jitter: hub jitter model on the socket engine — ``"uniform"``
             (bounded) or ``"lognormal"`` (long-tailed), both seeded.
+        restarts: per-pid :class:`~repro.engine.faults.RestartPlan`
+            crash-recovery schedules (kill at ``at``, relaunch
+            ``restart_after`` later with a freshly built protocol).
+            Honored by the ``"sim"`` and ``"net"`` engines; the others
+            reject a deployment that carries one.
+        durability: optional :class:`~repro.durable.DurabilityConfig`
+            carried for protocols that persist (the sharded service);
+            stateless consensus protocols ignore it.
     """
 
     config: SystemConfig
@@ -335,12 +349,21 @@ class Deployment:
     max_events: int | None = None
     event_sink: EventSink | None = None
     net_jitter: str = "uniform"
+    restarts: dict[ProcessId, RestartPlan] = field(default_factory=dict)
+    durability: Any = None
 
     def __post_init__(self) -> None:
         if self.net_jitter not in NET_JITTERS:
             raise ConfigurationError(
                 f"unknown net jitter {self.net_jitter!r} "
                 f"(one of: {', '.join(NET_JITTERS)})"
+            )
+
+    def _reject_restarts(self, engine: str) -> None:
+        if self.restarts:
+            raise ConfigurationError(
+                f"the {engine!r} engine does not support crash-recovery "
+                "restarts; run on 'sim' or 'net'"
             )
 
     def run(self, engine: str = "sim", **kwargs: Any):
@@ -374,6 +397,7 @@ class Deployment:
             seed=self.seed,
             trace=self.trace,
             event_sink=self.event_sink,
+            restarts=self.restarts,
             **kwargs,
         )
 
@@ -383,6 +407,7 @@ class Deployment:
 
     def run_sync(self) -> RunResult:
         """Run on the deterministic lockstep-round backend."""
+        self._reject_restarts("sync")
         from .sim.synchronous import LockstepSimulation
 
         return LockstepSimulation(
@@ -398,6 +423,7 @@ class Deployment:
     def run_mc(self) -> RunResult:
         """Run the model checker's state machine on its FIFO baseline
         schedule and repackage the outcome as a :class:`RunResult`."""
+        self._reject_restarts("mc")
         from .mc.state import McSystem
         from .sim.trace import Tracer
         from .types import Decision, RunStats
@@ -438,6 +464,7 @@ class Deployment:
     def run_async(self, timeout: float = 30.0, mean_delay: float = 0.001):
         """Run on the asyncio runtime; returns an
         :class:`~repro.runtime.asyncio_runner.AsyncRunResult`."""
+        self._reject_restarts("asyncio")
         from .runtime.asyncio_runner import AsyncioRunner
 
         runner = AsyncioRunner(
@@ -475,6 +502,7 @@ class Deployment:
             link_plan=link_plan,
             jitter=self.net_jitter,
             batch_deliveries=batch_deliveries,
+            restarts=self.restarts,
         )
         return cluster.run(timeout)
 
@@ -514,6 +542,14 @@ class Scenario:
             ``"net"`` (one OS process per node over real sockets).
         event_sink: optional :class:`~repro.engine.events.EventSink`
             receiving the structured run events of any backend.
+        durability: optional :class:`~repro.durable.DurabilityConfig`.
+            Consensus algorithms hold no replicated state machine, so a
+            plain scenario only carries it through to the deployment
+            (state-machine frontends like the sharded service consume it);
+            what it *does* change here is the restart semantics of a
+            :class:`CrashRecover` fault — the restarted protocol instance
+            is rebuilt by the algorithm factory either way, amnesiac
+            without durable state to replay.
     """
 
     algorithm: AlgorithmSpec
@@ -530,6 +566,7 @@ class Scenario:
     engine: str = "sim"
     event_sink: EventSink | None = None
     net_jitter: str = "uniform"
+    durability: Any = None
     #: derived in ``__post_init__`` — not an init arg, ignored by clones.
     config: SystemConfig = field(init=False, repr=False, compare=False)
 
@@ -593,15 +630,36 @@ class Scenario:
         self._plane.announce(self.event_sink)
         return protocols, services
 
+    def _restart_factory(self, pid: ProcessId) -> Callable[[], Protocol]:
+        """The relaunch builder for one ``CrashRecover`` pid: a fresh honest
+        instance of the algorithm (amnesiac — consensus protocols keep no
+        durable state; called in the restarted worker on the net engine)."""
+
+        def factory() -> Protocol:
+            uc_factory, _ = self._uc_factory_and_services()
+            return self.algorithm.make(
+                pid, self.config, self.inputs[pid], uc_factory
+            )
+
+        return factory
+
     def deployment(self) -> Deployment:
         """Wire the protocols/services into an engine-agnostic
-        :class:`Deployment` (builds fresh protocol instances each call)."""
+        :class:`Deployment` (builds fresh protocol instances each call).
+
+        ``CrashRecover`` faults become :class:`RestartPlan` entries, and a
+        recovering pid is *excluded* from the deployment's faulty set: the
+        engines wait for its (post-restart) decision and the agreement
+        checks quantify over it — recovery means rejoining the correct
+        set, not leaving it.
+        """
         protocols, services = self.components()
+        restarts = restart_plans(self._plane, self._restart_factory)
         return Deployment(
             config=self.config,
             protocols=protocols,
             services=services,
-            faulty=frozenset(self.faults),
+            faulty=frozenset(self.faults) - self._plane.recovering(),
             seed=self.seed,
             trace=self.trace,
             latency=self.latency,
@@ -609,6 +667,8 @@ class Scenario:
             max_events=self.max_events,
             event_sink=self.event_sink,
             net_jitter=self.net_jitter,
+            restarts=restarts,
+            durability=self.durability,
         )
 
     def build(self) -> Simulation:

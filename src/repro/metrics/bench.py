@@ -465,6 +465,198 @@ def write_shard_bench(
     return path
 
 
+# -- recovery bench (the E20 axis) ----------------------------------------------------
+
+#: WAL lengths (decided slots) of the replay-latency sweep.
+RECOVERY_LOG_LENGTHS = (64, 256, 1024)
+
+
+def run_recovery_bench(
+    log_lengths: Sequence[int] = RECOVERY_LOG_LENGTHS,
+    fsync_records: int = 512,
+    repeats: int = 3,
+    snapshot_every: int = 64,
+    net_cell: bool = True,
+    net_count: int = 48,
+    timeout: float = 45.0,
+) -> dict[str, Any]:
+    """The E20 sweep: durability cost and crash-recovery latency.
+
+    Three groups:
+
+    * **replay** — wall-clock cost of :meth:`~repro.durable.recovery.
+      NodeDurability.recover` versus WAL length, with snapshots off (full
+      log replay) and on (snapshot bounds the tail) — the knob that turns
+      O(history) restart into O(snapshot interval);
+    * **fsync** — WAL append throughput with ``fsync`` off (flush to the
+      OS) versus on (force to the platter), the classic durability tax;
+    * **net** (optional) — one seeded socket-engine run where a replica is
+      SIGKILLed mid-run and relaunched: end-to-end recovery latency from
+      the ``node.restart`` event to its ``recovery.caught_up``, plus the
+      run's divergence verdict.
+    """
+    import shutil
+    import tempfile
+
+    from ..durable.recovery import DurabilityConfig
+    from ..durable.wal import DecideRecord, WriteAheadLog
+
+    def one_batch(slot: int) -> tuple:
+        return (("set", f"k{slot % 8}", slot),)
+
+    replay: list[dict[str, Any]] = []
+    for length in log_lengths:
+        for snap in (0, snapshot_every):
+            root = tempfile.mkdtemp(prefix="repro-bench-recovery-")
+            try:
+                config = DurabilityConfig(root, snapshot_every=snap)
+                writer = config.node(0)
+                slots = {0: 0}
+                applied: dict[int, list[tuple]] = {0: []}
+                kv: dict[int, dict[str, int]] = {0: {}}
+                for slot in range(length):
+                    batch = one_batch(slot)
+                    writer.commit(0, slot, batch, "one-step")
+                    applied[0].append(batch)
+                    kv[0][batch[0][1]] = batch[0][2]
+                    slots[0] = slot + 1
+                    writer.maybe_snapshot(slots, applied, kv)
+                writer.close()
+
+                def recover_once() -> None:
+                    reader = config.node(0)
+                    state = reader.recover(1)
+                    reader.close()
+                    assert state is not None and state.slots[0] == length
+
+                seconds = _best_of(repeats, recover_once)
+                probe = config.node(0)
+                state = probe.recover(1)
+                probe.close()
+                replay.append(
+                    {
+                        "log_length": length,
+                        "snapshot_every": snap,
+                        "recover_seconds": round(seconds, 6),
+                        "replayed_records": state.replayed_records,
+                        "from_snapshot": state.from_snapshot,
+                    }
+                )
+            finally:
+                shutil.rmtree(root, ignore_errors=True)
+
+    fsync_rows: list[dict[str, Any]] = []
+    for fsync in (False, True):
+        root = tempfile.mkdtemp(prefix="repro-bench-wal-")
+        try:
+            def append_all() -> None:
+                wal = WriteAheadLog(
+                    pathlib.Path(root) / f"wal-{fsync}.log", fsync=fsync
+                )
+                for slot in range(fsync_records):
+                    wal.append(DecideRecord(0, slot, "one-step"))
+                wal.reset()
+                wal.close()
+
+            seconds = _best_of(repeats, append_all)
+            fsync_rows.append(
+                {
+                    "fsync": fsync,
+                    "records": fsync_records,
+                    "seconds": round(seconds, 6),
+                    "records_per_second": round(fsync_records / seconds, 1)
+                    if seconds
+                    else None,
+                }
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    net: dict[str, Any] | None = None
+    if net_cell:
+        from ..durable.recovery import DurabilityConfig as _Config
+        from ..engine.events import EventLog, RestartEvent
+        from ..engine.faults import CrashRecover
+        from ..shard.service import ShardedService
+
+        root = tempfile.mkdtemp(prefix="repro-bench-recovery-net-")
+        try:
+            log = EventLog()
+            service = ShardedService(
+                n=7,
+                shards=4,
+                seed=3,
+                rate=8,
+                engine="net",
+                faults={2: CrashRecover(at=0.05, restart_after=0.3)},
+                durability=_Config(root, snapshot_every=4),
+                event_sink=log,
+            )
+            started = time.perf_counter()
+            report = service.run(count=net_count, timeout=timeout)
+            wall = time.perf_counter() - started
+            restarted_at = caught_up_at = None
+            for event in log.events:
+                if isinstance(event, RestartEvent) and event.pid == 2:
+                    restarted_at = event.time
+                elif (
+                    getattr(event, "event", None) == "recovery.caught_up"
+                    and event.pid == 2
+                ):
+                    caught_up_at = event.time
+            net = {
+                "count": net_count,
+                "divergence": report.divergence,
+                "commands": report.commands,
+                "wall_seconds": round(wall, 4),
+                "restarted_at": restarted_at,
+                "caught_up_at": caught_up_at,
+                "recovery_seconds": (
+                    round(caught_up_at - restarted_at, 4)
+                    if restarted_at is not None and caught_up_at is not None
+                    else None
+                ),
+            }
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "benchmark": "recovery",
+        "commit": _commit_hash(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": time.time(),
+        "replay": replay,
+        "fsync": fsync_rows,
+        "net": net,
+    }
+
+
+def write_recovery_bench(
+    out: pathlib.Path | str | None = None,
+    log_lengths: Sequence[int] = RECOVERY_LOG_LENGTHS,
+    repeats: int = 3,
+    smoke: bool = False,
+) -> pathlib.Path:
+    """Run the recovery bench and persist ``BENCH_recovery.json``.
+
+    ``smoke`` shrinks it (one short log, one repeat, smaller net stream)
+    to CI scale.
+    """
+    if smoke:
+        report = run_recovery_bench(
+            log_lengths=(32,), fsync_records=64, repeats=1, net_count=24
+        )
+    else:
+        report = run_recovery_bench(log_lengths=log_lengths, repeats=repeats)
+    if out is None:
+        out = pathlib.Path("benchmarks") / "results" / "BENCH_recovery.json"
+    path = pathlib.Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
 def write_hotpath_bench(
     out: pathlib.Path | str | None = None,
     sizes: Sequence[int] = DEFAULT_SIZES,

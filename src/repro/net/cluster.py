@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..engine.events import EventSink
+from ..engine.faults import RestartPlan
 from ..engine.interpreter import dispatch_service_call
 from ..errors import SimulationError
 from ..runtime.asyncio_runner import AsyncRunResult
@@ -137,6 +138,16 @@ class NetCluster:
         chaos: *unannounced* per-pid :class:`~repro.net.faults.
             ProcessCrash` specs — invisible to ``faulty`` on purpose.
         connect_timeout: how long to wait for all workers to dial in.
+        restarts: per-pid :class:`~repro.engine.faults.RestartPlan` crash-
+            recovery schedules — a timed SIGKILL at ``plan.at`` seconds
+            after Start and (when ``plan.restart_after`` is set) a
+            re-fork that many seconds later.  The restarted worker builds
+            its protocol *in the child* via ``plan.factory``, dials the
+            hub, and is re-authenticated by its Hello exactly like an
+            initial connection.  A chaos :class:`~repro.net.faults.
+            ProcessCrash` with ``restart_after`` set relaunches the same
+            way when its EOF is noticed (using the plan's factory when
+            one exists, an amnesiac re-fork otherwise).
     """
 
     def __init__(
@@ -156,6 +167,7 @@ class NetCluster:
         connect_timeout: float = 10.0,
         jitter: str = "uniform",
         batch_deliveries: bool = True,
+        restarts: Mapping[ProcessId, RestartPlan] | None = None,
     ) -> None:
         if set(protocols) != set(config.processes):
             raise SimulationError(
@@ -208,6 +220,15 @@ class NetCluster:
         self._heap: list[tuple[float, int, ProcessId, ProcessId, Any, int]] = []
         self._seq = 0
         self._uds_dir: str | None = None
+        # crash-recovery lifecycle state
+        self.restarts = dict(restarts or {})
+        self._children: dict[ProcessId, Any] = {}
+        self._family: int | None = None
+        self._address: Any = None
+        self._kills: list[tuple[float, ProcessId]] = []
+        self._relaunches: list[tuple[float, ProcessId]] = []
+        self._pending_restart: set[ProcessId] = set()
+        self._running = False
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -243,7 +264,100 @@ class NetCluster:
             )
             proc.start()
             children[pid] = proc
+        self._children = children
         return children
+
+    # -- crash-recovery lifecycle ----------------------------------------------------
+
+    def _service_restarts(self, now: float) -> None:
+        """Fire every due scheduled kill and every due relaunch."""
+        while self._kills and self._kills[0][0] <= now:
+            _, pid = heapq.heappop(self._kills)
+            self._kill_node(pid)
+        while self._relaunches and self._relaunches[0][0] <= now:
+            _, pid = heapq.heappop(self._relaunches)
+            self._relaunch(pid)
+
+    def _kill_node(self, pid: ProcessId) -> None:
+        """SIGKILL one worker mid-run (the CrashRecover timed crash)."""
+        proc = self._children.get(pid)
+        if proc is not None and proc.is_alive():
+            proc.kill()
+            proc.join(timeout=2.0)
+        self.events.fault(pid, "CrashRecover", "killed")
+        plan = self.restarts.get(pid)
+        if plan is not None and plan.restart_after is not None:
+            # Register the relaunch *before* _mark_dead so the EOF path
+            # cannot double-schedule it.
+            self._pending_restart.add(pid)
+            heapq.heappush(
+                self._relaunches, (time.monotonic() + plan.restart_after, pid)
+            )
+        self._mark_dead(pid)
+
+    def _relaunch(self, pid: ProcessId) -> None:
+        """Re-fork one worker; its Hello re-authenticates the link."""
+        if self._family is None:
+            return
+        plan = self.restarts.get(pid)
+        ctx = multiprocessing.get_context("fork")
+        if plan is not None:
+            # Build in the child: a durable protocol scans its WAL and
+            # snapshot on construction, *after* the crash mutated them.
+            args = (pid, None, self._family, self._address)
+            kwargs: dict[str, Any] = {"build": plan.factory}
+        else:
+            # Amnesiac chaos restart: the parent's pristine instance.
+            args = (pid, self.protocols[pid], self._family, self._address)
+            kwargs = {}
+        proc = ctx.Process(
+            target=node_main,
+            args=args,
+            kwargs={
+                "codec": self.codec,
+                "max_frame": self.max_frame,
+                **kwargs,
+            },
+            daemon=True,
+            name=f"repro-net-node-{pid}-r",
+        )
+        proc.start()
+        self._children[pid] = proc
+
+    def _accept_restart(self, listener: socket.socket) -> None:
+        """Accept one connection mid-run; register it if it is a restarted
+        worker's Hello, drop anything else."""
+        try:
+            sock, _ = listener.accept()
+        except (TimeoutError, OSError):
+            return
+        sock.settimeout(1.0)
+        if self.transport == "tcp":
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        decoder = FrameDecoder(self.max_frame)
+        try:
+            data = sock.recv(4096)
+        except (TimeoutError, OSError):
+            sock.close()
+            return
+        if data:
+            for msg in decoder.feed(data):
+                if isinstance(msg, Hello) and msg.pid in self._pending_restart:
+                    self._register_restarted(msg.pid, sock, decoder)
+                    return
+        sock.close()
+
+    def _register_restarted(
+        self, pid: ProcessId, sock: socket.socket, decoder: FrameDecoder
+    ) -> None:
+        self._pending_restart.discard(pid)
+        self._dead.discard(pid)
+        conn = _Conn(pid, sock, decoder)
+        self._conns[pid] = conn
+        if self._selector is not None:
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+        self.events.restart(pid)
+        self._write(pid, Start())
 
     def _accept_all(self, listener: socket.socket) -> None:
         """Accept connections and read Hellos until every node dialed in
@@ -309,7 +423,7 @@ class NetCluster:
         if pid in self._dead:
             return
         self._dead.add(pid)
-        conn = self._conns.get(pid)
+        conn = self._conns.pop(pid, None)
         if conn is not None:
             if self._selector is not None:
                 try:
@@ -320,6 +434,16 @@ class NetCluster:
                 conn.sock.close()
             except OSError:
                 pass
+        # Chaos recovery: an *unannounced* ProcessCrash with a restart
+        # delay relaunches once its EOF is noticed (scheduled CrashRecover
+        # kills register their relaunch in _kill_node before reaching here).
+        if self._running and pid not in self._pending_restart:
+            spec = self.chaos.get(pid)
+            if spec is not None and spec.restart_after is not None:
+                self._pending_restart.add(pid)
+                heapq.heappush(
+                    self._relaunches, (time.monotonic() + spec.restart_after, pid)
+                )
 
     def _jitter(self) -> float:
         if self._lognormal is not None:
@@ -433,6 +557,8 @@ class NetCluster:
         outstanding frames are drained before its EOF is observed."""
         if self._heap:
             return False
+        if self._pending_restart or self._kills or self._relaunches:
+            return False  # a scheduled kill or a rejoin can still make progress
         return all(
             pid in self._dead
             for pid in self.config.processes
@@ -448,6 +574,7 @@ class NetCluster:
         start = time.monotonic()
         self._clock.start()
         listener, family, address = self._make_listener()
+        self._family, self._address = family, address
         children = self._spawn(family, address)
         timed_out = False
         try:
@@ -455,26 +582,41 @@ class NetCluster:
             for pid, crash in sorted(self.chaos.items()):
                 self.events.fault(pid, "ProcessCrash", f"after={crash.after}")
             self._selector = selectors.DefaultSelector()
+            self._selector.register(listener, selectors.EVENT_READ, None)
             for conn in self._conns.values():
                 self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+            started = time.monotonic()
             for pid in self._conns:
                 self._write(pid, Start())
+            for pid, plan in sorted(self.restarts.items()):
+                if plan.at is not None:
+                    heapq.heappush(self._kills, (started + plan.at, pid))
+            self._running = True
             deadline = start + timeout
             while not self._all_correct_decided():
                 now = time.monotonic()
                 if now >= deadline:
                     timed_out = True
                     break
+                self._service_restarts(now)
                 if self._stalled():
                     timed_out = True
                     break
                 wait = deadline - now
                 if self._heap:
                     wait = min(wait, max(self._heap[0][0] - now, 0.0))
+                if self._kills:
+                    wait = min(wait, max(self._kills[0][0] - now, 0.0))
+                if self._relaunches:
+                    wait = min(wait, max(self._relaunches[0][0] - now, 0.0))
                 for key, _ in self._selector.select(min(wait, 0.05)):
-                    self._pump(key.data)
+                    if key.data is None:
+                        self._accept_restart(listener)
+                    else:
+                        self._pump(key.data)
                 self._deliver_due(time.monotonic())
         finally:
+            self._running = False
             self._shutdown(listener)
             exit_codes = self._reap(children)
         return NetRunResult(

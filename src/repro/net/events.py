@@ -26,6 +26,7 @@ from ..engine.events import (
     FaultEvent,
     LogEvent,
     OutputEvent,
+    RestartEvent,
     SendEvent,
     ServiceEvent,
 )
@@ -88,3 +89,7 @@ class HubEvents:
     def fault(self, pid: ProcessId, fault: str, detail: str = "") -> None:
         if self.sink is not None:
             self.sink.emit(FaultEvent(self.clock.now(), pid, fault, detail))
+
+    def restart(self, pid: ProcessId, detail: str = "") -> None:
+        if self.sink is not None:
+            self.sink.emit(RestartEvent(self.clock.now(), pid, detail))

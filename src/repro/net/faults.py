@@ -256,10 +256,17 @@ class ProcessCrash:
     is invisible to the fault plane: the dead pid stays in the correct
     set, which is exactly the straggler regime the cluster's deadline and
     EOF handling must survive.
+
+    ``restart_after`` turns the chaos crash into chaos *recovery*: the
+    cluster notices the EOF and re-forks the worker that many seconds
+    later (a durable protocol then replays its disk state and rejoins).
+    ``None`` — the default, and the pinned legacy behavior — leaves the
+    process dead forever.
     """
 
     after: int = 0
     exit_code: int = 17
+    restart_after: float | None = None
 
     def maybe_kill(self, sent: int) -> None:
         """Kill the current process if its send budget is exhausted.

@@ -203,13 +203,14 @@ class NodeWorker(ExecutionPorts):
 
 def node_main(
     pid: ProcessId,
-    protocol: Protocol,
+    protocol: Protocol | None,
     family: int,
     address: Any,
     codec: int = CODEC_PICKLE,
     max_frame: int = DEFAULT_MAX_FRAME,
     crash: ProcessCrash | None = None,
     recv_timeout: float = 60.0,
+    build: Any = None,
 ) -> None:
     """Entry point of the forked worker process (never returns).
 
@@ -217,11 +218,18 @@ def node_main(
     :class:`~repro.net.faults.ProcessCrash`, runs the worker, and leaves
     via ``os._exit`` so a forked child cannot re-run the parent's atexit
     machinery or flush inherited buffers twice.
+
+    ``build`` — a zero-argument protocol factory — defers construction
+    into the forked child; restarted crash-recovery workers use it so a
+    durable protocol opens and replays its on-disk state *in the child*,
+    not in the orchestrator.
     """
     os.environ[NODE_ENV_MARKER] = "1"
     code = EXIT_INTERNAL_ERROR
     sock: socket.socket | None = None
     try:
+        if build is not None:
+            protocol = build()
         sock = connect_with_retry(family, address)
         worker = NodeWorker(pid, protocol, sock, codec, max_frame, crash)
         code = worker.run(recv_timeout)

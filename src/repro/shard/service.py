@@ -43,12 +43,21 @@ from typing import Any, Mapping, Sequence
 from ..apps.rsm import Command, KeyValueStore
 from ..conditions.frequency import FrequencyPair
 from ..core.dex import DexConsensus
+from ..durable.recovery import (
+    MAX_CATCHUP_ENTRIES,
+    CatchUpReply,
+    CatchUpRequest,
+    CatchUpTracker,
+    DurabilityConfig,
+    NodeDurability,
+    RecoveredState,
+)
 from ..engine.events import EventSink, combine
-from ..engine.faults import Fault, FaultPlane
+from ..engine.faults import Fault, FaultPlane, restart_plans
 from ..errors import ConfigurationError
 from ..harness import AlgorithmSpec, Deployment
 from ..runtime.composite import CompositeProtocol
-from ..runtime.effects import Decide, Deliver, Effect
+from ..runtime.effects import Decide, Deliver, Effect, Send
 from ..runtime.protocol import Protocol
 from ..types import DecisionKind, ProcessId, SystemConfig, Value
 from ..underlying.oracle import SERVICE_NAME, OracleConsensus, OracleService
@@ -185,6 +194,13 @@ class ShardNode(CompositeProtocol):
             :class:`~repro.shard.batcher.ShardBatcher`).
         contention: probability a slot has two competing batches.
         seed: contention-coin seed (must match across replicas).
+        durability: optional :class:`~repro.durable.recovery.
+            NodeDurability` — when present, every decided slot is
+            committed to the WAL before the in-memory state advances,
+            periodic snapshots bound replay, and ``on_start`` resumes
+            from disk (then catches missed slots up from peers) instead
+            of starting fresh.  ``None`` (the default) leaves the node
+            byte-identical to the pre-durability behavior.
     """
 
     def __init__(
@@ -198,6 +214,7 @@ class ShardNode(CompositeProtocol):
         max_wait: int = 2,
         contention: float = 0.0,
         seed: int = 0,
+        durability: NodeDurability | None = None,
     ) -> None:
         if not 0.0 <= contention <= 1.0:
             raise ConfigurationError("contention must be in [0, 1]")
@@ -205,6 +222,9 @@ class ShardNode(CompositeProtocol):
         self.shards = shards
         self.contention = contention
         self.seed = seed
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.durability = durability
         self._mux = self.add_child(
             "mux", ShardMultiplexer(process_id, config, make_instance, shards)
         )
@@ -219,6 +239,12 @@ class ShardNode(CompositeProtocol):
         self.applied: dict[int, list[tuple]] = {s: [] for s in range(shards)}
         self._drained: set[int] = set()
         self._done = False
+        # crash-recovery state: while ``_recovering`` the node adopts
+        # peer-verified slots instead of proposing; ``_future`` buffers
+        # decisions of its own instances that ran ahead of the frontier.
+        self._recovering = False
+        self._catchup: CatchUpTracker | None = None
+        self._future: dict[tuple[int, int], tuple[Any, Any]] = {}
 
     # -- slot lifecycle --------------------------------------------------------------
 
@@ -247,6 +273,8 @@ class ShardNode(CompositeProtocol):
         else:
             self._drained.add(shard)
             return self._maybe_finish()
+        if self.durability is not None:
+            self.durability.log_propose(shard, slot, batch)
         effects: list[Effect] = [
             self.log("shard.open", shard=shard, slot=slot, size=len(batch))
         ]
@@ -281,6 +309,10 @@ class ShardNode(CompositeProtocol):
     # -- protocol hooks --------------------------------------------------------------
 
     def on_start(self) -> list[Effect]:
+        if self.durability is not None:
+            recovered = self.durability.recover(self.shards)
+            if recovered is not None:
+                return self._resume_from(recovered)
         effects: list[Effect] = []
         for shard in range(self.shards):
             effects.extend(self._open(shard))
@@ -291,12 +323,64 @@ class ShardNode(CompositeProtocol):
             return []
         shard, slot, batch, kind = effect.value
         if slot != self._slot[shard]:
+            if self.durability is not None and slot > self._slot[shard]:
+                # An own-instance decision ahead of the frontier: only
+                # possible when this node fell behind (it was down while
+                # peers kept deciding).  Buffer it and make sure a
+                # catch-up round is running to fill the gap.
+                self._future[(shard, slot)] = (batch, kind)
+                effects = [
+                    self.log("shard.future-decision", shard=shard, slot=slot)
+                ]
+                if not self._recovering:
+                    effects.extend(self._enter_catchup())
+                return effects
             return [self.log("shard.stale-decision", shard=shard, slot=slot)]
+        return self._commit(shard, slot, batch, kind, effect)
+
+    def on_own_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        if isinstance(payload, CatchUpRequest):
+            return self._serve_catchup(sender, payload)
+        if isinstance(payload, CatchUpReply):
+            return self._absorb_catchup(sender, payload)
+        return super().on_own_message(sender, payload)
+
+    # -- decided-slot bookkeeping ----------------------------------------------------
+
+    def _settle(self, shard: int, slot: int, batch: Any, kind_label: str) -> tuple:
+        """Apply one decided slot and advance the frontier (persisting
+        through the WAL first when durable); returns the safe batch.
+
+        Arrivals due by ``slot`` are injected before the batch is
+        acknowledged: a no-op on the proposing path (``_open`` already
+        injected them) but essential when *adopting* peer-decided slots,
+        so commands the peers batched are marked done rather than
+        lingering as pending re-proposals.
+        """
         safe_batch = batch if isinstance(batch, tuple) else ()
-        self._apply(shard, batch)
+        if self.durability is not None:
+            self.durability.commit(shard, slot, safe_batch, kind_label)
+        pending = self._arrivals[shard]
+        while pending and pending[0][0] <= slot:
+            _, command = pending.pop(0)
+            self._batchers[shard].submit(command, slot)
+        self._apply(shard, safe_batch)
         self.applied[shard].append(safe_batch)
         self._batchers[shard].acknowledge(safe_batch, now=slot + 1)
         self._slot[shard] = slot + 1
+        if self.durability is not None:
+            self.durability.maybe_snapshot(
+                self._slot,
+                self.applied,
+                {s: store.data for s, store in self.stores.items()},
+            )
+        return safe_batch
+
+    def _commit(
+        self, shard: int, slot: int, batch: Any, kind: Any, effect: Effect
+    ) -> list[Effect]:
+        """A frontier decision from this node's own consensus instance."""
+        safe_batch = self._settle(shard, slot, batch, kind.value)
         effects: list[Effect] = [effect]  # re-surface for the runner's outputs
         effects.append(
             self.log(
@@ -307,7 +391,163 @@ class ShardNode(CompositeProtocol):
                 size=len(safe_batch),
             )
         )
-        effects.extend(self._open(shard))
+        effects.extend(self._drain_future(shard))
+        if not self._recovering:
+            effects.extend(self._open(shard))
+        return effects
+
+    def _drain_future(self, shard: int) -> list[Effect]:
+        """Settle buffered ahead-of-frontier decisions that the advancing
+        frontier has reached (logged as recovery slots — this node never
+        opened them after its restart)."""
+        effects: list[Effect] = []
+        while True:
+            entry = self._future.pop((shard, self._slot[shard]), None)
+            if entry is None:
+                return effects
+            batch, kind = entry
+            slot = self._slot[shard]
+            safe_batch = self._settle(shard, slot, batch, kind.value)
+            effects.append(
+                self.log("recovery.slot", shard=shard, slot=slot, size=len(safe_batch))
+            )
+
+    # -- crash recovery: replay ------------------------------------------------------
+
+    def _resume_from(self, recovered: RecoveredState) -> list[Effect]:
+        """Rebuild the in-memory state from disk, then catch up from peers.
+
+        The batcher replay interleaves arrival injection and decided-batch
+        acknowledgement slot by slot — the same order the live path runs
+        them — so the rebuilt pending queue equals the pre-crash one.
+        """
+        for shard in range(self.shards):
+            slot = recovered.slots.get(shard, 0)
+            batches = recovered.applied.get(shard, [])
+            batcher = self._batchers[shard]
+            pending = self._arrivals[shard]
+            for s in range(slot):
+                while pending and pending[0][0] <= s:
+                    _, command = pending.pop(0)
+                    batcher.submit(command, s)
+                batch = batches[s] if s < len(batches) else ()
+                safe_batch = batch if isinstance(batch, tuple) else ()
+                self._apply(shard, safe_batch)
+                self.applied[shard].append(safe_batch)
+                batcher.acknowledge(safe_batch, now=s + 1)
+            self._slot[shard] = slot
+        effects: list[Effect] = [
+            self.log(
+                "recovery.replayed",
+                slots=dict(self._slot),
+                records=recovered.replayed_records,
+                snapshot=recovered.from_snapshot,
+                truncated=recovered.truncated_bytes,
+            )
+        ]
+        effects.extend(self._enter_catchup())
+        return effects
+
+    # -- crash recovery: peer catch-up ----------------------------------------------
+
+    def _enter_catchup(self) -> list[Effect]:
+        """Start (or restart) a catch-up round: broadcast our frontier and
+        stop proposing until peers confirm nothing decided past it."""
+        self._recovering = True
+        if self._catchup is None:
+            self._catchup = CatchUpTracker(self.config.t + 1)
+        round_no = self._catchup.new_round()
+        frontier = tuple((s, self._slot[s]) for s in range(self.shards))
+        request = CatchUpRequest(round_no, frontier)
+        effects: list[Effect] = [
+            self.log("recovery.catchup-round", round=round_no, frontier=frontier)
+        ]
+        effects.extend(
+            Send(dst, request)
+            for dst in self.config.processes
+            if dst != self.process_id
+        )
+        return effects
+
+    def _serve_catchup(self, sender: ProcessId, request: CatchUpRequest) -> list[Effect]:
+        """Answer a recovering peer: every applied batch past its frontier
+        (capped), plus our own frontier so it knows when it is current."""
+        wanted: dict[int, int] = {}
+        frontier = request.frontier if isinstance(request.frontier, tuple) else ()
+        for pair in frontier[: self.shards * 2]:
+            if (
+                isinstance(pair, tuple)
+                and len(pair) == 2
+                and isinstance(pair[0], int)
+                and isinstance(pair[1], int)
+            ):
+                wanted[pair[0]] = max(pair[1], 0)
+        entries: list[tuple[int, int, tuple]] = []
+        for shard in range(self.shards):
+            history = self.applied[shard]
+            for slot in range(min(wanted.get(shard, 0), len(history)), len(history)):
+                if len(entries) >= MAX_CATCHUP_ENTRIES:
+                    break
+                entries.append((shard, slot, history[slot]))
+        reply = CatchUpReply(
+            request.round,
+            tuple(entries),
+            tuple((s, len(self.applied[s])) for s in range(self.shards)),
+        )
+        return [
+            self.log("recovery.served", peer=sender, entries=len(entries)),
+            Send(sender, reply),
+        ]
+
+    def _absorb_catchup(self, sender: ProcessId, reply: CatchUpReply) -> list[Effect]:
+        """Fold one catch-up reply in; adopt every slot ``t + 1`` distinct
+        peers vouch for, finish once a quorum confirms our frontier."""
+        if not self._recovering or self._catchup is None:
+            return []
+        if not self._catchup.absorb(sender, reply):
+            return []
+        effects: list[Effect] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for shard in range(self.shards):
+                key = (shard, self._slot[shard])
+                buffered = self._future.pop(key, None)
+                if buffered is not None:
+                    batch, kind = buffered
+                    safe = self._settle(shard, key[1], batch, kind.value)
+                else:
+                    batch = self._catchup.verified(shard, key[1])
+                    if batch is None:
+                        continue
+                    safe = self._settle(shard, key[1], batch, "catchup")
+                effects.append(
+                    self.log("recovery.slot", shard=shard, slot=key[1], size=len(safe))
+                )
+                progressed = True
+        threshold = self.config.t + 1
+        if self._catchup.replies >= threshold and self._catchup.frontier_reached(
+            self._slot
+        ):
+            effects.extend(self._finish_catchup())
+        elif self._catchup.replies >= self.config.n - 1 - self.config.t:
+            # Every reply a full round can guarantee is in and we are
+            # still behind some reported frontier: ask again.
+            effects.extend(self._enter_catchup())
+        return effects
+
+    def _finish_catchup(self) -> list[Effect]:
+        """Frontier verified against a quorum: resume proposing."""
+        self._recovering = False
+        effects: list[Effect] = [
+            self.log(
+                "recovery.caught_up",
+                slots=dict(self._slot),
+                rounds=self._catchup.round if self._catchup else 0,
+            )
+        ]
+        for shard in range(self.shards):
+            effects.extend(self._open(shard))
         return effects
 
 
@@ -362,6 +602,12 @@ class ShardedService:
         net_jitter: hub jitter model on the socket engine
             (``"uniform"`` or ``"lognormal"``).
         event_sink: optional extra sink receiving the run's event stream.
+        durability: optional :class:`~repro.durable.recovery.
+            DurabilityConfig` — every replica persists proposals and
+            decisions through a per-node WAL under ``durability.root``,
+            and :class:`~repro.engine.faults.CrashRecover` faults restart
+            the killed replica from its on-disk state (sim and net
+            engines only).
     """
 
     def __init__(
@@ -382,6 +628,7 @@ class ShardedService:
         uc_step_cost: int = 2,
         net_jitter: str = "uniform",
         event_sink: EventSink | None = None,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         self.config = SystemConfig(n, t if t is not None else max((n - 1) // 6, 0))
         if not self.config.satisfies(6):
@@ -402,6 +649,7 @@ class ShardedService:
         self.uc_step_cost = uc_step_cost
         self.net_jitter = net_jitter
         self.event_sink = event_sink
+        self.durability = durability
         self._plane = FaultPlane(
             self.config, faults, failure_model="byzantine", algorithm_name="shard-dex"
         )
@@ -409,37 +657,59 @@ class ShardedService:
     #: minimal spec handed to fault builders (garbage templates and names).
     _SPEC = AlgorithmSpec(name="shard-dex", make=lambda *a: None, required_ratio=6)
 
+    def _make_node(
+        self, pid: ProcessId, arrivals: Sequence[tuple[int, Command]]
+    ) -> ShardNode:
+        """Build one replica; a fresh :class:`~repro.durable.recovery.
+        NodeDurability` per call, so restart factories re-open (and
+        replay) the node's on-disk state instead of sharing handles."""
+        return ShardNode(
+            pid,
+            self.config,
+            self.shards,
+            arrivals,
+            dex_shard_factory(pid, self.config),
+            max_batch=self.max_batch,
+            max_wait=self.max_wait,
+            contention=self.contention,
+            seed=self.seed,
+            durability=(
+                self.durability.node(pid) if self.durability is not None else None
+            ),
+        )
+
     def deployment(
         self, arrivals: Sequence[tuple[int, Command]], sink: EventSink | None
     ) -> Deployment:
         """The engine-agnostic deployment: one :class:`ShardNode` per
-        replica (faulty ones wrapped by the plane) plus the shared oracle."""
+        replica (faulty ones wrapped by the plane) plus the shared oracle.
+        Replicas under a :class:`~repro.engine.faults.CrashRecover` fault
+        with a ``restart_after`` get a restart plan and are *not* counted
+        faulty — the engines await their (post-recovery) decisions."""
         services = {
             SERVICE_NAME: OracleService(self.config, step_cost=self.uc_step_cost)
         }
         protocols: dict[ProcessId, Protocol] = {}
         for pid in self.config.processes:
-            make_honest = lambda value, pid=pid: ShardNode(  # noqa: E731
-                pid,
-                self.config,
-                self.shards,
-                arrivals,
-                dex_shard_factory(pid, self.config),
-                max_batch=self.max_batch,
-                max_wait=self.max_wait,
-                contention=self.contention,
-                seed=self.seed,
+            make_honest = lambda value, pid=pid: self._make_node(  # noqa: E731
+                pid, arrivals
             )
             protocols[pid] = self._plane.build(pid, make_honest, None, self._SPEC)
+        restarts = restart_plans(
+            self._plane,
+            lambda pid: lambda: self._make_node(pid, arrivals),
+        )
         self._plane.announce(sink)
         return Deployment(
             config=self.config,
             protocols=protocols,
             services=services,
-            faulty=frozenset(self._plane.faults),
+            faulty=frozenset(self._plane.faults) - self._plane.recovering(),
             seed=self.seed,
             event_sink=sink,
             net_jitter=self.net_jitter,
+            restarts=restarts,
+            durability=self.durability,
         )
 
     def run(self, count: int = 16, timeout: float = 30.0) -> ShardReport:
@@ -470,7 +740,7 @@ class ShardedService:
         undecided = [
             pid
             for pid in self.config.processes
-            if pid not in self._plane.faults and pid not in result.correct_decisions
+            if pid not in deployment.faulty and pid not in result.correct_decisions
         ]
         if undecided:
             divergence = True

@@ -31,13 +31,16 @@ from ..engine.events import (
     DecideEvent,
     DeliverEvent,
     EventSink,
+    FaultEvent,
     LogEvent,
     OutputEvent,
+    RestartEvent,
     SendEvent,
     ServiceEvent,
     TracerSink,
     combine,
 )
+from ..engine.faults import RestartPlan
 from ..engine.interpreter import ExecutionPorts, dispatch_service_call, interpret
 from ..errors import SimulationDeadlock, SimulationError
 from ..runtime.effects import SERVICE_SENDER, Deliver, Effect, Log, ServiceCall
@@ -155,6 +158,7 @@ class Simulation(ExecutionPorts):
         trace: bool = False,
         max_events: int = DEFAULT_MAX_EVENTS,
         event_sink: EventSink | None = None,
+        restarts: Mapping[ProcessId, RestartPlan] | None = None,
     ) -> None:
         if set(protocols) != set(config.processes):
             raise SimulationError(
@@ -185,6 +189,12 @@ class Simulation(ExecutionPorts):
             pid: [] for pid in config.processes
         }
         self._started = False
+        # Crash-recovery bookkeeping: processes currently down drop every
+        # delivery (matching the net engine, where a dead process's socket
+        # buffers are lost).  Empty when no restarts are configured, so the
+        # hot-path check is a falsy test and legacy runs are untouched.
+        self._restarts = dict(restarts or {})
+        self._down: set[ProcessId] = set()
         self._correct = [p for p in config.processes if p not in faulty]
         # O(1) stop condition: the set shrinks as correct processes decide,
         # so the per-event check is a truth test, not an O(n) scan.
@@ -245,6 +255,14 @@ class Simulation(ExecutionPorts):
             self._started = True
             for pid in self.config.processes:
                 self.queue.push(Event(0.0, "start", dst=pid))
+            for pid, plan in sorted(self._restarts.items()):
+                if plan.at is None:
+                    continue
+                self.queue.push(Event(plan.at, "crash", dst=pid))
+                if plan.restart_after is not None:
+                    self.queue.push(
+                        Event(plan.at + plan.restart_after, "restart", dst=pid)
+                    )
         processed = 0
         while self.queue:
             if stop is not None and stop(self):
@@ -286,7 +304,27 @@ class Simulation(ExecutionPorts):
         state = self._states[dst]
         if kind == "start":
             effects = state.protocol.on_start()
+        elif kind == "crash":
+            # Timed kill (CrashRecover): the process goes dark — every
+            # delivery while down is dropped before any bookkeeping, the
+            # same loss a killed OS process suffers on the net engine.
+            self._down.add(dst)
+            if self._events is not None:
+                self._events.emit(
+                    FaultEvent(self.time, dst, fault="CrashRecover", detail="killed")
+                )
+            return
+        elif kind == "restart":
+            plan = self._restarts[dst]
+            state.protocol = plan.factory()
+            state.depth = 0
+            self._down.discard(dst)
+            if self._events is not None:
+                self._events.emit(RestartEvent(self.time, dst))
+            effects = state.protocol.on_start()
         else:
+            if self._down and dst in self._down:
+                return
             if depth > state.depth:
                 state.depth = depth
             self.stats.messages_delivered += 1

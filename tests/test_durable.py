@@ -1,0 +1,630 @@
+"""The durability subsystem: WAL, snapshots, crash recovery, rejoin.
+
+Five layers, mirroring :mod:`repro.durable`'s structure plus the fault
+plumbing that carries it through the engines:
+
+* WAL unit tests — framing round-trips and the corruption trio a crash
+  can leave behind (torn final record, flipped CRC byte, empty file),
+  each of which must *self-heal on open*, never raise;
+* snapshot tests — atomic-rename save/load and corrupt-snapshot fallback;
+* :class:`~repro.durable.recovery.NodeDurability` recovery folding —
+  snapshot seeds the frontier, apply records replay idempotently — plus a
+  hypothesis property: for any command stream and snapshot cadence, a
+  crashed-and-recovered replica reconstructs the byte-identical per-shard
+  KV state of a never-crashed one;
+* :class:`~repro.durable.recovery.CatchUpTracker` vote counting — the
+  ``t + 1`` adoption rule that keeps Byzantine peers out of adopted state;
+* engine integration — the :class:`~repro.engine.faults.CrashRecover`
+  fault on the simulator (kill mid-run, restart, replay, catch up from
+  peers, agree) and over real sockets (SIGKILL a forked worker, re-fork
+  it, re-authenticate to the hub), with crash-*stop* regressions pinning
+  that ``restart_after=None`` and the legacy faults behave exactly as
+  before.
+"""
+
+import os
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.rsm import KeyValueStore
+from repro.durable import (
+    ApplyRecord,
+    CatchUpReply,
+    CatchUpTracker,
+    DecideRecord,
+    DurabilityConfig,
+    ProposeRecord,
+    ShardSnapshot,
+    SnapshotStore,
+    WriteAheadLog,
+    encode_record,
+    scan_records,
+)
+from repro.engine.events import EventLog, RestartEvent
+from repro.engine.faults import Crash, CrashRecover, FaultPlane, Silent, restart_plans
+from repro.errors import ConfigurationError
+from repro.harness import Scenario, dex_freq
+from repro.shard.router import shard_of
+from repro.shard.service import ShardNode, ShardedService, dex_shard_factory
+from repro.types import SystemConfig
+
+from .test_net_engine import assert_no_leaks
+
+
+# -- WAL framing and corruption --------------------------------------------------------
+
+
+class TestWalRoundtrip:
+    def test_append_then_reopen_returns_records(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        records = [
+            ProposeRecord(0, 0, (("set", "k1", 1),)),
+            DecideRecord(0, 0, "one-step"),
+            ApplyRecord(0, 0, (("set", "k1", 1),)),
+        ]
+        for record in records:
+            wal.append(record)
+        wal.close()
+        reopened = WriteAheadLog(path)
+        assert reopened.recovered == records
+        assert reopened.record_count == 3
+        assert reopened.truncated_bytes == 0
+        reopened.close()
+
+    def test_missing_file_is_an_empty_log(self, tmp_path):
+        records, good = scan_records(str(tmp_path / "absent.log"))
+        assert records == [] and good == 0
+
+    def test_oversize_record_rejected_before_write(self):
+        with pytest.raises(ValueError):
+            encode_record(ApplyRecord(0, 0, (("set", "k", 1),) * 10_000),
+                          max_record=64)
+
+    def test_reset_drops_everything(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        wal = WriteAheadLog(path)
+        wal.append(DecideRecord(0, 0, "one-step"))
+        wal.reset()
+        assert wal.record_count == 0
+        wal.append(DecideRecord(1, 5, "two-step"))
+        wal.close()
+        reopened = WriteAheadLog(path)
+        assert reopened.recovered == [DecideRecord(1, 5, "two-step")]
+        reopened.close()
+
+
+class TestWalCorruption:
+    """The crash-damage trio: every case recovers cleanly on open."""
+
+    def _write(self, path, records):
+        wal = WriteAheadLog(path)
+        for record in records:
+            wal.append(record)
+        wal.close()
+
+    def test_torn_final_record_truncated(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        good = [ApplyRecord(0, s, (("set", "k", s),)) for s in range(3)]
+        self._write(path, good)
+        intact = os.path.getsize(path)
+        with open(path, "ab") as fh:  # crash mid-append: half a record
+            fh.write(encode_record(ApplyRecord(0, 3, (("set", "k", 3),)))[:-5])
+        wal = WriteAheadLog(path)
+        assert wal.recovered == good
+        assert wal.truncated_bytes > 0
+        assert os.path.getsize(path) == intact  # tail healed away
+        wal.append(ApplyRecord(0, 3, (("set", "k", 3),)))  # append-ready again
+        wal.close()
+        assert WriteAheadLog(path).recovered == good + [
+            ApplyRecord(0, 3, (("set", "k", 3),))
+        ]
+
+    def test_flipped_crc_byte_stops_the_scan(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        records = [DecideRecord(0, s, "one-step") for s in range(3)]
+        self._write(path, records)
+        first = len(encode_record(records[0]))
+        data = bytearray(pathlib.Path(path).read_bytes())
+        data[first + 10] ^= 0xFF  # flip a byte inside the second record
+        pathlib.Path(path).write_bytes(bytes(data))
+        wal = WriteAheadLog(path)
+        assert wal.recovered == records[:1]  # nothing after the hole is trusted
+        assert wal.truncated_bytes > 0
+        assert os.path.getsize(path) == first
+        wal.close()
+
+    def test_empty_file_recovers_to_genesis(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        pathlib.Path(path).touch()
+        wal = WriteAheadLog(path)
+        assert wal.recovered == [] and wal.truncated_bytes == 0
+        wal.append(DecideRecord(0, 0, "one-step"))
+        wal.close()
+
+    def test_implausible_length_header_stops_the_scan(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        self._write(path, [DecideRecord(0, 0, "one-step")])
+        with open(path, "ab") as fh:
+            fh.write(b"\xff\xff\xff\xff\x00\x00\x00\x00garbage")
+        wal = WriteAheadLog(path)
+        assert wal.recovered == [DecideRecord(0, 0, "one-step")]
+        wal.close()
+
+
+# -- snapshots -------------------------------------------------------------------------
+
+
+class TestSnapshotStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        snapshot = ShardSnapshot(
+            slots={0: 2, 1: 1},
+            applied={0: ((("set", "a", 1),), ()), 1: ((("set", "b", 2),),)},
+            kv={0: {"a": 1}, 1: {"b": 2}},
+            seq=3,
+        )
+        store.save(snapshot)
+        assert store.load() == snapshot
+        assert not os.path.exists(str(tmp_path / "snapshot.tmp"))  # rename, not copy
+
+    def test_missing_and_corrupt_load_as_none(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        assert store.load() is None
+        store.save(ShardSnapshot(slots={0: 1}))
+        data = bytearray(pathlib.Path(store.path).read_bytes())
+        data[-1] ^= 0xFF
+        pathlib.Path(store.path).write_bytes(bytes(data))
+        assert store.load() is None  # fall back to genesis + log replay
+
+    def test_newer_save_replaces(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.save(ShardSnapshot(seq=1))
+        store.save(ShardSnapshot(slots={0: 5}, seq=2))
+        assert store.load().seq == 2
+
+
+# -- recovery folding ------------------------------------------------------------------
+
+
+def _commit_stream(durability, batches_by_shard):
+    """Drive a NodeDurability exactly like ShardNode._settle does."""
+    shards = sorted(batches_by_shard)
+    slots = {s: 0 for s in shards}
+    applied = {s: [] for s in shards}
+    kv = {s: {} for s in shards}
+    stores = {s: KeyValueStore() for s in shards}
+    for shard in shards:
+        for slot, batch in enumerate(batches_by_shard[shard]):
+            durability.commit(shard, slot, batch, "one-step")
+            for command in batch:
+                stores[shard].apply(command)
+            applied[shard].append(batch)
+            kv[shard] = dict(stores[shard].data)
+            slots[shard] = slot + 1
+            durability.maybe_snapshot(slots, applied, kv)
+    return slots, applied
+
+
+class TestNodeDurability:
+    def test_fresh_directory_recovers_none(self, tmp_path):
+        node = DurabilityConfig(str(tmp_path)).node(0)
+        assert node.recover(2) is None
+        node.close()
+
+    def test_commits_replay_without_snapshot(self, tmp_path):
+        config = DurabilityConfig(str(tmp_path), snapshot_every=0)
+        writer = config.node(0)
+        slots, applied = _commit_stream(
+            writer, {0: [(("set", "a", 1),), ()], 1: [(("set", "b", 2),)]}
+        )
+        writer.close()
+        state = config.node(0).recover(2)
+        assert state.slots == slots
+        assert state.applied == applied
+        assert state.replayed_records == 3
+        assert not state.from_snapshot
+
+    def test_snapshot_bounds_replay(self, tmp_path):
+        config = DurabilityConfig(str(tmp_path), snapshot_every=2)
+        writer = config.node(0)
+        batches = [(("set", f"k{s}", s),) for s in range(6)]
+        slots, applied = _commit_stream(writer, {0: batches})
+        writer.close()
+        state = config.node(0).recover(1)
+        assert state.slots == slots and state.applied == applied
+        assert state.from_snapshot
+        assert state.replayed_records == 0  # 6 commits, cadence 2: log is empty
+
+    def test_stale_apply_records_skipped(self, tmp_path):
+        config = DurabilityConfig(str(tmp_path), snapshot_every=0)
+        writer = config.node(0)
+        writer.commit(0, 0, (("set", "a", 1),), "one-step")
+        writer.wal.append(ApplyRecord(0, 0, (("set", "a", 99),)))  # duplicate slot
+        writer.wal.append(ApplyRecord(0, 5, (("set", "b", 2),)))  # hole ahead
+        writer.close()
+        state = config.node(0).recover(1)
+        assert state.slots == {0: 1}
+        assert state.applied == {0: [(("set", "a", 1),)]}
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            DurabilityConfig("")
+        with pytest.raises(ConfigurationError):
+            DurabilityConfig("/tmp/x", snapshot_every=-1)
+
+
+# -- the snapshot-then-replay property (hypothesis) ------------------------------------
+
+_commands = st.lists(
+    st.tuples(
+        st.just("set"),
+        st.sampled_from([f"k{i}" for i in range(8)]),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=24,
+)
+
+
+class TestReplayProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(commands=_commands, snapshot_every=st.integers(min_value=0, max_value=4),
+           batch_size=st.integers(min_value=1, max_value=4))
+    def test_recovered_node_matches_never_crashed_kv(
+        self, tmp_path_factory, commands, snapshot_every, batch_size
+    ):
+        """Crash-and-recover == never crashed, for any stream and cadence.
+
+        Commands are batched per shard, committed through the same
+        :class:`NodeDurability` calls :class:`ShardNode` makes, then a
+        *fresh* :class:`ShardNode` is built over the same directory: its
+        ``on_start`` must resume from disk with the byte-identical
+        per-shard KV contents and applied-batch digest of a replica that
+        simply applied every batch with no crash in between.
+        """
+        shards = 2
+        root = tmp_path_factory.mktemp("durable-prop")
+        by_shard = {s: [] for s in range(shards)}
+        for command in commands:
+            by_shard[shard_of(command[1], shards)].append(command)
+        batches_by_shard = {
+            s: [tuple(cmds[i : i + batch_size])
+                for i in range(0, len(cmds), batch_size)]
+            for s, cmds in by_shard.items()
+        }
+        config = DurabilityConfig(str(root), snapshot_every=snapshot_every)
+        writer = config.node(0)
+        _commit_stream(writer, batches_by_shard)
+        writer.close()
+
+        sys_config = SystemConfig(7, 1)
+        node = ShardNode(
+            0, sys_config, shards, [], dex_shard_factory(0, sys_config),
+            durability=config.node(0),
+        )
+        node.on_start()  # resumes from disk, then asks peers (effects unused)
+
+        reference = {s: KeyValueStore() for s in range(shards)}
+        for shard, batches in batches_by_shard.items():
+            for batch in batches:
+                for command in batch:
+                    reference[shard].apply(command)
+        for shard in range(shards):
+            assert node.stores[shard].data == reference[shard].data
+            assert node.applied[shard] == batches_by_shard[shard]
+            assert node._slot[shard] == len(batches_by_shard[shard])
+
+
+# -- catch-up vote counting ------------------------------------------------------------
+
+
+def _reply(round_no, entries=(), frontier=()):
+    return CatchUpReply(round_no, tuple(entries), tuple(frontier))
+
+
+class TestCatchUpTracker:
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            CatchUpTracker(0)
+
+    def test_adoption_needs_threshold_distinct_voters(self):
+        tracker = CatchUpTracker(2)
+        tracker.new_round()
+        batch = (("set", "a", 1),)
+        assert tracker.absorb(1, _reply(1, [(0, 0, batch)]))
+        assert tracker.verified(0, 0) is None  # one voucher is not enough
+        assert tracker.absorb(2, _reply(1, [(0, 0, batch)]))
+        assert tracker.verified(0, 0) == batch
+
+    def test_divergent_batches_do_not_pool(self):
+        tracker = CatchUpTracker(2)
+        tracker.new_round()
+        tracker.absorb(1, _reply(1, [(0, 0, (("set", "a", 1),))]))
+        tracker.absorb(2, _reply(1, [(0, 0, (("set", "a", 2),))]))  # Byzantine lie
+        assert tracker.verified(0, 0) is None
+
+    def test_stale_round_and_repeat_sender_rejected(self):
+        tracker = CatchUpTracker(1)
+        tracker.new_round()
+        assert not tracker.absorb(1, _reply(0))  # stale round
+        assert tracker.absorb(1, _reply(1))
+        assert not tracker.absorb(1, _reply(1))  # repeat sender
+        assert tracker.replies == 1
+
+    def test_votes_persist_across_rounds_replies_reset(self):
+        tracker = CatchUpTracker(2)
+        tracker.new_round()
+        batch = (("set", "a", 1),)
+        tracker.absorb(1, _reply(1, [(0, 0, batch)]))
+        tracker.new_round()
+        assert tracker.replies == 0
+        tracker.absorb(2, _reply(2, [(0, 0, batch)]))
+        assert tracker.verified(0, 0) == batch  # round-1 vote still counts
+
+    def test_malformed_and_inflated_entries_skipped(self):
+        tracker = CatchUpTracker(1)
+        tracker.new_round()
+        assert tracker.absorb(
+            1,
+            _reply(
+                1,
+                entries=[
+                    "garbage",
+                    (0, "not-an-int", ()),
+                    (0, 999_999_999, ()),  # slot inflation
+                    (0, 1, "not-a-tuple"),
+                    (0, 1, (("set", "a", 1),)),  # the one good entry
+                ],
+                frontier=["junk", (0, -5), (0, 999_999_999), (0, 3)],
+            ),
+        )
+        assert tracker.verified(0, 1) == (("set", "a", 1),)
+        assert tracker.verified(0, 999_999_999) is None
+        assert not tracker.frontier_reached({0: 2})  # the sane (0, 3) counted
+        assert tracker.frontier_reached({0: 3})
+
+    def test_frontier_reached_on_empty_round(self):
+        tracker = CatchUpTracker(1)
+        tracker.new_round()
+        assert tracker.frontier_reached({0: 0})
+
+
+# -- the CrashRecover fault ------------------------------------------------------------
+
+
+class TestCrashRecoverFault:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrashRecover(at=-1.0)
+        with pytest.raises(ConfigurationError):
+            CrashRecover(at=1.0, restart_after=-0.5)
+
+    def test_recovers_property_and_describe(self):
+        assert CrashRecover(at=1.0, restart_after=2.0).recovers
+        assert not CrashRecover(at=1.0).recovers
+        assert "restart_after" in CrashRecover(at=1.0, restart_after=2.0).describe()
+
+    def test_plane_recovering_needs_restart_after(self):
+        config = SystemConfig(13, 2)
+        plane = FaultPlane(
+            config,
+            {1: CrashRecover(at=1.0, restart_after=2.0), 2: CrashRecover(at=1.0)},
+            failure_model="byzantine",
+            algorithm_name="dex",
+        )
+        assert plane.recovering() == frozenset({1})
+
+    def test_restart_plans_only_for_crash_recover(self):
+        config = SystemConfig(13, 2)
+        plane = FaultPlane(
+            config,
+            {1: CrashRecover(at=1.0, restart_after=2.0), 2: Silent()},
+            failure_model="byzantine",
+            algorithm_name="dex",
+        )
+        plans = restart_plans(plane, lambda pid: lambda: None)
+        assert set(plans) == {1}
+        assert plans[1].at == 1.0 and plans[1].restart_after == 2.0
+
+    @pytest.mark.parametrize("engine", ["sync", "mc", "asyncio"])
+    def test_rejected_off_sim_and_net(self, engine):
+        scenario = Scenario(
+            dex_freq(),
+            [i % 2 for i in range(7)],
+            faults={3: CrashRecover(at=0.1, restart_after=0.2)},
+            seed=5,
+            engine=engine,
+        )
+        with pytest.raises(ConfigurationError, match="crash-recovery"):
+            scenario.run()
+
+
+# -- simulator integration -------------------------------------------------------------
+
+
+class TestSimRecovery:
+    def _service(self, tmp_path, **kwargs):
+        log = EventLog()
+        service = ShardedService(
+            n=7,
+            shards=2,
+            seed=3,
+            durability=DurabilityConfig(str(tmp_path), snapshot_every=2),
+            event_sink=log,
+            **kwargs,
+        )
+        return service, log
+
+    def test_kill_restart_replay_catchup_agree(self, tmp_path):
+        """The acceptance scenario on virtual time: a replica dies mid-run,
+        restarts, replays its WAL + snapshot, catches missed slots up from
+        peers, and the cross-node digest agreement still holds."""
+        service, log = self._service(
+            tmp_path, faults={2: CrashRecover(at=1.0, restart_after=1.0)}
+        )
+        report = service.run(count=12)
+        assert not report.divergence
+        assert report.commands == 12
+        assert sorted(report.result.correct_decisions) == list(range(7))
+        assert any(isinstance(e, RestartEvent) and e.pid == 2 for e in log.events)
+        recovery = [
+            e.event
+            for e in log.events
+            if getattr(e, "pid", None) == 2
+            and getattr(e, "event", "").startswith("recovery.")
+        ]
+        assert "recovery.replayed" in recovery
+        assert "recovery.caught_up" in recovery
+        assert (tmp_path / "node2" / "wal.log").exists()
+
+    def test_wal_replay_from_snapshot_mid_history(self, tmp_path):
+        service, log = self._service(
+            tmp_path, faults={2: CrashRecover(at=2.0, restart_after=1.5)}
+        )
+        report = service.run(count=12)
+        assert not report.divergence
+        replayed = [
+            e.data
+            for e in log.events
+            if getattr(e, "event", "") == "recovery.replayed"
+        ]
+        assert replayed and replayed[0]["snapshot"]  # resumed from a snapshot
+        assert any(v > 0 for v in replayed[0]["slots"].values())
+
+    def test_seeded_run_is_deterministic(self, tmp_path):
+        digests = []
+        for attempt in range(2):
+            root = tmp_path / f"run{attempt}"
+            service, _ = self._service(
+                root, faults={2: CrashRecover(at=1.0, restart_after=1.0)}
+            )
+            digests.append(service.run(count=12).digest)
+        assert digests[0] == digests[1]
+
+    def test_crash_stop_without_restart_stays_dead(self, tmp_path):
+        """``restart_after=None`` is crash-stop: the replica never comes
+        back and is counted faulty, exactly like the legacy faults."""
+        service, log = self._service(
+            tmp_path, faults={2: CrashRecover(at=0.5)}
+        )
+        report = service.run(count=12)
+        assert not report.divergence
+        assert 2 not in report.result.correct_decisions
+        assert not any(isinstance(e, RestartEvent) for e in log.events)
+
+    def test_legacy_faults_unchanged_by_the_restart_plumbing(self):
+        """Crash-stop regression pin: a seeded sim run with a legacy fault
+        and no durability decides the identical digest whether or not the
+        (empty) restart machinery rides along in the deployment."""
+        digests = []
+        for _ in range(2):
+            service = ShardedService(n=7, shards=2, seed=3, faults={2: Silent()})
+            digests.append(service.run(count=12).digest)
+        assert digests[0] == digests[1] is not None
+
+    def test_scenario_amnesiac_restart_on_plain_consensus(self):
+        """Without durability the restart is amnesiac (fresh protocol):
+        live when the crash lands before the peers' proposals did."""
+        scenario = Scenario(
+            dex_freq(),
+            [i % 2 for i in range(7)],
+            faults={3: CrashRecover(at=0.1, restart_after=0.2)},
+            seed=5,
+        )
+        result = scenario.run()
+        assert result.agreement_holds()
+        assert sorted(result.correct_decisions) == list(range(7))
+
+
+# -- socket-engine integration ---------------------------------------------------------
+
+
+@pytest.mark.net
+class TestNetRecovery:
+    def test_sigkill_refork_rejoin_agree(self, tmp_path):
+        """The acceptance scenario over real sockets: a forked worker is
+        SIGKILLed mid-run, re-forked after a delay, replays its on-disk
+        state in the child, re-authenticates to the hub, catches up from
+        peers, and every replica reports the identical digest."""
+        log = EventLog()
+        service = ShardedService(
+            n=7,
+            shards=4,
+            seed=3,
+            rate=8,
+            engine="net",
+            faults={2: CrashRecover(at=0.05, restart_after=0.3)},
+            durability=DurabilityConfig(str(tmp_path), snapshot_every=2),
+            event_sink=log,
+        )
+        report = service.run(count=48, timeout=45.0)
+        assert not report.divergence
+        assert report.commands == 48
+        assert sorted(report.result.correct_decisions) == list(range(7))
+        assert any(isinstance(e, RestartEvent) and e.pid == 2 for e in log.events)
+        caught_up = [
+            e for e in log.events
+            if getattr(e, "event", "") == "recovery.caught_up"
+            and getattr(e, "pid", None) == 2
+        ]
+        assert caught_up, "the restarted worker never finished catching up"
+        assert (tmp_path / "node2" / "wal.log").exists()
+        assert_no_leaks()
+
+    def test_process_crash_without_restart_stays_dead(self):
+        """ProcessCrash regression pin: a budgeted crash with no
+        ``restart_after`` is still dead-forever — run completes, the
+        crashed node reports no decision, nobody relaunches it."""
+        log = EventLog()
+        service = ShardedService(
+            n=7, shards=2, seed=3, engine="net",
+            faults={2: Crash(budget=2)}, event_sink=log,
+        )
+        report = service.run(count=8, timeout=45.0)
+        assert not report.divergence
+        assert 2 not in report.result.correct_decisions
+        assert not any(isinstance(e, RestartEvent) for e in log.events)
+        assert_no_leaks()
+
+
+# -- bench shape -----------------------------------------------------------------------
+
+
+class TestRecoveryBench:
+    def test_report_shape_without_net(self):
+        from repro.metrics.bench import run_recovery_bench
+
+        report = run_recovery_bench(
+            log_lengths=(8,), fsync_records=8, repeats=1, net_cell=False
+        )
+        assert report["benchmark"] == "recovery"
+        assert {row["snapshot_every"] for row in report["replay"]} == {0, 64}
+        assert [row["fsync"] for row in report["fsync"]] == [False, True]
+        assert all(row["recover_seconds"] >= 0 for row in report["replay"])
+        assert report["net"] is None
+
+
+# -- CLI surface -----------------------------------------------------------------------
+
+
+class TestCliRecover:
+    def test_parse_recover_fault(self):
+        from repro.cli import _parse_fault
+
+        pid, fault = _parse_fault("2:recover:0.5:1.5")
+        assert pid == 2
+        assert isinstance(fault, CrashRecover)
+        assert fault.at == 0.5 and fault.restart_after == 1.5
+        _, fault = _parse_fault("3:recover:0.5")
+        assert fault.at == 0.5 and fault.restart_after is None
+
+    def test_recover_needs_a_crash_time(self):
+        import argparse
+
+        from repro.cli import _parse_fault
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_fault("2:recover")
