@@ -29,10 +29,12 @@ from ..runtime.effects import Broadcast, Decide, Deliver, Effect
 from ..types import DecisionKind, ProcessId, SystemConfig, Value
 from ..underlying.base import UC_DECIDE_TAG, UnderlyingConsensus
 from ..underlying.oracle import OracleConsensus
+from ..codec.schema import wire_record
 
 UcFactory = Callable[[ProcessId, SystemConfig], UnderlyingConsensus]
 
 
+@wire_record(tag=22)
 @dataclass(frozen=True, slots=True)
 class BrasileiroValue:
     """The single broadcast message of the converter."""

@@ -40,8 +40,10 @@ from typing import Any, Mapping
 from ..conditions.views import View
 from ..sim.synchronous import SyncProtocol
 from ..types import BOTTOM, ProcessId, SystemConfig, Value
+from ..codec.schema import wire_record
 
 
+@wire_record(tag=24)
 @dataclass(frozen=True, slots=True)
 class SyncRound1:
     """Round-1 proposal."""
@@ -49,6 +51,7 @@ class SyncRound1:
     value: Value
 
 
+@wire_record(tag=25)
 @dataclass(frozen=True, slots=True)
 class SyncFlood:
     """Flooding message for rounds ``2 … t+1``."""

@@ -33,10 +33,12 @@ from ..errors import ResilienceError
 from ..runtime.effects import Broadcast, Deliver, Effect
 from ..runtime.protocol import Protocol
 from ..types import ProcessId, SystemConfig, Value
+from ..codec.schema import wire_record
 
 DELIVER_TAG = "id-receive"
 
 
+@wire_record(tag=17)
 @dataclass(frozen=True, slots=True)
 class IdbInit:
     """``(init, m)`` — the sender's own broadcast of its message."""
@@ -44,6 +46,7 @@ class IdbInit:
     value: Value
 
 
+@wire_record(tag=18)
 @dataclass(frozen=True, slots=True)
 class IdbEcho:
     """``(echo, m', j)`` — a witness statement that ``p_j`` sent ``m'``."""

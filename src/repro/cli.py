@@ -157,6 +157,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="net engine: per-message hub delay model — bounded "
                           "uniform jitter or a long-tailed lognormal of the "
                           "same mean")
+    run.add_argument("--codec", choices=["binary", "pickle", "json"],
+                     default="binary",
+                     help="net engine: payload codec for wire frames and "
+                          "durable records (struct-packed binary by default; "
+                          "pickle/json are the escape hatches)")
     run.add_argument("--trace", action="store_true", help="print the event trace")
 
     table1 = sub.add_parser("table1", help="print the paper's Table 1")
@@ -241,6 +246,7 @@ def _cmd_run(args) -> int:
         trace=args.trace,
         engine=args.engine,
         net_jitter=args.net_jitter,
+        codec=args.codec,
     )
     if args.runs > 1:
         aggregate = scenario.run_many(range(args.seed, args.seed + args.runs))

@@ -1,0 +1,110 @@
+"""``repro.codec`` — the library's single serialization layer.
+
+Everything that turns records into bytes goes through here: the socket
+engine's frame payloads (:mod:`repro.net.wire`), the write-ahead log and
+snapshots (:mod:`repro.durable`), and the benchmark tooling.  Three codecs
+share one interface (``encode_into(obj, buf)`` / ``encode(obj)`` /
+``decode(data)``), selected by a one-byte id that doubles as the wire
+frame's codec byte and the WAL record's codec prefix:
+
+======================  ====  ========================================
+codec                    id   role
+======================  ====  ========================================
+:class:`PickleCodec`      1   legacy escape hatch, trusted local only
+:class:`JsonCodec`        2   interop / debugging, JSON-safe payloads
+:class:`BinaryCodec`      3   the data plane (struct-packed, default)
+======================  ====  ========================================
+
+The schema registry (:mod:`repro.codec.schema`) defines which record
+shapes the binary codec struct-packs; everything else falls back to an
+embedded pickle blob, so encoding is total.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from .binary import BinaryCodec, CodecError, Opaque
+from .fallback import JsonCodec, PickleCodec
+
+__all__ = [
+    "CODEC_PICKLE",
+    "CODEC_JSON",
+    "CODEC_BINARY",
+    "CODEC_IDS",
+    "CODEC_NAMES",
+    "BinaryCodec",
+    "JsonCodec",
+    "PickleCodec",
+    "PayloadCodec",
+    "CodecError",
+    "Opaque",
+    "codec_for",
+    "codec_named",
+]
+
+CODEC_PICKLE = 1
+CODEC_JSON = 2
+CODEC_BINARY = 3
+
+#: Known codec ids, in id order.
+CODEC_IDS = (CODEC_PICKLE, CODEC_JSON, CODEC_BINARY)
+
+#: Name -> id, the vocabulary of ``Scenario(codec=)`` / ``--codec``.
+CODEC_NAMES = {"pickle": CODEC_PICKLE, "json": CODEC_JSON, "binary": CODEC_BINARY}
+
+
+class PayloadCodec(Protocol):
+    """The interface every codec implements."""
+
+    id: int
+    name: str
+
+    def encode_into(self, obj: Any, buf: bytearray) -> None: ...
+
+    def encode(self, obj: Any) -> bytes: ...
+
+    def decode(self, data: bytes) -> Any: ...
+
+
+#: Shared stateless instances (the lazy binary variant is per-decoder).
+_PICKLE = PickleCodec()
+_JSON = JsonCodec()
+_BINARY = BinaryCodec()
+_BINARY_LAZY = BinaryCodec(lazy=True)
+
+_BY_ID: dict[int, PayloadCodec] = {
+    CODEC_PICKLE: _PICKLE,
+    CODEC_JSON: _JSON,
+    CODEC_BINARY: _BINARY,
+}
+
+
+def codec_for(codec_id: int, lazy: bool = False) -> PayloadCodec:
+    """The codec instance for a wire codec id.
+
+    Args:
+        codec_id: one of :data:`CODEC_IDS`.
+        lazy: relay mode — for the binary codec, blob fields decode as
+            :class:`Opaque` spans; the fallback codecs ignore it (they
+            cannot relay without materializing).
+
+    Raises:
+        CodecError: unknown id.
+    """
+    if lazy and codec_id == CODEC_BINARY:
+        return _BINARY_LAZY
+    codec = _BY_ID.get(codec_id)
+    if codec is None:
+        raise CodecError(f"unknown codec id {codec_id}")
+    return codec
+
+
+def codec_named(name: str) -> int:
+    """Map a codec name (CLI / ``Scenario(codec=)``) to its wire id."""
+    try:
+        return CODEC_NAMES[name]
+    except KeyError:
+        raise CodecError(
+            f"unknown codec {name!r}; expected one of {sorted(CODEC_NAMES)}"
+        ) from None

@@ -39,6 +39,7 @@ from ..runtime.protocol import Protocol
 from ..types import DecisionKind, ProcessId, SystemConfig, Value
 from ..underlying.base import UC_DECIDE_TAG, UnderlyingConsensus
 from ..underlying.oracle import OracleConsensus
+from ..codec.schema import wire_record
 
 #: Factory signature for the underlying consensus child ("uc" slot).
 UcFactory = Callable[[ProcessId, SystemConfig], UnderlyingConsensus]
@@ -53,6 +54,7 @@ UcFactory = Callable[[ProcessId, SystemConfig], UnderlyingConsensus]
 IdbFactory = Callable[[ProcessId, SystemConfig], Protocol]
 
 
+@wire_record(tag=16)
 @dataclass(frozen=True, slots=True)
 class DexProposal:
     """The plain (``P-Send``) proposal message of line 3."""

@@ -16,14 +16,18 @@ from .recovery import (
     DurabilityConfig,
     NodeDurability,
     RecoveredState,
+    SlotDecided,
 )
 from .snapshot import SNAPSHOT_NAME, ShardSnapshot, SnapshotStore
 from .wal import (
     DEFAULT_MAX_RECORD,
+    LEGACY_PICKLE,
     ApplyRecord,
     DecideRecord,
     ProposeRecord,
+    ReadResult,
     WriteAheadLog,
+    codec_label,
     encode_record,
     scan_records,
 )
@@ -36,14 +40,18 @@ __all__ = [
     "DEFAULT_MAX_RECORD",
     "DecideRecord",
     "DurabilityConfig",
+    "LEGACY_PICKLE",
     "MAX_CATCHUP_ENTRIES",
     "NodeDurability",
     "ProposeRecord",
+    "ReadResult",
     "RecoveredState",
     "SNAPSHOT_NAME",
     "ShardSnapshot",
+    "SlotDecided",
     "SnapshotStore",
     "WriteAheadLog",
+    "codec_label",
     "encode_record",
     "scan_records",
 ]

@@ -33,9 +33,11 @@ the socket engine (a re-forked OS process re-authenticating to the hub).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..codec import CODEC_NAMES
+from ..codec.schema import wire_record
 from ..errors import ConfigurationError
 from ..types import ProcessId
 from .snapshot import ShardSnapshot, SnapshotStore
@@ -47,6 +49,7 @@ __all__ = [
     "RecoveredState",
     "CatchUpRequest",
     "CatchUpReply",
+    "SlotDecided",
     "CatchUpTracker",
     "MAX_CATCHUP_ENTRIES",
 ]
@@ -72,17 +75,24 @@ class DurabilityConfig:
             engines' fault model — needs only the default flush).
         snapshot_every: decided slots between snapshots (0 = never
             snapshot, replay the whole log).
+        codec: :mod:`repro.codec` name for new WAL records and snapshots
+            ("binary" default); reads accept any codec the files declare.
     """
 
     root: str
     fsync: bool = False
     snapshot_every: int = 8
+    codec: str = "binary"
 
     def __post_init__(self) -> None:
         if not self.root:
             raise ConfigurationError("durability root must be a directory path")
         if self.snapshot_every < 0:
             raise ConfigurationError("snapshot_every must be non-negative")
+        if self.codec not in CODEC_NAMES:
+            raise ConfigurationError(
+                f"unknown codec {self.codec!r}; expected one of {sorted(CODEC_NAMES)}"
+            )
 
     def node_dir(self, pid: ProcessId) -> str:
         return os.path.join(self.root, f"node{pid}")
@@ -94,13 +104,20 @@ class DurabilityConfig:
 
 @dataclass(frozen=True)
 class RecoveredState:
-    """What disk gave back: the state to resume from."""
+    """What disk gave back: the state to resume from.
+
+    ``wal_codecs`` reports which codec each recovered WAL record used
+    (label → count, e.g. ``{"legacy-pickle": 3, "binary": 12}``) — the
+    read-side shim's accounting, so an upgrade that left mixed logs
+    behind is visible rather than silent.
+    """
 
     slots: dict[int, int]
     applied: dict[int, list[tuple]]
     replayed_records: int
     from_snapshot: bool
     truncated_bytes: int = 0
+    wal_codecs: dict[str, int] = field(default_factory=dict)
 
 
 class NodeDurability:
@@ -118,9 +135,14 @@ class NodeDurability:
         self.pid = pid
         self.directory = config.node_dir(pid)
         os.makedirs(self.directory, exist_ok=True)
-        self.snapshots = SnapshotStore(self.directory, fsync=config.fsync)
+        codec_id = CODEC_NAMES[config.codec]
+        self.snapshots = SnapshotStore(
+            self.directory, fsync=config.fsync, codec=codec_id
+        )
         self.wal = WriteAheadLog(
-            os.path.join(self.directory, "wal.log"), fsync=config.fsync
+            os.path.join(self.directory, "wal.log"),
+            fsync=config.fsync,
+            codec=codec_id,
         )
         self._seq = 0
         self._since_snapshot = 0
@@ -199,6 +221,7 @@ class NodeDurability:
             replayed_records=replayed,
             from_snapshot=snapshot is not None,
             truncated_bytes=self.wal.truncated_bytes,
+            wal_codecs=self.wal.recovered_codec_counts(),
         )
 
     def close(self) -> None:
@@ -208,6 +231,7 @@ class NodeDurability:
 # -- the rejoin wire vocabulary --------------------------------------------------------
 
 
+@wire_record(tag=36)
 @dataclass(frozen=True, slots=True)
 class CatchUpRequest:
     """Recovering replica → peers: "what decided past my frontier?"
@@ -221,6 +245,7 @@ class CatchUpRequest:
     frontier: tuple[tuple[int, int], ...]
 
 
+@wire_record(tag=37)
 @dataclass(frozen=True, slots=True)
 class CatchUpReply:
     """Peer → recovering replica: decided entries past the requested
@@ -229,6 +254,26 @@ class CatchUpReply:
     round: int
     entries: tuple[tuple[int, int, tuple], ...]
     frontier: tuple[tuple[int, int], ...]
+
+
+@wire_record(tag=38)
+@dataclass(frozen=True, slots=True)
+class SlotDecided:
+    """Peer → lagging replica: "this slot already decided; here is the
+    batch."
+
+    Sent unsolicited in two situations a :class:`CatchUpReply` cannot
+    cover: a consensus envelope arrives for an instance the receiver has
+    already settled (the sender is visibly behind), and a slot settles
+    while a peer's :class:`CatchUpRequest` is still outstanding (the
+    decision landed *between* catch-up rounds).  Adoption follows the
+    same ``t + 1`` identical-batch rule as catch-up replies — a single
+    Byzantine ``SlotDecided`` can never plant state.
+    """
+
+    shard: int
+    slot: int
+    batch: tuple
 
 
 class CatchUpTracker:

@@ -13,9 +13,10 @@ flush (and optionally fsync), then ``os.replace`` onto ``snapshot.bin``.
 complete snapshot or the new complete snapshot, never a torn hybrid — a
 crash mid-write loses at most the *new* snapshot, and the WAL records it
 would have compacted are still on disk.  The payload carries the same
-``length | crc32`` header as a WAL record, so a corrupt snapshot is
-detected and ignored (recovery then falls back to genesis + full log
-replay) instead of poisoning the restarted node.
+``length | crc32 | codec id`` framing as a WAL record (struct-packed
+binary by default, with the same legacy raw-pickle read shim), so a
+corrupt snapshot is detected and ignored (recovery then falls back to
+genesis + full log replay) instead of poisoning the restarted node.
 """
 
 from __future__ import annotations
@@ -26,6 +27,9 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 
+from ..codec import CODEC_BINARY, CODEC_IDS, codec_for
+from ..codec.schema import wire_record
+
 __all__ = ["ShardSnapshot", "SnapshotStore", "SNAPSHOT_NAME"]
 
 #: File names inside a node's durability directory.
@@ -35,6 +39,7 @@ SNAPSHOT_TMP = "snapshot.tmp"
 _HEADER = struct.Struct("!II")
 
 
+@wire_record(tag=35)
 @dataclass(frozen=True)
 class ShardSnapshot:
     """Point-in-time durable state of one sharded replica.
@@ -61,17 +66,22 @@ class SnapshotStore:
     Args:
         directory: the node's durability directory (must exist).
         fsync: flush the temp file to stable storage before the rename.
+        codec: :mod:`repro.codec` id for new snapshots (binary default);
+            the read side decodes whatever the file declares.
     """
 
-    def __init__(self, directory: str, fsync: bool = False) -> None:
+    def __init__(
+        self, directory: str, fsync: bool = False, codec: int = CODEC_BINARY
+    ) -> None:
         self.directory = directory
         self.fsync = fsync
+        self.codec = codec
         self.path = os.path.join(directory, SNAPSHOT_NAME)
         self._tmp = os.path.join(directory, SNAPSHOT_TMP)
 
     def save(self, snapshot: ShardSnapshot) -> None:
         """Write ``snapshot`` atomically (write temp → flush → rename)."""
-        payload = pickle.dumps(snapshot, pickle.HIGHEST_PROTOCOL)
+        payload = bytes((self.codec,)) + codec_for(self.codec).encode(snapshot)
         blob = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         with open(self._tmp, "wb") as fh:
             fh.write(blob)
@@ -96,10 +106,15 @@ class SnapshotStore:
             return None
         length, crc = _HEADER.unpack_from(data)
         payload = data[_HEADER.size : _HEADER.size + length]
-        if len(payload) != length or zlib.crc32(payload) != crc:
+        if len(payload) != length or len(payload) == 0 or zlib.crc32(payload) != crc:
             return None
         try:
-            snapshot = pickle.loads(payload)
+            # Same discrimination as the WAL shim: a codec-id first byte
+            # vs. a legacy raw pickle's 0x80 PROTO opcode.
+            if payload[0] in CODEC_IDS:
+                snapshot = codec_for(payload[0]).decode(payload[1:])
+            else:
+                snapshot = pickle.loads(payload)
         except Exception:
             return None
         return snapshot if isinstance(snapshot, ShardSnapshot) else None

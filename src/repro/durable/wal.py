@@ -9,15 +9,21 @@ with a CRC-32 in place of the wire version/codec header (a log is read
 back by the process family that wrote it, but the *bytes* may be torn by
 the crash that makes the log matter)::
 
-    +----------------+----------------+-----------------+
-    | length (4B BE) | crc32 (4B BE)  | payload (bytes) |
-    +----------------+----------------+-----------------+
+    +----------------+----------------+----------------+--------------+
+    | length (4B BE) | crc32 (4B BE)  | codec id (1B)  | body (bytes) |
+    +----------------+----------------+----------------+--------------+
 
-``length`` counts the payload only; the payload is one pickled record
-dataclass.  Recovery never raises on a damaged log: :func:`scan_records`
-walks records until the first hole — a torn final record (the classic
+``length`` counts the payload (codec byte + body); the body is one record
+dataclass encoded by the named :mod:`repro.codec` codec — struct-packed
+binary by default.  Pre-codec logs carried a raw pickle with no codec
+byte; since a pickle at ``HIGHEST_PROTOCOL`` always begins with the
+``0x80`` PROTO opcode and codec ids are small integers, the first payload
+byte discriminates the two soundly and old logs keep reading
+(:data:`LEGACY_PICKLE` in the :class:`ReadResult` accounting marks them).
+Recovery never raises on a damaged log: :func:`scan_records` walks
+records until the first hole — a torn final record (the classic
 crash-mid-append), a flipped CRC byte, an implausible length, an
-unpicklable payload — and everything from the hole onward is discarded,
+undecodable payload — and everything from the hole onward is discarded,
 because nothing after a corrupt record can be trusted to be aligned.
 :class:`WriteAheadLog` then truncates the file back to the last good
 record, so the log is append-ready again.
@@ -35,17 +41,33 @@ import os
 import pickle
 import struct
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
+
+from ..codec import CODEC_BINARY, CODEC_IDS, codec_for
+from ..codec.schema import wire_record
 
 __all__ = [
     "ProposeRecord",
     "DecideRecord",
     "ApplyRecord",
+    "ReadResult",
+    "LEGACY_PICKLE",
+    "codec_label",
     "encode_record",
     "scan_records",
     "WriteAheadLog",
 ]
+
+#: Pseudo codec id for pre-codec records (raw pickle, no codec byte).
+LEGACY_PICKLE = 0
+
+_CODEC_LABELS = {LEGACY_PICKLE: "legacy-pickle", 1: "pickle", 2: "json", 3: "binary"}
+
+
+def codec_label(codec_id: int) -> str:
+    """Human-readable name of a per-record codec id."""
+    return _CODEC_LABELS.get(codec_id, f"codec-{codec_id}")
 
 #: Cap on one record's payload — mirrors the wire-frame cap: a batch of
 #: client commands is a few hundred bytes, so anything near this is
@@ -55,6 +77,7 @@ DEFAULT_MAX_RECORD = 1 << 20
 _HEADER = struct.Struct("!II")  # payload length, crc32(payload)
 
 
+@wire_record(tag=32)
 @dataclass(frozen=True, slots=True)
 class ProposeRecord:
     """This replica proposed ``batch`` for ``(shard, slot)``.
@@ -68,6 +91,7 @@ class ProposeRecord:
     batch: tuple
 
 
+@wire_record(tag=33)
 @dataclass(frozen=True, slots=True)
 class DecideRecord:
     """Slot ``(shard, slot)`` decided; ``kind`` is the decision path
@@ -79,6 +103,7 @@ class DecideRecord:
     kind: str
 
 
+@wire_record(tag=34)
 @dataclass(frozen=True, slots=True)
 class ApplyRecord:
     """``batch`` was applied to ``(shard, slot)``'s state machine.
@@ -91,13 +116,15 @@ class ApplyRecord:
     batch: tuple
 
 
-def encode_record(record: Any, max_record: int = DEFAULT_MAX_RECORD) -> bytes:
-    """One record as a complete on-disk frame.
+def encode_record(
+    record: Any, max_record: int = DEFAULT_MAX_RECORD, codec: int = CODEC_BINARY
+) -> bytes:
+    """One record as a complete on-disk frame (codec byte + encoded body).
 
     Raises:
-        ValueError: the pickled payload exceeds ``max_record``.
+        ValueError: the encoded payload exceeds ``max_record``.
     """
-    payload = pickle.dumps(record, pickle.HIGHEST_PROTOCOL)
+    payload = bytes((codec,)) + codec_for(codec).encode(record)
     if len(payload) > max_record:
         raise ValueError(
             f"record payload of {len(payload)} bytes exceeds the cap of {max_record}"
@@ -105,29 +132,65 @@ def encode_record(record: Any, max_record: int = DEFAULT_MAX_RECORD) -> bytes:
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def scan_records(
-    path: str, max_record: int = DEFAULT_MAX_RECORD
-) -> tuple[list[Any], int]:
+@dataclass
+class ReadResult:
+    """What a log scan trusted, with per-record codec accounting.
+
+    Attributes:
+        records: every record up to the first hole, in append order.
+        good_bytes: offset of the first byte that cannot be trusted (the
+            self-healing truncation point).
+        codecs: per-record codec ids, parallel to ``records`` —
+            :data:`LEGACY_PICKLE` marks pre-codec raw-pickle records read
+            through the compatibility shim.
+    """
+
+    records: list[Any] = field(default_factory=list)
+    good_bytes: int = 0
+    codecs: list[int] = field(default_factory=list)
+
+    def codec_counts(self) -> dict[str, int]:
+        """Records per codec, by label (e.g. ``{"binary": 12}``)."""
+        counts: dict[str, int] = {}
+        for codec_id in self.codecs:
+            label = codec_label(codec_id)
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+
+def _decode_payload(payload: bytes) -> tuple[Any, int]:
+    """One payload → (record, codec id); the read-side compatibility shim.
+
+    A codec-prefixed payload starts with a small codec id; a legacy raw
+    pickle starts with the ``0x80`` PROTO opcode.  Ambiguity is impossible
+    because the sets are disjoint.
+    """
+    first = payload[0]
+    if first in CODEC_IDS:
+        return codec_for(first).decode(payload[1:]), first
+    return pickle.loads(payload), LEGACY_PICKLE
+
+
+def scan_records(path: str, max_record: int = DEFAULT_MAX_RECORD) -> ReadResult:
     """Read every trustworthy record off a log file.
 
-    Returns ``(records, good_bytes)`` where ``good_bytes`` is the offset
-    of the first byte that cannot be trusted.  A missing file is an empty
-    log.  Corruption is a *stop*, never an exception: a torn tail, a
-    failed CRC, an implausible length and an unpicklable payload all end
-    the scan at the last good record — bytes after a hole have no reliable
-    framing and are dropped wholesale.
+    Returns a :class:`ReadResult`; a missing file is an empty log.
+    Corruption is a *stop*, never an exception: a torn tail, a failed CRC,
+    an implausible length and an undecodable payload all end the scan at
+    the last good record — bytes after a hole have no reliable framing and
+    are dropped wholesale.
     """
+    result = ReadResult()
     try:
         with open(path, "rb") as fh:
             data = fh.read()
     except FileNotFoundError:
-        return [], 0
-    records: list[Any] = []
+        return result
     offset = 0
     header = _HEADER.size
     while offset + header <= len(data):
         length, crc = _HEADER.unpack_from(data, offset)
-        if length > max_record:
+        if length > max_record or length == 0:
             break  # implausible length: corrupt header
         end = offset + header + length
         if end > len(data):
@@ -136,12 +199,14 @@ def scan_records(
         if zlib.crc32(payload) != crc:
             break  # bit rot or a torn overwrite
         try:
-            record = pickle.loads(payload)
+            record, codec_id = _decode_payload(payload)
         except Exception:
             break  # CRC collided with garbage; do not trust the rest
-        records.append(record)
+        result.records.append(record)
+        result.codecs.append(codec_id)
         offset = end
-    return records, offset
+    result.good_bytes = offset
+    return result
 
 
 class WriteAheadLog:
@@ -158,31 +223,52 @@ class WriteAheadLog:
             machine, not just the process) — the knob experiment E20
             prices.
         max_record: per-record payload cap, enforced both ways.
+        codec: :mod:`repro.codec` id for *new* appends (binary default);
+            the read side decodes whatever each record declares, so a log
+            may mix codecs across a version upgrade.
     """
 
     def __init__(
-        self, path: str, fsync: bool = False, max_record: int = DEFAULT_MAX_RECORD
+        self,
+        path: str,
+        fsync: bool = False,
+        max_record: int = DEFAULT_MAX_RECORD,
+        codec: int = CODEC_BINARY,
     ) -> None:
         self.path = path
         self.fsync = fsync
         self.max_record = max_record
-        records, good = scan_records(path, max_record)
-        self.recovered: list[Any] = records
+        self.codec = codec
+        scan = scan_records(path, max_record)
+        self.recovered: list[Any] = scan.records
+        #: per-record codec ids of the recovered records (parallel list);
+        #: :func:`ReadResult.codec_counts`-style summary via
+        #: :meth:`recovered_codec_counts`.
+        self.recovered_codecs: list[int] = scan.codecs
         self.truncated_bytes = 0
         try:
             size = os.path.getsize(path)
         except OSError:
             size = 0
-        if size > good:
-            self.truncated_bytes = size - good
+        if size > scan.good_bytes:
+            self.truncated_bytes = size - scan.good_bytes
             with open(path, "r+b") as fh:
-                fh.truncate(good)
+                fh.truncate(scan.good_bytes)
         self._file = open(path, "ab")
-        self.record_count = len(records)
+        self.record_count = len(scan.records)
+
+    def recovered_codec_counts(self) -> dict[str, int]:
+        """Recovered records per codec, by label (the read-side shim's
+        accounting: e.g. ``{"legacy-pickle": 3, "binary": 12}``)."""
+        counts: dict[str, int] = {}
+        for codec_id in self.recovered_codecs:
+            label = codec_label(codec_id)
+            counts[label] = counts.get(label, 0) + 1
+        return counts
 
     def append(self, record: Any) -> None:
         """Durably append one record (flushed; fsynced when configured)."""
-        self._file.write(encode_record(record, self.max_record))
+        self._file.write(encode_record(record, self.max_record, self.codec))
         self._file.flush()
         if self.fsync:
             os.fsync(self._file.fileno())
@@ -196,6 +282,7 @@ class WriteAheadLog:
             os.fsync(self._file.fileno())
         self.record_count = 0
         self.recovered = []
+        self.recovered_codecs = []
 
     def close(self) -> None:
         try:

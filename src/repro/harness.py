@@ -328,6 +328,10 @@ class Deployment:
         event_sink: receives the structured run events of any backend.
         net_jitter: hub jitter model on the socket engine — ``"uniform"``
             (bounded) or ``"lognormal"`` (long-tailed), both seeded.
+        codec: wire codec of the socket engine by name — ``"binary"``
+            (default, the struct-packed data plane), ``"pickle"``, or
+            ``"json"``; see :mod:`repro.codec`.  In-memory engines never
+            serialize, so they ignore it.
         restarts: per-pid :class:`~repro.engine.faults.RestartPlan`
             crash-recovery schedules (kill at ``at``, relaunch
             ``restart_after`` later with a freshly built protocol).
@@ -349,6 +353,7 @@ class Deployment:
     max_events: int | None = None
     event_sink: EventSink | None = None
     net_jitter: str = "uniform"
+    codec: str = "binary"
     restarts: dict[ProcessId, RestartPlan] = field(default_factory=dict)
     durability: Any = None
 
@@ -357,6 +362,12 @@ class Deployment:
             raise ConfigurationError(
                 f"unknown net jitter {self.net_jitter!r} "
                 f"(one of: {', '.join(NET_JITTERS)})"
+            )
+        from .codec import CODEC_NAMES
+
+        if self.codec not in CODEC_NAMES:
+            raise ConfigurationError(
+                f"unknown codec {self.codec!r} (one of: {', '.join(sorted(CODEC_NAMES))})"
             )
 
     def _reject_restarts(self, engine: str) -> None:
@@ -488,6 +499,7 @@ class Deployment:
     ):
         """Run as real OS processes over sockets; returns a
         :class:`~repro.net.cluster.NetRunResult`."""
+        from .codec import codec_named
         from .net.cluster import NetCluster
 
         cluster = NetCluster(
@@ -499,6 +511,7 @@ class Deployment:
             mean_delay=mean_delay,
             event_sink=self.event_sink,
             transport=transport,
+            codec=codec_named(self.codec),
             link_plan=link_plan,
             jitter=self.net_jitter,
             batch_deliveries=batch_deliveries,
@@ -542,6 +555,9 @@ class Scenario:
             ``"net"`` (one OS process per node over real sockets).
         event_sink: optional :class:`~repro.engine.events.EventSink`
             receiving the structured run events of any backend.
+        codec: socket-engine wire codec by name — ``"binary"`` (default),
+            ``"pickle"``, or ``"json"``; see :mod:`repro.codec`.  The
+            in-memory engines never serialize, so they ignore it.
         durability: optional :class:`~repro.durable.DurabilityConfig`.
             Consensus algorithms hold no replicated state machine, so a
             plain scenario only carries it through to the deployment
@@ -566,6 +582,7 @@ class Scenario:
     engine: str = "sim"
     event_sink: EventSink | None = None
     net_jitter: str = "uniform"
+    codec: str = "binary"
     durability: Any = None
     #: derived in ``__post_init__`` — not an init arg, ignored by clones.
     config: SystemConfig = field(init=False, repr=False, compare=False)
@@ -596,6 +613,12 @@ class Scenario:
             raise ConfigurationError(
                 f"unknown net jitter {self.net_jitter!r} "
                 f"(one of: {', '.join(NET_JITTERS)})"
+            )
+        from .codec import CODEC_NAMES
+
+        if self.codec not in CODEC_NAMES:
+            raise ConfigurationError(
+                f"unknown codec {self.codec!r} (one of: {', '.join(sorted(CODEC_NAMES))})"
             )
 
     # -- wiring ----------------------------------------------------------------------
@@ -667,6 +690,7 @@ class Scenario:
             max_events=self.max_events,
             event_sink=self.event_sink,
             net_jitter=self.net_jitter,
+            codec=self.codec,
             restarts=restarts,
             durability=self.durability,
         )

@@ -247,6 +247,57 @@ def bench_delivery_batching(
     return modes
 
 
+def bench_codec_ablation(
+    n: int = 7, runs: int = 5, timeout: float = 20.0
+) -> dict[str, Any]:
+    """Payload-codec economy: struct-packed binary vs pickle, same runs.
+
+    The contended workload again, same seeds per cell; the only knob is
+    :class:`~repro.harness.Scenario`'s ``codec``.  Binary keeps consensus
+    payloads opaque through the hub (zero-decode relay) and struct-packs
+    the control plane, so the cell reports both the rate (hub messages per
+    wall second) and the size (hub bytes per frame) axes.
+    """
+    inputs = split(1, 2, n, n // 2)
+    cells: dict[str, dict[str, Any]] = {}
+    for codec in ("pickle", "binary"):
+        frames = 0
+        hub_bytes = 0
+        delivered = 0
+        wall = 0.0
+        for seed in range(1, runs + 1):
+            scenario = Scenario(dex_freq(), inputs, seed=seed, codec=codec)
+            result = scenario.run_net(timeout=timeout)
+            frames += result.hub_frames
+            hub_bytes += result.hub_bytes
+            delivered += result.stats.messages_delivered
+            wall += result.wall_seconds
+        cells[codec] = {
+            "runs": runs,
+            "hub_frames": frames,
+            "hub_bytes": hub_bytes,
+            "messages_delivered": delivered,
+            "wall_seconds": round(wall, 4),
+            "hub_msgs_per_s": round(delivered / wall, 1) if wall else 0.0,
+            "bytes_per_frame": round(hub_bytes / frames, 1) if frames else 0.0,
+        }
+    pickle_rate = cells["pickle"]["hub_msgs_per_s"]
+    binary_bpf = cells["binary"]["bytes_per_frame"]
+    cells["binary_vs_pickle"] = {
+        "msgs_per_s_speedup": (
+            round(cells["binary"]["hub_msgs_per_s"] / pickle_rate, 2)
+            if pickle_rate
+            else None
+        ),
+        "bytes_per_frame_ratio": (
+            round(cells["pickle"]["bytes_per_frame"] / binary_bpf, 2)
+            if binary_bpf
+            else None
+        ),
+    }
+    return cells
+
+
 def run_net_bench(
     n: int = 7, runs: int = 10, timeout: float = 20.0
 ) -> dict[str, Any]:
@@ -301,6 +352,9 @@ def run_net_bench(
         "runs_per_workload": runs,
         "workloads": workloads,
         "delivery_batching": bench_delivery_batching(
+            n=n, runs=min(runs, 5), timeout=timeout
+        ),
+        "codec_ablation": bench_codec_ablation(
             n=n, runs=min(runs, 5), timeout=timeout
         ),
     }

@@ -39,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..codec import CODEC_IDS, Opaque
 from ..engine.events import EventSink
 from ..engine.faults import RestartPlan
 from ..engine.interpreter import dispatch_service_call
@@ -53,6 +54,7 @@ from .events import HubEvents, StreamClock
 from .faults import LinkPlan, ProcessCrash
 from .node import node_main
 from .wire import (
+    CODEC_BINARY,
     CODEC_PICKLE,
     DEFAULT_MAX_FRAME,
     FrameDecoder,
@@ -68,7 +70,7 @@ from .wire import (
     Start,
     Stop,
     TruncatedStream,
-    encode_frame,
+    encode_frame_into,
 )
 
 #: Supported transports for the hub listener.
@@ -97,6 +99,9 @@ class NetRunResult(AsyncRunResult):
     #: frames the hub wrote to node sockets (delivery batching shrinks this
     #: without changing ``stats.messages_delivered``).
     hub_frames: int = 0
+    #: bytes the hub wrote to node sockets (the codec ablation's
+    #: bytes-per-frame denominator is ``hub_bytes / hub_frames``).
+    hub_bytes: int = 0
 
 
 @dataclass
@@ -106,6 +111,9 @@ class _Conn:
     pid: ProcessId
     sock: socket.socket
     decoder: FrameDecoder
+    #: wire codec for this connection — announced by the node's Hello, so
+    #: mixed-codec clusters work (the hub speaks each node's dialect).
+    codec: int = CODEC_PICKLE
 
 
 class NetCluster:
@@ -123,7 +131,9 @@ class NetCluster:
         event_sink: optional structured-event sink; times are wall-clock
             seconds since the run started.
         transport: ``"uds"`` (default) or ``"tcp"`` (loopback).
-        codec: wire codec (:data:`~repro.net.wire.CODEC_PICKLE` default).
+        codec: wire codec (:data:`~repro.net.wire.CODEC_BINARY` default —
+            the struct-packed data plane; nodes announce theirs in the
+            Hello frame and the hub honors it per connection).
         max_frame: frame size cap, enforced on every link in both
             directions.
         link_plan: transport-level fault plan (see
@@ -160,7 +170,7 @@ class NetCluster:
         mean_delay: float = 0.0005,
         event_sink: EventSink | None = None,
         transport: str = "uds",
-        codec: int = CODEC_PICKLE,
+        codec: int = CODEC_BINARY,
         max_frame: int = DEFAULT_MAX_FRAME,
         link_plan: LinkPlan | None = None,
         chaos: Mapping[ProcessId, ProcessCrash] | None = None,
@@ -206,6 +216,10 @@ class NetCluster:
             else None
         )
         self.hub_frames = 0
+        self.hub_bytes = 0
+        #: reusable frame-encode buffer: the hub's entire write side goes
+        #: through it, so steady-state routing allocates no per-frame bytes.
+        self._send_buf = bytearray()
         self.stats = RunStats()
         self.decisions: dict[ProcessId, Decision] = {}
         self.outputs: dict[ProcessId, list[Deliver]] = {
@@ -334,7 +348,7 @@ class NetCluster:
         sock.settimeout(1.0)
         if self.transport == "tcp":
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        decoder = FrameDecoder(self.max_frame)
+        decoder = FrameDecoder(self.max_frame, lazy=True)
         try:
             data = sock.recv(4096)
         except (TimeoutError, OSError):
@@ -343,16 +357,26 @@ class NetCluster:
         if data:
             for msg in decoder.feed(data):
                 if isinstance(msg, Hello) and msg.pid in self._pending_restart:
-                    self._register_restarted(msg.pid, sock, decoder)
+                    self._register_restarted(msg.pid, sock, decoder, msg.codec)
                     return
         sock.close()
 
+    def _conn_codec(self, announced: int) -> int:
+        """The codec to speak on a connection: the node's announced codec
+        when it is a known id, the cluster default otherwise (``0`` = the
+        node expressed no preference)."""
+        return announced if announced in CODEC_IDS else self.codec
+
     def _register_restarted(
-        self, pid: ProcessId, sock: socket.socket, decoder: FrameDecoder
+        self,
+        pid: ProcessId,
+        sock: socket.socket,
+        decoder: FrameDecoder,
+        announced: int = 0,
     ) -> None:
         self._pending_restart.discard(pid)
         self._dead.discard(pid)
-        conn = _Conn(pid, sock, decoder)
+        conn = _Conn(pid, sock, decoder, self._conn_codec(announced))
         self._conns[pid] = conn
         if self._selector is not None:
             self._selector.register(sock, selectors.EVENT_READ, conn)
@@ -376,7 +400,7 @@ class NetCluster:
                 sock.settimeout(1.0)
                 if self.transport == "tcp":
                     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                pending.append((sock, FrameDecoder(self.max_frame)))
+                pending.append((sock, FrameDecoder(self.max_frame, lazy=True)))
             pending = [p for p in pending if not self._try_hello(*p, deadline)]
         for sock, _ in pending:
             sock.close()
@@ -401,23 +425,83 @@ class NetCluster:
             return True
         for msg in decoder.feed(data):
             if isinstance(msg, Hello) and msg.pid in range(self.config.n):
-                self._conns[msg.pid] = _Conn(msg.pid, sock, decoder)
+                self._conns[msg.pid] = _Conn(
+                    msg.pid, sock, decoder, self._conn_codec(msg.codec)
+                )
                 return True
         return False
 
     # -- frame plumbing --------------------------------------------------------------
 
+    @staticmethod
+    def _materialize_for(codec: int, msg: Any) -> Any:
+        """Decode relayed :class:`~repro.codec.Opaque` spans when the
+        destination connection does not speak the binary codec (mixed-codec
+        cluster): a span splices only into binary frames."""
+        if codec == CODEC_BINARY:
+            return msg
+        if type(msg) is MsgDeliver and type(msg.payload) is Opaque:
+            return MsgDeliver(msg.sender, msg.payload.decode(), msg.depth)
+        if type(msg) is MsgDeliverBatch:
+            return MsgDeliverBatch(
+                tuple(
+                    (s, p.decode() if type(p) is Opaque else p, d)
+                    for s, p, d in msg.entries
+                )
+            )
+        return msg
+
     def _write(self, pid: ProcessId, msg: Any) -> bool:
         conn = self._conns.get(pid)
         if conn is None or pid in self._dead:
             return False
+        buf = self._send_buf
+        buf.clear()
+        encode_frame_into(
+            self._materialize_for(conn.codec, msg), buf, conn.codec, self.max_frame
+        )
         try:
-            conn.sock.sendall(encode_frame(msg, self.codec, self.max_frame))
+            conn.sock.sendall(buf)
             self.hub_frames += 1
+            self.hub_bytes += len(buf)
             return True
         except OSError:
             self._mark_dead(pid)
             return False
+
+    def _write_frames(
+        self, pid: ProcessId, msgs: list[Any]
+    ) -> list[Any]:
+        """Encode several frames into one buffer and write them with a
+        single ``sendall`` (writev-style coalescing: one syscall per
+        destination per delivery sweep instead of one per frame).
+
+        A frame that overflows ``max_frame`` is re-queued by the caller;
+        returns the messages actually written (all of them, or none on a
+        dead connection).
+
+        Raises:
+            FrameTooLarge: some frame exceeds the cap — nothing is sent;
+                the caller falls back per-frame.
+        """
+        conn = self._conns.get(pid)
+        if conn is None or pid in self._dead:
+            return []
+        buf = self._send_buf
+        buf.clear()
+        codec = conn.codec
+        for msg in msgs:
+            encode_frame_into(
+                self._materialize_for(codec, msg), buf, codec, self.max_frame
+            )
+        try:
+            conn.sock.sendall(buf)
+            self.hub_frames += len(msgs)
+            self.hub_bytes += len(buf)
+            return msgs
+        except OSError:
+            self._mark_dead(pid)
+            return []
 
     def _mark_dead(self, pid: ProcessId) -> None:
         if pid in self._dead:
@@ -490,26 +574,31 @@ class NetCluster:
             batches[dst].append((sender, payload, depth))
         for dst in order:
             entries = batches[dst]
+            frames: list[Any] = []
+            per_frame: list[list[tuple[ProcessId, Any, int]]] = []
             for at in range(0, len(entries), DELIVERY_BATCH_CHUNK):
                 chunk = entries[at : at + DELIVERY_BATCH_CHUNK]
-                delivered: list[tuple[ProcessId, Any, int]] = []
                 if len(chunk) == 1:
-                    if self._write(dst, MsgDeliver(*chunk[0])):
-                        delivered = chunk
+                    frames.append(MsgDeliver(*chunk[0]))
                 else:
-                    try:
-                        if self._write(dst, MsgDeliverBatch(tuple(chunk))):
-                            delivered = chunk
-                    except FrameTooLarge:
-                        # huge payloads: fall back to one frame per message
-                        delivered = [
-                            entry
-                            for entry in chunk
-                            if self._write(dst, MsgDeliver(*entry))
-                        ]
-                for sender, payload, depth in delivered:
-                    self.stats.messages_delivered += 1
-                    self.events.deliver(dst, sender, payload, depth)
+                    frames.append(MsgDeliverBatch(tuple(chunk)))
+                per_frame.append(chunk)
+            delivered: list[tuple[ProcessId, Any, int]] = []
+            try:
+                # One coalesced write per destination per sweep.
+                if self._write_frames(dst, frames):
+                    delivered = entries
+            except FrameTooLarge:
+                # huge payloads: fall back to one frame per message
+                delivered = [
+                    entry
+                    for chunk in per_frame
+                    for entry in chunk
+                    if self._write(dst, MsgDeliver(*entry))
+                ]
+            for sender, payload, depth in delivered:
+                self.stats.messages_delivered += 1
+                self.events.deliver(dst, sender, payload, depth)
 
     def _handle(self, conn: _Conn, msg: Any) -> None:
         pid = conn.pid
@@ -630,6 +719,7 @@ class NetCluster:
             exit_codes=exit_codes,
             transport=self.transport,
             hub_frames=self.hub_frames,
+            hub_bytes=self.hub_bytes,
         )
 
     def _pump(self, conn: _Conn) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Any
 
+from ..codec import Opaque
 from ..engine.events import (
     DecideEvent,
     DeliverEvent,
@@ -31,6 +32,16 @@ from ..engine.events import (
     ServiceEvent,
 )
 from ..types import ProcessId
+
+
+def _materialize(payload: Any) -> Any:
+    """Decode a relayed payload span for the event stream.
+
+    The hub forwards binary-codec payloads as :class:`~repro.codec.Opaque`
+    spans without decoding; only an attached sink ever needs the object,
+    so the decode happens here — on emit, never on the relay fast path.
+    """
+    return payload.decode() if type(payload) is Opaque else payload
 
 
 class StreamClock:
@@ -62,12 +73,14 @@ class HubEvents:
 
     def send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
         if self.sink is not None:
+            payload = _materialize(payload)
             self.sink.emit(SendEvent(self.clock.now(), src, dst, payload, depth))
 
     def deliver(
         self, dst: ProcessId, sender: ProcessId, payload: Any, depth: int
     ) -> None:
         if self.sink is not None:
+            payload = _materialize(payload)
             self.sink.emit(DeliverEvent(self.clock.now(), dst, sender, payload, depth))
 
     def decide(self, pid: ProcessId, value: Any, kind: Any, step: int) -> None:

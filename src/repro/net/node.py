@@ -28,6 +28,8 @@ import socket
 import time
 from typing import Any
 
+from ..codec import Opaque
+from ..codec.binary import wrap_opaque
 from ..engine.interpreter import ExecutionPorts, interpret
 from ..errors import SimulationError
 from ..runtime.effects import Deliver, Log, ServiceCall
@@ -35,6 +37,7 @@ from ..runtime.protocol import Protocol, guarded
 from ..types import ProcessId
 from .faults import NODE_ENV_MARKER, ProcessCrash
 from .wire import (
+    CODEC_BINARY,
     CODEC_PICKLE,
     DEFAULT_MAX_FRAME,
     FrameDecoder,
@@ -48,8 +51,11 @@ from .wire import (
     MsgService,
     Start,
     Stop,
-    encode_frame,
+    encode_frame_into,
 )
+
+#: Sentinel distinct from every payload (payloads can be ``None``).
+_NO_CACHED_PAYLOAD = object()
 
 #: Worker exit codes (collected by the cluster for post-mortems).
 EXIT_OK = 0
@@ -128,6 +134,13 @@ class NodeWorker(ExecutionPorts):
         self._sent = 0
         self._hello_sent = False
         self._decided = False
+        self._buf = bytearray()
+        # One-slot encoded-payload cache for the binary codec: a broadcast
+        # reaches send() once per destination with the *same* payload
+        # object, so the payload encodes once and splices n times.  The
+        # cache holds the object itself, so its id cannot be recycled.
+        self._cached_payload: Any = _NO_CACHED_PAYLOAD
+        self._cached_opaque: Opaque | None = None
 
     def _write(self, msg: Any) -> None:
         # Chaos check on every post-handshake frame: "outgoing message" for a
@@ -137,12 +150,20 @@ class NodeWorker(ExecutionPorts):
         # (dying unconnected is the listener-timeout path, a separate regime).
         if self._hello_sent and self.crash is not None:
             self.crash.maybe_kill(self._sent)
-        self.sock.sendall(encode_frame(msg, self.codec, self.max_frame))
+        buf = self._buf
+        buf.clear()
+        encode_frame_into(msg, buf, self.codec, self.max_frame)
+        self.sock.sendall(buf)
         self._sent += 1
 
     # -- ExecutionPorts (broadcast inherits the per-destination default) ------------
 
     def send(self, src: ProcessId, dst: ProcessId, payload: Any, depth: int) -> None:
+        if self.codec == CODEC_BINARY:
+            if payload is not self._cached_payload:
+                self._cached_payload = payload
+                self._cached_opaque = wrap_opaque(payload)
+            payload = self._cached_opaque
         self._write(MsgSend(src, dst, payload, depth))
 
     def decide(self, pid: ProcessId, value: Any, kind: Any, depth: int) -> None:
@@ -171,7 +192,7 @@ class NodeWorker(ExecutionPorts):
         """
         decoder = FrameDecoder(self.max_frame)
         self.sock.settimeout(recv_timeout)
-        self._write(Hello(self.pid))
+        self._write(Hello(self.pid, self.codec))
         self._hello_sent = True
         self._sent = 0
         started = False

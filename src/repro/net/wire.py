@@ -1,4 +1,4 @@
-"""The framed wire protocol of the socket engine.
+"""The framed wire protocol of the socket engine: framing only.
 
 Every frame on a link is::
 
@@ -9,16 +9,24 @@ Every frame on a link is::
 ``length`` counts the body (version byte + codec byte + payload), so a
 reader can always buffer exactly one frame without understanding it.  The
 version byte rejects cross-version clusters at the first frame instead of
-letting them mis-decode each other's payloads, and the codec byte selects
-the payload encoding:
+letting them mis-decode each other's payloads.
 
-* ``CODEC_PICKLE`` — the default; consensus payloads are arbitrary frozen
-  dataclasses (proposals, envelopes, IDB messages), which JSON cannot
-  round-trip.  Pickle is only safe because every peer is a process *we
-  forked on this machine* — the engine runs trusted local clusters, not an
-  open port.
-* ``CODEC_JSON`` — JSON-safe payloads only; useful for interop tests and
-  for eyeballing frames on the wire.
+This module owns *framing* — length prefixes, size caps, version checks —
+and nothing else.  Payload bytes are produced and consumed by
+:mod:`repro.codec`; the codec byte of the header selects which codec, per
+frame:
+
+* ``CODEC_BINARY`` — the data plane: struct-packed records from the schema
+  registry, relayable without decoding (see :class:`repro.codec.Opaque`).
+* ``CODEC_PICKLE`` — legacy escape hatch; only safe because every peer is
+  a process *we forked on this machine*.
+* ``CODEC_JSON`` — JSON-safe payloads only; interop tests and eyeballing
+  frames on the wire.
+
+Each side announces its preferred codec in the hello frame
+(:attr:`Hello.codec`) and the hub honors it per connection, so mixed-codec
+clusters work: the frame header, not the cluster config, is authoritative
+for every frame.
 
 Size caps are enforced on both sides: :func:`encode_frame` refuses to
 build an oversized frame and :class:`FrameDecoder` rejects an oversized
@@ -33,22 +41,42 @@ clean end-of-stream from a peer that died mid-frame.
 
 from __future__ import annotations
 
-import json
-import pickle
 import struct
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from ..codec import CODEC_BINARY, CODEC_JSON, CODEC_PICKLE, CodecError, codec_for
+from ..codec.schema import wire_record
 from ..errors import ReproError
 from ..runtime.effects import ServiceCall
 from ..types import ProcessId
 
+__all__ = [
+    "WIRE_VERSION",
+    "CODEC_PICKLE",
+    "CODEC_JSON",
+    "CODEC_BINARY",
+    "DEFAULT_MAX_FRAME",
+    "WireError",
+    "FrameTooLarge",
+    "TruncatedStream",
+    "encode_frame",
+    "encode_frame_into",
+    "FrameDecoder",
+    "Hello",
+    "Start",
+    "Stop",
+    "MsgSend",
+    "MsgDeliver",
+    "MsgDeliverBatch",
+    "MsgDecide",
+    "MsgOutput",
+    "MsgService",
+    "MsgLog",
+]
+
 #: Protocol version carried in every frame header.
 WIRE_VERSION = 1
-
-#: Codec identifiers (the codec byte of the frame header).
-CODEC_PICKLE = 1
-CODEC_JSON = 2
 
 #: Default cap on the frame body; a consensus payload is a few hundred
 #: bytes, so anything near this is a bug or an attack, not traffic.
@@ -70,20 +98,44 @@ class TruncatedStream(WireError):
     """The stream ended mid-frame (the peer died while writing)."""
 
 
-def _encode_payload(obj: Any, codec: int) -> bytes:
-    if codec == CODEC_PICKLE:
-        return pickle.dumps(obj, pickle.HIGHEST_PROTOCOL)
-    if codec == CODEC_JSON:
-        return json.dumps(obj, separators=(",", ":")).encode("utf-8")
-    raise WireError(f"unknown codec id {codec}")
+def encode_frame_into(
+    obj: Any,
+    buf: bytearray,
+    codec: int = CODEC_PICKLE,
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> None:
+    """Append one complete wire frame for ``obj`` to ``buf``.
 
+    The buffer-reuse entry point: hot loops (the hub's delivery sweep, the
+    node's send path) encode straight into one reusable bytearray and hand
+    it to ``sendall``, instead of allocating per-frame ``bytes``.  On
+    failure the buffer is restored to its original length, so a caller
+    coalescing many frames can fall back per-frame.
 
-def _decode_payload(data: bytes, codec: int) -> Any:
-    if codec == CODEC_PICKLE:
-        return pickle.loads(data)
-    if codec == CODEC_JSON:
-        return json.loads(data.decode("utf-8"))
-    raise WireError(f"unknown codec id {codec}")
+    Raises:
+        FrameTooLarge: the encoded body exceeds ``max_frame``.
+        WireError: unknown codec id.
+    """
+    try:
+        payload_codec = codec_for(codec)
+    except CodecError as exc:
+        raise WireError(str(exc)) from None
+    start = len(buf)
+    buf += b"\x00\x00\x00\x00"  # length backpatched below
+    buf.append(WIRE_VERSION)
+    buf.append(codec)
+    try:
+        payload_codec.encode_into(obj, buf)
+    except Exception:
+        del buf[start:]
+        raise
+    body_len = len(buf) - start - _LENGTH.size
+    if body_len > max_frame:
+        del buf[start:]
+        raise FrameTooLarge(
+            f"frame body of {body_len} bytes exceeds the cap of {max_frame}"
+        )
+    _LENGTH.pack_into(buf, start, body_len)
 
 
 def encode_frame(
@@ -95,13 +147,9 @@ def encode_frame(
         FrameTooLarge: the encoded body exceeds ``max_frame``.
         WireError: unknown codec id.
     """
-    payload = _encode_payload(obj, codec)
-    body_len = _HEADER_BYTES + len(payload)
-    if body_len > max_frame:
-        raise FrameTooLarge(
-            f"frame body of {body_len} bytes exceeds the cap of {max_frame}"
-        )
-    return _LENGTH.pack(body_len) + bytes((WIRE_VERSION, codec)) + payload
+    buf = bytearray()
+    encode_frame_into(obj, buf, codec, max_frame)
+    return bytes(buf)
 
 
 class FrameDecoder:
@@ -113,10 +161,14 @@ class FrameDecoder:
 
     Args:
         max_frame: size cap on the frame body (must match the writer's).
+        lazy: relay mode — binary-codec blob fields decode as
+            :class:`repro.codec.Opaque` spans instead of objects, so the
+            hub can forward payloads without materializing them.
     """
 
-    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME, lazy: bool = False) -> None:
         self.max_frame = max_frame
+        self.lazy = lazy
         self._buffer = bytearray()
 
     @property
@@ -156,7 +208,11 @@ class FrameDecoder:
                     f"wire version mismatch: peer speaks v{version}, "
                     f"this end speaks v{WIRE_VERSION}"
                 )
-            yield _decode_payload(payload, codec)
+            try:
+                payload_codec = codec_for(codec, lazy=self.lazy)
+            except CodecError:
+                raise WireError(f"unknown codec id {codec}") from None
+            yield payload_codec.decode(payload)
 
     def eof(self) -> None:
         """Signal end-of-stream; raises if the peer died mid-frame.
@@ -172,28 +228,39 @@ class FrameDecoder:
 
 # -- wire message vocabulary ---------------------------------------------------------
 #
-# The control-plane messages exchanged between the hub and its nodes.  All
-# of them travel pickled (CODEC_PICKLE): consensus payloads are arbitrary
-# dataclasses.  Frozen + slotted for the same reasons as the effects.
+# The control-plane messages exchanged between the hub and its nodes.
+# Frozen + slotted for the same reasons as the effects; registered in the
+# codec schema so the binary codec struct-packs them.  ``MsgSend.payload``
+# and ``MsgDeliver.payload`` are blob fields: the hub relays them as
+# opaque spans without decoding (the data-plane fast path).
 
 
+@wire_record(tag=1)
 @dataclass(frozen=True, slots=True)
 class Hello:
-    """Node → hub: first frame after connecting; identifies the node."""
+    """Node → hub: first frame after connecting; identifies the node.
+
+    ``codec`` announces the codec the node will write and wants to read;
+    the hub honors it per connection (``0`` = use the hub's default, which
+    is also what legacy pickled hellos decode to)."""
 
     pid: ProcessId
+    codec: int = 0
 
 
+@wire_record(tag=2)
 @dataclass(frozen=True, slots=True)
 class Start:
     """Hub → node: run ``on_start`` and begin processing deliveries."""
 
 
+@wire_record(tag=3)
 @dataclass(frozen=True, slots=True)
 class Stop:
     """Hub → node: the run is over; exit cleanly."""
 
 
+@wire_record(tag=4, blobs=("payload",))
 @dataclass(frozen=True, slots=True)
 class MsgSend:
     """Node → hub: ship ``payload`` to ``dst`` (src is link-authenticated:
@@ -206,6 +273,7 @@ class MsgSend:
     depth: int
 
 
+@wire_record(tag=5, blobs=("payload",))
 @dataclass(frozen=True, slots=True)
 class MsgDeliver:
     """Hub → node: one message delivery."""
@@ -215,6 +283,7 @@ class MsgDeliver:
     depth: int
 
 
+@wire_record(tag=6)
 @dataclass(frozen=True, slots=True)
 class MsgDeliverBatch:
     """Hub → node: several co-scheduled deliveries in one frame.
@@ -224,12 +293,15 @@ class MsgDeliverBatch:
     quorum traffic lands together), the hub coalesces them instead of
     paying per-message framing and syscall costs.  Entries are
     ``(sender, payload, depth)`` in delivery order — the node processes
-    them exactly as consecutive :class:`MsgDeliver` frames.
+    them exactly as consecutive :class:`MsgDeliver` frames.  Payloads may
+    be :class:`repro.codec.Opaque` spans on the hub side; they encode by
+    splicing and always decode materialized on the node side.
     """
 
     entries: tuple[tuple[ProcessId, Any, int], ...]
 
 
+@wire_record(tag=7)
 @dataclass(frozen=True, slots=True)
 class MsgDecide:
     """Node → hub: the hosted protocol decided (first decision only)."""
@@ -240,6 +312,7 @@ class MsgDecide:
     step: int
 
 
+@wire_record(tag=8)
 @dataclass(frozen=True, slots=True)
 class MsgOutput:
     """Node → hub: a top-level protocol upcall (e.g. an IDB delivery)."""
@@ -250,6 +323,7 @@ class MsgOutput:
     value: Any
 
 
+@wire_record(tag=9)
 @dataclass(frozen=True, slots=True)
 class MsgService:
     """Node → hub: invoke a trusted service (services live at the hub —
@@ -261,6 +335,7 @@ class MsgService:
     depth: int
 
 
+@wire_record(tag=10)
 @dataclass(frozen=True, slots=True)
 class MsgLog:
     """Node → hub: a structured trace record."""

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..types import DecisionKind, ProcessId, Value
+from ..codec.schema import wire_record
 
 #: Pseudo sender id used when a trusted harness service delivers a payload.
 SERVICE_SENDER: ProcessId = -1
@@ -73,6 +74,7 @@ class Decide(Effect):
     kind: DecisionKind
 
 
+@wire_record(tag=12)
 @dataclass(frozen=True, slots=True)
 class Deliver(Effect):
     """Upcall from a sub-protocol to its parent (never leaves the process).
@@ -87,6 +89,7 @@ class Deliver(Effect):
     value: Any
 
 
+@wire_record(tag=11)
 @dataclass(frozen=True, slots=True)
 class ServiceCall(Effect):
     """Invoke a trusted harness service (e.g. the oracle underlying

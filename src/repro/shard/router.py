@@ -29,6 +29,7 @@ from __future__ import annotations
 import zlib
 from typing import Any, Callable
 
+from ..codec.schema import instance_name, parse_instance
 from ..runtime.composite import CompositeProtocol, Envelope
 from ..runtime.effects import Decide, Deliver, Effect
 from ..runtime.protocol import Protocol
@@ -60,24 +61,6 @@ def shard_of(key: Any, shards: int) -> int:
     if shards < 1:
         raise ValueError("need at least one shard")
     return zlib.crc32(str(key).encode("utf-8")) % shards
-
-
-def instance_name(shard: int, slot: int) -> str:
-    """Component name of one consensus instance: ``s<shard>.<slot>``."""
-    return f"s{shard}.{slot}"
-
-
-def parse_instance(component: str) -> tuple[int, int] | None:
-    """Inverse of :func:`instance_name`; ``None`` for foreign components."""
-    if not component.startswith("s"):
-        return None
-    shard_text, dot, slot_text = component[1:].partition(".")
-    if not dot:
-        return None
-    try:
-        return int(shard_text), int(slot_text)
-    except ValueError:
-        return None
 
 
 class ShardMultiplexer(CompositeProtocol):

@@ -45,25 +45,27 @@ from ..conditions.frequency import FrequencyPair
 from ..core.dex import DexConsensus
 from ..durable.recovery import (
     MAX_CATCHUP_ENTRIES,
+    MAX_CATCHUP_SLOT,
     CatchUpReply,
     CatchUpRequest,
     CatchUpTracker,
     DurabilityConfig,
     NodeDurability,
     RecoveredState,
+    SlotDecided,
 )
 from ..engine.events import EventSink, combine
 from ..engine.faults import Fault, FaultPlane, restart_plans
 from ..errors import ConfigurationError
 from ..harness import AlgorithmSpec, Deployment
-from ..runtime.composite import CompositeProtocol
+from ..runtime.composite import CompositeProtocol, Envelope
 from ..runtime.effects import Decide, Deliver, Effect, Send
 from ..runtime.protocol import Protocol
 from ..types import DecisionKind, ProcessId, SystemConfig, Value
 from ..underlying.oracle import SERVICE_NAME, OracleConsensus, OracleService
 from .batcher import ShardBatcher
 from .metrics import ShardStreamSink
-from .router import INSTANCE_DECIDED_TAG, ShardMultiplexer, shard_of
+from .router import INSTANCE_DECIDED_TAG, ShardMultiplexer, parse_instance, shard_of
 
 __all__ = [
     "shard_workload",
@@ -245,6 +247,13 @@ class ShardNode(CompositeProtocol):
         self._recovering = False
         self._catchup: CatchUpTracker | None = None
         self._future: dict[tuple[int, int], tuple[Any, Any]] = {}
+        # rejoin-race plumbing: peers with an outstanding catch-up request
+        # (served again as new slots settle), the one-shot book of
+        # ``SlotDecided`` notices already sent per (peer, shard, slot), and
+        # the ``t + 1`` identical-batch vote count over received notices.
+        self._rejoining: set[ProcessId] = set()
+        self._decided_served: set[tuple[ProcessId, int, int]] = set()
+        self._slot_votes: dict[tuple[int, int], dict[tuple, set[ProcessId]]] = {}
 
     # -- slot lifecycle --------------------------------------------------------------
 
@@ -338,11 +347,36 @@ class ShardNode(CompositeProtocol):
             return [self.log("shard.stale-decision", shard=shard, slot=slot)]
         return self._commit(shard, slot, batch, kind, effect)
 
+    def on_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
+        """Node-level routing, plus the stale-envelope rejoin trigger.
+
+        A consensus envelope addressed to an instance this replica has
+        already settled means the *sender* is behind — its instance will
+        never hear from ours again (it decided and went quiet), so without
+        help the sender stalls.  Re-serve the decided slot once per
+        (sender, shard, slot); an envelope at or past our frontier instead
+        marks the sender caught up.
+        """
+        if self.durability is not None and isinstance(payload, Envelope):
+            inner = payload.payload if payload.component == "mux" else None
+            if isinstance(inner, Envelope):
+                key = parse_instance(inner.component)
+                if key is not None and 0 <= key[0] < self.shards:
+                    shard, slot = key
+                    if slot < self._slot[shard]:
+                        effects = self._offer_decided(sender, shard, slot)
+                        effects.extend(super().on_message(sender, payload))
+                        return effects
+                    self._rejoining.discard(sender)
+        return super().on_message(sender, payload)
+
     def on_own_message(self, sender: ProcessId, payload: Any) -> list[Effect]:
         if isinstance(payload, CatchUpRequest):
             return self._serve_catchup(sender, payload)
         if isinstance(payload, CatchUpReply):
             return self._absorb_catchup(sender, payload)
+        if isinstance(payload, SlotDecided):
+            return self._absorb_decided(sender, payload)
         return super().on_own_message(sender, payload)
 
     # -- decided-slot bookkeeping ----------------------------------------------------
@@ -358,6 +392,7 @@ class ShardNode(CompositeProtocol):
         lingering as pending re-proposals.
         """
         safe_batch = batch if isinstance(batch, tuple) else ()
+        self._slot_votes.pop((shard, slot), None)
         if self.durability is not None:
             self.durability.commit(shard, slot, safe_batch, kind_label)
         pending = self._arrivals[shard]
@@ -391,6 +426,7 @@ class ShardNode(CompositeProtocol):
                 size=len(safe_batch),
             )
         )
+        effects.extend(self._notify_rejoining(shard, slot))
         effects.extend(self._drain_future(shard))
         if not self._recovering:
             effects.extend(self._open(shard))
@@ -471,7 +507,12 @@ class ShardNode(CompositeProtocol):
 
     def _serve_catchup(self, sender: ProcessId, request: CatchUpRequest) -> list[Effect]:
         """Answer a recovering peer: every applied batch past its frontier
-        (capped), plus our own frontier so it knows when it is current."""
+        (capped), plus our own frontier so it knows when it is current.
+
+        The sender is also marked rejoining: slots that settle *after* this
+        reply — the window between its catch-up rounds — are pushed to it
+        unsolicited as :class:`~repro.durable.recovery.SlotDecided`."""
+        self._rejoining.add(sender)
         wanted: dict[int, int] = {}
         frontier = request.frontier if isinstance(request.frontier, tuple) else ()
         for pair in frontier[: self.shards * 2]:
@@ -550,6 +591,82 @@ class ShardNode(CompositeProtocol):
             effects.extend(self._open(shard))
         return effects
 
+    # -- crash recovery: re-serving decided slots -------------------------------------
+
+    def _offer_decided(self, peer: ProcessId, shard: int, slot: int) -> list[Effect]:
+        """Push one already-decided slot to a lagging peer, at most once
+        per (peer, shard, slot) — the peer adopts it only under the same
+        ``t + 1`` identical-batch rule as catch-up replies."""
+        if (
+            peer == self.process_id
+            or peer not in self.config.processes
+            or (peer, shard, slot) in self._decided_served
+        ):
+            return []
+        history = self.applied[shard]
+        if slot >= len(history):
+            return []
+        self._decided_served.add((peer, shard, slot))
+        return [
+            self.log("recovery.re_served", peer=peer, shard=shard, slot=slot),
+            Send(peer, SlotDecided(shard, slot, history[slot])),
+        ]
+
+    def _notify_rejoining(self, shard: int, slot: int) -> list[Effect]:
+        """A slot just settled while peers have catch-up requests
+        outstanding: push it to each of them, closing the race where the
+        decision lands *between* their catch-up rounds."""
+        effects: list[Effect] = []
+        for peer in sorted(self._rejoining):
+            effects.extend(self._offer_decided(peer, shard, slot))
+        return effects
+
+    def _absorb_decided(self, sender: ProcessId, notice: SlotDecided) -> list[Effect]:
+        """Count one unsolicited decided-slot notice; adopt at ``t + 1``.
+
+        Validation mirrors :meth:`CatchUpTracker.absorb` — the notice may
+        be Byzantine, so shard and slot numbers are range-checked and a
+        single sender can never carry a batch over the threshold.  Only
+        frontier slots settle; votes for slots further ahead wait until
+        the frontier reaches them.
+        """
+        shard, slot, batch = notice.shard, notice.slot, notice.batch
+        if not (
+            isinstance(shard, int)
+            and isinstance(slot, int)
+            and 0 <= shard < self.shards
+            and 0 <= slot < MAX_CATCHUP_SLOT
+            and isinstance(batch, tuple)
+        ):
+            return []
+        if slot < self._slot[shard]:
+            return []  # old news: already settled here
+        voters = self._slot_votes.setdefault((shard, slot), {}).setdefault(
+            batch, set()
+        )
+        voters.add(sender)
+        threshold = self.config.t + 1
+        effects: list[Effect] = []
+        while True:
+            frontier = (shard, self._slot[shard])
+            adopted = None
+            for candidate, votes in self._slot_votes.get(frontier, {}).items():
+                if len(votes) >= threshold:
+                    adopted = candidate
+                    break
+            if adopted is None:
+                break
+            safe = self._settle(shard, frontier[1], adopted, "catchup")
+            effects.append(
+                self.log(
+                    "recovery.slot", shard=shard, slot=frontier[1], size=len(safe)
+                )
+            )
+        if effects and not self._recovering:
+            effects.extend(self._drain_future(shard))
+            effects.extend(self._open(shard))
+        return effects
+
 
 @dataclass
 class ShardReport:
@@ -601,6 +718,9 @@ class ShardedService:
             per-slot step accounting of the metrics).
         net_jitter: hub jitter model on the socket engine
             (``"uniform"`` or ``"lognormal"``).
+        codec: payload codec on the socket engine and for durable records
+            (``"binary"`` — the struct-packed default — ``"pickle"`` or
+            ``"json"``).
         event_sink: optional extra sink receiving the run's event stream.
         durability: optional :class:`~repro.durable.recovery.
             DurabilityConfig` — every replica persists proposals and
@@ -627,6 +747,7 @@ class ShardedService:
         engine: str = "sim",
         uc_step_cost: int = 2,
         net_jitter: str = "uniform",
+        codec: str = "binary",
         event_sink: EventSink | None = None,
         durability: DurabilityConfig | None = None,
     ) -> None:
@@ -648,6 +769,7 @@ class ShardedService:
         self.engine = engine
         self.uc_step_cost = uc_step_cost
         self.net_jitter = net_jitter
+        self.codec = codec
         self.event_sink = event_sink
         self.durability = durability
         self._plane = FaultPlane(
@@ -708,6 +830,7 @@ class ShardedService:
             seed=self.seed,
             event_sink=sink,
             net_jitter=self.net_jitter,
+            codec=self.codec,
             restarts=restarts,
             durability=self.durability,
         )

@@ -29,11 +29,13 @@ from ..runtime.effects import Deliver, Effect, ServiceCall
 from ..runtime.services import Service, ServiceReply
 from ..types import ProcessId, SystemConfig, Value, largest
 from .base import UC_DECIDE_TAG, UnderlyingConsensus
+from ..codec.schema import wire_record
 
 #: Default service name used by :class:`OracleConsensus`.
 SERVICE_NAME = "oracle-uc"
 
 
+@wire_record(tag=19)
 @dataclass(frozen=True, slots=True)
 class OracleProposal:
     """``UC_propose(value)`` request for one consensus instance."""
@@ -42,6 +44,7 @@ class OracleProposal:
     value: Value
 
 
+@wire_record(tag=20)
 @dataclass(frozen=True, slots=True)
 class OracleDecision:
     """``UC_decide(value)`` announcement for one consensus instance."""

@@ -1,0 +1,337 @@
+"""The serialization layer: schema registry, binary codec, golden frames.
+
+Four layers of pinning, from loosest to tightest:
+
+* property tests — for *any* encodable value, ``decode(encode(v)) == v``
+  (hypothesis over the full recursive value grammar), and the same for
+  every registered record class;
+* registry checks — every registered class is a frozen dataclass the
+  decoder can rebuild positionally, and the canonical message list below
+  covers every registered tag (adding a schema class without extending
+  the golden fixture fails here, on purpose);
+* golden frames — ``tests/data/codec_frames.bin`` holds the exact wire
+  bytes of the canonical messages.  Byte-for-byte equality both ways
+  (encode matches the file, the file decodes to the objects) pins the tag
+  numbers, field order, varint layout and envelope grammar: any change to
+  these is a wire break and must be made append-only;
+* relay semantics — lazy decoding yields :class:`repro.codec.Opaque`
+  spans whose re-encoding splices the original bytes, the hub's
+  zero-decode fast path.
+
+Regenerate the fixture (only after an intentional, append-only schema
+change) with::
+
+    PYTHONPATH=src:tests python -c "import test_codec; test_codec.write_golden()"
+"""
+
+import os
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bosco import BoscoVote
+from repro.baselines.brasileiro import BrasileiroValue
+from repro.baselines.crash_onestep import CrashValue
+from repro.baselines.sync_onestep import SyncFlood, SyncRound1
+from repro.broadcast.idb import IdbEcho, IdbInit
+from repro.codec import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    CODEC_PICKLE,
+    CodecError,
+    Opaque,
+    codec_for,
+    codec_named,
+)
+from repro.codec.binary import decode, encode, wrap_opaque
+from repro.codec.schema import (
+    COMPONENT_TABLE,
+    check_registry,
+    ensure_registered,
+    instance_name,
+    parse_instance,
+    registered_entries,
+)
+from repro.core.dex import DexProposal
+from repro.durable.recovery import CatchUpReply, CatchUpRequest, SlotDecided
+from repro.durable.snapshot import ShardSnapshot
+from repro.durable.wal import ApplyRecord, DecideRecord, ProposeRecord
+from repro.net.wire import (
+    FrameDecoder,
+    Hello,
+    MsgDecide,
+    MsgDeliver,
+    MsgDeliverBatch,
+    MsgLog,
+    MsgOutput,
+    MsgSend,
+    MsgService,
+    Start,
+    Stop,
+    encode_frame,
+)
+from repro.runtime.effects import Deliver, Envelope, ServiceCall
+from repro.types import BOTTOM, DecisionKind
+from repro.underlying.oracle import OracleDecision, OracleProposal
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "codec_frames.bin"
+
+
+def _consensus_envelope():
+    """A realistic data-plane payload: the nested envelope chain of one
+    sharded DEX proposal (mux → instance → dex)."""
+    return Envelope("mux", Envelope(instance_name(1, 2), Envelope("dex", DexProposal(7))))
+
+
+def golden_messages():
+    """The canonical message list: one instance per registered schema tag,
+    in tag order, plus a plain-values frame exercising every value tag.
+
+    APPEND ONLY in spirit: changing an existing entry changes pinned wire
+    bytes and is a compatibility break.
+    """
+    return [
+        Hello(3, CODEC_BINARY),                                       # tag 1
+        Start(),                                                      # tag 2
+        Stop(),                                                       # tag 3
+        MsgSend(1, 2, _consensus_envelope(), 3),                      # tag 4
+        MsgDeliver(1, _consensus_envelope(), 2),                      # tag 5
+        MsgDeliverBatch(((1, "x", 0), (2, None, 1))),                 # tag 6
+        MsgDecide(4, (1, 2), DecisionKind.ONE_STEP, 1),               # tag 7
+        MsgOutput(2, "idb-deliver", 3, "v"),                          # tag 8
+        MsgService(1, ServiceCall("oracle", ((0, 1), 5), ("mux", "uc")), 2),  # 9
+        MsgLog(5, "shard.open", {"shard": 0, "slot": 1}),             # tag 10
+        ServiceCall("oracle", ((0, 1), 5), ("mux", "uc")),            # tag 11
+        Deliver("uc-decide", 2, 5),                                   # tag 12
+        DexProposal(1),                                               # tag 16
+        IdbInit(2),                                                   # tag 17
+        IdbEcho(2, 3),                                                # tag 18
+        OracleProposal((0, 1), 5),                                    # tag 19
+        OracleDecision((0, 1), 5),                                    # tag 20
+        BoscoVote(1),                                                 # tag 21
+        BrasileiroValue(0),                                           # tag 22
+        CrashValue(9),                                                # tag 23
+        SyncRound1(1),                                                # tag 24
+        SyncFlood(((0, 1), (2, 0)), (1,)),                            # tag 25
+        ProposeRecord(0, 1, (("set", "k", 1),)),                      # tag 32
+        DecideRecord(0, 1, "one-step"),                               # tag 33
+        ApplyRecord(0, 1, (("set", "k", 1),)),                        # tag 34
+        ShardSnapshot({0: 1}, {0: ((("set", "a", 1),),)}, {0: {"a": 1}}, 2),  # 35
+        CatchUpRequest(1, ((0, 2),)),                                 # tag 36
+        CatchUpReply(1, ((0, 0, (("set", "a", 1),)),), ((0, 1),)),    # tag 37
+        SlotDecided(0, 2, (("set", "b", 2),)),                        # tag 38
+        # one frame of plain values covering the non-struct value tags:
+        (None, True, False, 0, -1, 7, 2**40, -(2**40), 3.5, "", "héllo",
+         b"\x00\xff", (), (1, (2, 3)), [1, [2]], {"a": 1, 2: None},
+         frozenset({1, 2, 3}), BOTTOM, DecisionKind.FAST,
+         Envelope("unregistered-component", 1)),
+    ]
+
+
+def golden_bytes():
+    return b"".join(encode_frame(m, CODEC_BINARY) for m in golden_messages())
+
+
+def write_golden():
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_bytes(golden_bytes())
+    print(f"wrote {GOLDEN_PATH} ({GOLDEN_PATH.stat().st_size} bytes)")
+
+
+# -- hypothesis: the round-trip property over the value grammar ------------------------
+
+_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20)
+    | st.sampled_from(list(DecisionKind))
+    | st.just(BOTTOM)
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda inner: (
+        st.lists(inner, max_size=4).map(tuple)
+        | st.lists(inner, max_size=4)
+        | st.dictionaries(
+            st.text(max_size=8) | st.integers(), inner, max_size=4
+        )
+        | st.frozensets(st.integers() | st.text(max_size=8), max_size=4)
+    ),
+    max_leaves=12,
+)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(value=_values)
+    def test_any_value_round_trips(self, value):
+        assert decode(encode(value)) == value
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=_values, depth=st.integers(min_value=0, max_value=7))
+    def test_wire_messages_round_trip(self, value, depth):
+        msg = MsgDeliver(3, value, depth)
+        assert decode(encode(msg)) == msg
+
+    @settings(max_examples=50, deadline=None)
+    @given(shard=st.integers(min_value=0, max_value=99),
+           slot=st.integers(min_value=0, max_value=9_999),
+           value=_values)
+    def test_instance_envelopes_round_trip(self, shard, slot, value):
+        env = Envelope("mux", Envelope(instance_name(shard, slot), value))
+        assert decode(encode(env)) == env
+        assert parse_instance(instance_name(shard, slot)) == (shard, slot)
+
+    def test_every_registered_class_round_trips(self):
+        """The registry-wide property, on the canonical instances."""
+        for msg in golden_messages():
+            assert decode(encode(msg)) == msg
+
+
+# -- the registry ----------------------------------------------------------------------
+
+
+class TestSchemaRegistry:
+    def test_registry_is_sound(self):
+        assert check_registry() == []
+
+    def test_canonical_list_covers_every_tag(self):
+        """Golden coverage: registering a new schema class without adding
+        it to ``golden_messages()`` (and regenerating the fixture) fails
+        here — the golden file must always pin the whole registry."""
+        ensure_registered()
+        registered = {entry.tag for entry in registered_entries()}
+        covered = set()
+        for msg in golden_messages():
+            for entry in registered_entries():
+                if type(msg) is entry.cls:
+                    covered.add(entry.tag)
+        assert covered == registered
+
+    def test_component_table_is_append_only_prefix(self):
+        """The first seven entries are pinned by existing golden frames."""
+        assert COMPONENT_TABLE[:7] == (
+            "mux", "idb", "uc", "dex", "bosco", "brasileiro", "crash"
+        )
+
+    def test_instance_grammar(self):
+        assert instance_name(0, 0) == "s0.0"
+        assert parse_instance("s3.17") == (3, 17)
+        assert parse_instance("dex") is None
+        assert parse_instance("s3") is None
+        assert parse_instance("s-1.2") is None
+
+
+# -- golden frames ---------------------------------------------------------------------
+
+
+class TestGoldenFrames:
+    def test_fixture_exists(self):
+        assert GOLDEN_PATH.exists(), (
+            f"golden fixture missing; generate with "
+            f"PYTHONPATH=src:tests python -c "
+            f"'import test_codec; test_codec.write_golden()'"
+        )
+
+    def test_encoding_matches_fixture_byte_for_byte(self):
+        assert golden_bytes() == GOLDEN_PATH.read_bytes(), (
+            "wire bytes changed for an existing message — this is a wire "
+            "format break; schema changes must be append-only"
+        )
+
+    def test_fixture_decodes_to_the_canonical_messages(self):
+        decoder = FrameDecoder()
+        decoded = list(decoder.feed(GOLDEN_PATH.read_bytes()))
+        decoder.eof()
+        assert decoded == golden_messages()
+
+    def test_fixture_decodes_lazily_too(self):
+        """Relay mode: the same bytes parse with blob fields left opaque
+        and still splice back to identical wire bytes."""
+        decoder = FrameDecoder(lazy=True)
+        decoded = list(decoder.feed(GOLDEN_PATH.read_bytes()))
+        relayed = b"".join(encode_frame(m, CODEC_BINARY) for m in decoded)
+        assert relayed == GOLDEN_PATH.read_bytes()
+
+
+# -- opaque relay semantics ------------------------------------------------------------
+
+
+class TestOpaque:
+    def test_lazy_decode_yields_opaque_blob(self):
+        msg = MsgDeliver(1, _consensus_envelope(), 2)
+        lazy = codec_for(CODEC_BINARY, lazy=True).decode(encode(msg))
+        assert type(lazy.payload) is Opaque
+        assert lazy.payload.decode() == _consensus_envelope()
+
+    def test_opaque_reencodes_by_splicing(self):
+        msg = MsgDeliver(1, _consensus_envelope(), 2)
+        wire = encode(msg)
+        lazy = codec_for(CODEC_BINARY, lazy=True).decode(wire)
+        assert encode(lazy) == wire
+
+    def test_wrap_opaque_equals_decoded_value(self):
+        payload = _consensus_envelope()
+        wrapped = wrap_opaque(payload)
+        assert type(wrapped) is Opaque
+        assert wrapped.decode() == payload
+        assert decode(encode(MsgSend(0, 1, wrapped, 0))) == MsgSend(0, 1, payload, 0)
+
+    def test_opaque_in_batch_entries(self):
+        entry_payload = wrap_opaque(DexProposal(4))
+        batch = MsgDeliverBatch(((2, entry_payload, 1),))
+        materialized = decode(encode(batch))
+        assert materialized.entries == ((2, DexProposal(4), 1),)
+
+
+# -- the escape hatches ----------------------------------------------------------------
+
+
+class TestFallbackCodecs:
+    @pytest.mark.parametrize("codec_id", [CODEC_PICKLE, CODEC_JSON])
+    def test_same_interface(self, codec_id):
+        codec = codec_for(codec_id)
+        value = {"a": [1, 2], "b": None}
+        buf = bytearray()
+        codec.encode_into(value, buf)
+        assert codec.decode(bytes(buf)) == value
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_pickle_handles_arbitrary_objects(self):
+        codec = codec_for(CODEC_PICKLE)
+        assert codec.decode(codec.encode(golden_messages())) == golden_messages()
+
+    def test_unknown_codec_id_rejected(self):
+        with pytest.raises(CodecError):
+            codec_for(77)
+
+    def test_codec_named(self):
+        assert codec_named("binary") == CODEC_BINARY
+        assert codec_named("pickle") == CODEC_PICKLE
+        assert codec_named("json") == CODEC_JSON
+        with pytest.raises(CodecError):
+            codec_named("msgpack")
+
+
+# -- decode robustness -----------------------------------------------------------------
+
+
+class TestDecodeErrors:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            decode(encode(1) + b"\x00")
+
+    def test_truncated_payload_rejected(self):
+        wire = encode(golden_messages()[3])
+        with pytest.raises(Exception):
+            decode(wire[:-3])
+
+    def test_unknown_value_tag_rejected(self):
+        with pytest.raises(Exception):
+            decode(b"\x7f\x00")

@@ -131,6 +131,7 @@ class TestScenarioDataclass:
         "engine",
         "event_sink",
         "net_jitter",
+        "codec",
         "durability",
         "config",
     }

@@ -30,9 +30,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps.rsm import KeyValueStore
+from repro.codec import CODEC_BINARY, CODEC_PICKLE
 from repro.durable import (
+    LEGACY_PICKLE,
     ApplyRecord,
     CatchUpReply,
+    CatchUpRequest,
     CatchUpTracker,
     DecideRecord,
     DurabilityConfig,
@@ -40,6 +43,7 @@ from repro.durable import (
     ShardSnapshot,
     SnapshotStore,
     WriteAheadLog,
+    codec_label,
     encode_record,
     scan_records,
 )
@@ -76,8 +80,9 @@ class TestWalRoundtrip:
         reopened.close()
 
     def test_missing_file_is_an_empty_log(self, tmp_path):
-        records, good = scan_records(str(tmp_path / "absent.log"))
-        assert records == [] and good == 0
+        result = scan_records(str(tmp_path / "absent.log"))
+        assert result.records == [] and result.good_bytes == 0
+        assert result.codecs == [] and result.codec_counts() == {}
 
     def test_oversize_record_rejected_before_write(self):
         with pytest.raises(ValueError):
@@ -97,24 +102,34 @@ class TestWalRoundtrip:
         reopened.close()
 
 
+@pytest.mark.parametrize(
+    "codec", [CODEC_BINARY, CODEC_PICKLE], ids=["binary", "pickle"]
+)
 class TestWalCorruption:
-    """The crash-damage trio: every case recovers cleanly on open."""
+    """The crash-damage trio: every case recovers cleanly on open.
 
-    def _write(self, path, records):
-        wal = WriteAheadLog(path)
+    Parametrized over the binary and pickle codecs — the self-healing
+    contract is framing-level and must hold whatever the bodies are.
+    """
+
+    def _write(self, path, records, codec):
+        wal = WriteAheadLog(path, codec=codec)
         for record in records:
             wal.append(record)
         wal.close()
 
-    def test_torn_final_record_truncated(self, tmp_path):
+    def test_torn_final_record_truncated(self, tmp_path, codec):
         path = str(tmp_path / "wal.log")
         good = [ApplyRecord(0, s, (("set", "k", s),)) for s in range(3)]
-        self._write(path, good)
+        self._write(path, good, codec)
         intact = os.path.getsize(path)
         with open(path, "ab") as fh:  # crash mid-append: half a record
-            fh.write(encode_record(ApplyRecord(0, 3, (("set", "k", 3),)))[:-5])
-        wal = WriteAheadLog(path)
+            fh.write(
+                encode_record(ApplyRecord(0, 3, (("set", "k", 3),)), codec=codec)[:-5]
+            )
+        wal = WriteAheadLog(path, codec=codec)
         assert wal.recovered == good
+        assert wal.recovered_codec_counts() == {codec_label(codec): 3}
         assert wal.truncated_bytes > 0
         assert os.path.getsize(path) == intact  # tail healed away
         wal.append(ApplyRecord(0, 3, (("set", "k", 3),)))  # append-ready again
@@ -123,36 +138,103 @@ class TestWalCorruption:
             ApplyRecord(0, 3, (("set", "k", 3),))
         ]
 
-    def test_flipped_crc_byte_stops_the_scan(self, tmp_path):
+    def test_flipped_crc_byte_stops_the_scan(self, tmp_path, codec):
         path = str(tmp_path / "wal.log")
         records = [DecideRecord(0, s, "one-step") for s in range(3)]
-        self._write(path, records)
-        first = len(encode_record(records[0]))
+        self._write(path, records, codec)
+        first = len(encode_record(records[0], codec=codec))
         data = bytearray(pathlib.Path(path).read_bytes())
         data[first + 10] ^= 0xFF  # flip a byte inside the second record
         pathlib.Path(path).write_bytes(bytes(data))
-        wal = WriteAheadLog(path)
+        wal = WriteAheadLog(path, codec=codec)
         assert wal.recovered == records[:1]  # nothing after the hole is trusted
         assert wal.truncated_bytes > 0
         assert os.path.getsize(path) == first
         wal.close()
 
-    def test_empty_file_recovers_to_genesis(self, tmp_path):
+    def test_empty_file_recovers_to_genesis(self, tmp_path, codec):
         path = str(tmp_path / "wal.log")
         pathlib.Path(path).touch()
-        wal = WriteAheadLog(path)
+        wal = WriteAheadLog(path, codec=codec)
         assert wal.recovered == [] and wal.truncated_bytes == 0
         wal.append(DecideRecord(0, 0, "one-step"))
         wal.close()
 
-    def test_implausible_length_header_stops_the_scan(self, tmp_path):
+    def test_implausible_length_header_stops_the_scan(self, tmp_path, codec):
         path = str(tmp_path / "wal.log")
-        self._write(path, [DecideRecord(0, 0, "one-step")])
+        self._write(path, [DecideRecord(0, 0, "one-step")], codec)
         with open(path, "ab") as fh:
             fh.write(b"\xff\xff\xff\xff\x00\x00\x00\x00garbage")
-        wal = WriteAheadLog(path)
+        wal = WriteAheadLog(path, codec=codec)
         assert wal.recovered == [DecideRecord(0, 0, "one-step")]
         wal.close()
+
+
+class TestWalCodecCompat:
+    """The read-side shim: old logs keep reading, accounting says so."""
+
+    def _legacy_frame(self, record):
+        """A pre-codec frame: raw pickle payload, no codec byte."""
+        import pickle
+        import struct
+        import zlib
+
+        payload = pickle.dumps(record, pickle.HIGHEST_PROTOCOL)
+        return struct.pack("!II", len(payload), zlib.crc32(payload)) + payload
+
+    def test_legacy_raw_pickle_log_still_reads(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        records = [DecideRecord(0, s, "one-step") for s in range(3)]
+        with open(path, "wb") as fh:
+            for record in records:
+                fh.write(self._legacy_frame(record))
+        wal = WriteAheadLog(path)
+        assert wal.recovered == records
+        assert wal.recovered_codecs == [LEGACY_PICKLE] * 3
+        assert wal.recovered_codec_counts() == {"legacy-pickle": 3}
+        wal.close()
+
+    def test_mixed_codec_log_accounts_per_record(self, tmp_path):
+        """A log written across a version upgrade: legacy records, then
+        pickle-codec records, then binary — one file, three codecs, each
+        record decoded by what it declares."""
+        path = str(tmp_path / "wal.log")
+        legacy = DecideRecord(0, 0, "one-step")
+        with open(path, "wb") as fh:
+            fh.write(self._legacy_frame(legacy))
+        wal = WriteAheadLog(path, codec=CODEC_PICKLE)
+        wal.append(DecideRecord(0, 1, "two-step"))
+        wal.close()
+        wal = WriteAheadLog(path, codec=CODEC_BINARY)
+        wal.append(DecideRecord(0, 2, "one-step"))
+        wal.close()
+        result = scan_records(path)
+        assert [r.slot for r in result.records] == [0, 1, 2]
+        assert result.codecs == [LEGACY_PICKLE, CODEC_PICKLE, CODEC_BINARY]
+        assert result.codec_counts() == {
+            "legacy-pickle": 1, "pickle": 1, "binary": 1,
+        }
+
+    def test_recovered_state_reports_wal_codecs(self, tmp_path):
+        config = DurabilityConfig(str(tmp_path), snapshot_every=0)
+        writer = config.node(0)
+        writer.commit(0, 0, (("set", "a", 1),), "one-step")
+        writer.close()
+        state = config.node(0).recover(1)
+        assert state.wal_codecs == {"binary": 2}  # decide + apply records
+
+    def test_legacy_pickle_snapshot_still_loads(self, tmp_path):
+        """A pre-codec snapshot file (raw pickle payload) reads back."""
+        import pickle
+        import struct
+        import zlib
+
+        store = SnapshotStore(str(tmp_path))
+        snapshot = ShardSnapshot(slots={0: 2}, seq=1)
+        payload = pickle.dumps(snapshot, pickle.HIGHEST_PROTOCOL)
+        blob = struct.pack("!II", len(payload), zlib.crc32(payload)) + payload
+        pathlib.Path(store.path).write_bytes(blob)
+        assert store.load() == snapshot
 
 
 # -- snapshots -------------------------------------------------------------------------
@@ -390,6 +472,116 @@ class TestCatchUpTracker:
         tracker = CatchUpTracker(1)
         tracker.new_round()
         assert tracker.frontier_reached({0: 0})
+
+
+# -- the rejoin liveness race ----------------------------------------------------------
+
+
+def _shard_node(tmp_path, pid, name="race"):
+    from repro.types import SystemConfig
+
+    config = DurabilityConfig(str(tmp_path / f"{name}{pid}"), snapshot_every=0)
+    sys_config = SystemConfig(7, 1)
+    return ShardNode(
+        0 if pid is None else pid,
+        sys_config,
+        1,
+        [],
+        dex_shard_factory(pid, sys_config),
+        durability=config.node(pid),
+    )
+
+
+def _instance_envelope(slot, payload="stale-probe"):
+    from repro.runtime.effects import Envelope
+
+    return Envelope("mux", Envelope(f"s0.{slot}", payload))
+
+
+class TestRejoinRace:
+    """The residual stall: a replica finishes catch-up, proposes into a
+    slot its peers decided *between* its catch-up rounds — their instances
+    already went quiet, so without re-serving, its instance never hears
+    another message.  The schedule below reproduces that stall
+    deterministically and pins both closing triggers."""
+
+    BATCH = (("set", "a", 1),)
+
+    def _settled_peer(self, tmp_path, pid):
+        """A peer that has already decided and applied slot 0."""
+        peer = _shard_node(tmp_path, pid)
+        peer._settle(0, 0, self.BATCH, "one-step")
+        return peer
+
+    def test_stale_envelope_triggers_one_reserve(self, tmp_path):
+        from repro.durable import SlotDecided
+        from repro.runtime.effects import Send
+
+        peer = self._settled_peer(tmp_path, 1)
+        effects = peer.on_message(0, _instance_envelope(0))
+        sends = [e for e in effects if isinstance(e, Send) and e.dst == 0
+                 and isinstance(e.payload, SlotDecided)]
+        assert sends and sends[0].payload == SlotDecided(0, 0, self.BATCH)
+        # once per (sender, shard, slot): a repeat probe is not re-served
+        again = peer.on_message(0, _instance_envelope(0))
+        assert not [e for e in again if isinstance(e, Send)
+                    and isinstance(e.payload, SlotDecided)]
+
+    def test_current_envelope_is_not_reserved(self, tmp_path):
+        from repro.durable import SlotDecided
+        from repro.runtime.effects import Send
+
+        peer = self._settled_peer(tmp_path, 1)
+        effects = peer.on_message(0, _instance_envelope(1))  # at the frontier
+        assert not [e for e in effects if isinstance(e, Send)
+                    and isinstance(e.payload, SlotDecided)]
+
+    def test_settle_pushes_to_rejoining_peer(self, tmp_path):
+        """Trigger 2: the decision that lands between catch-up rounds is
+        pushed to the peer whose request is still outstanding."""
+        from repro.durable import SlotDecided
+        from repro.runtime.effects import Decide, Send
+        from repro.types import DecisionKind
+
+        peer = _shard_node(tmp_path, 1)
+        peer.on_own_message(0, CatchUpRequest(1, ((0, 0),)))  # 0 is rejoining
+        effects = peer._commit(
+            0, 0, self.BATCH, DecisionKind.ONE_STEP,
+            Decide(self.BATCH, DecisionKind.ONE_STEP),
+        )
+        pushed = [e for e in effects if isinstance(e, Send) and e.dst == 0
+                  and isinstance(e.payload, SlotDecided)]
+        assert pushed and pushed[0].payload == SlotDecided(0, 0, self.BATCH)
+
+    def test_adoption_needs_t_plus_one_identical_notices(self, tmp_path):
+        from repro.durable import SlotDecided
+
+        node = _shard_node(tmp_path, 0)
+        assert node.on_own_message(1, SlotDecided(0, 0, self.BATCH)) == []
+        assert node._slot[0] == 0  # one voucher is not enough (t=1)
+        # a divergent (Byzantine) notice does not pool with the honest one
+        node.on_own_message(2, SlotDecided(0, 0, (("set", "a", 99),)))
+        assert node._slot[0] == 0
+        effects = node.on_own_message(3, SlotDecided(0, 0, self.BATCH))
+        assert node._slot[0] == 1  # t + 1 identical: adopted and settled
+        assert node.applied[0] == [self.BATCH]
+        assert effects  # the unstuck node logs the slot and moves on
+        # repeats for the settled slot are old news
+        assert node.on_own_message(4, SlotDecided(0, 0, self.BATCH)) == []
+
+    def test_malformed_notice_rejected(self, tmp_path):
+        from repro.durable import SlotDecided
+
+        node = _shard_node(tmp_path, 0)
+        for bad in [
+            SlotDecided("x", 0, self.BATCH),     # shard not an int
+            SlotDecided(5, 0, self.BATCH),       # shard out of range
+            SlotDecided(0, -1, self.BATCH),      # negative slot
+            SlotDecided(0, 10**9, self.BATCH),   # slot inflation
+            SlotDecided(0, 0, "not-a-tuple"),    # batch not a tuple
+        ]:
+            assert node.on_own_message(1, bad) == []
+        assert node._slot[0] == 0 and not node._slot_votes
 
 
 # -- the CrashRecover fault ------------------------------------------------------------
