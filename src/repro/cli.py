@@ -14,9 +14,15 @@ Commands:
   bounds, per enumerated byzantine variant;
 * ``bench``     — benchmark workloads: hot-path micro-benchmarks
   (``--workload hotpath``), the socket-engine throughput/latency/fast-path
-  comparison (``--workload net``), or the sharded multi-consensus service
-  sweep (``--workload shard``); ``--engine`` stays as a compatibility
-  alias for the first two.
+  comparison (``--workload net``), the sharded multi-consensus service
+  sweep (``--workload shard``), or the client-facing saturation sweep
+  (``--workload frontend``); ``--engine`` stays as a compatibility
+  alias for the first two;
+* ``serve``     — put the admission-controlled frontend behind a UDS/TCP
+  socket and serve client sessions (:mod:`repro.frontend.socket`);
+* ``load``      — drive load at the frontend: a seeded open- or
+  closed-loop run in process, or a socket session against a ``serve``
+  endpoint.
 
 Every command prints plain-text tables (diff-friendly) and returns a
 non-zero exit code on property violations, so the CLI can serve as a
@@ -195,8 +201,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench",
                            help="benchmarks -> BENCH_hotpath.json / BENCH_net.json "
-                                "/ BENCH_shard.json / BENCH_recovery.json")
-    bench.add_argument("--workload", choices=["hotpath", "net", "shard", "recovery"],
+                                "/ BENCH_shard.json / BENCH_recovery.json / "
+                                "BENCH_frontend.json")
+    bench.add_argument("--workload",
+                       choices=["hotpath", "net", "shard", "recovery", "frontend"],
                        default=None,
                        help="hotpath: simulator micro-benchmarks; net: fast-path "
                             "rate + throughput/latency over real sockets vs sim; "
@@ -204,7 +212,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(throughput/latency/one-step rate vs shard count "
                             "and key skew); recovery: WAL replay latency vs log "
                             "length, fsync throughput tax, and one socket-engine "
-                            "kill/restart/rejoin cell")
+                            "kill/restart/rejoin cell; frontend: the client-"
+                            "facing saturation sweep (offered load vs client "
+                            "p50/p99, shed rate past the knee, open vs closed "
+                            "loop, UDS socket round-trip)")
     bench.add_argument("--engine", choices=["hotpath", "net"], default=None,
                        help="compatibility alias for --workload (hotpath/net)")
     bench.add_argument("--repeats", type=int, default=3)
@@ -227,6 +238,64 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None,
                        help="output path (default benchmarks/results/"
                             "BENCH_<workload>.json under the current directory)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the admission-controlled frontend over a UDS/TCP socket",
+    )
+    serve.add_argument("--path", default=None,
+                       help="UDS path to bind (the default transport)")
+    serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="bind TCP instead of UDS (port 0 = kernel-picked)")
+    serve.add_argument("--n", type=int, default=7, help="replica count")
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument("--max-batch", type=int, default=4)
+    serve.add_argument("--queue-bound", type=int, default=16,
+                       help="per-shard admission queue depth")
+    serve.add_argument("--policy", choices=["shed", "block", "deadline"],
+                       default="shed")
+    serve.add_argument("--deadline", type=int, default=None,
+                       help="queue-wait bound in ticks (deadline policy)")
+    serve.add_argument("--codec", choices=["binary", "pickle", "json"],
+                       default="binary")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--sessions", type=int, default=1,
+                       help="client sessions to serve before exiting")
+    serve.add_argument("--timeout", type=float, default=60.0)
+
+    load = sub.add_parser(
+        "load",
+        help="drive load at the frontend (in-process loop, or a socket session)",
+    )
+    load.add_argument("--mode", choices=["open", "closed"], default="open",
+                      help="open: Poisson arrivals at --offered per tick; "
+                           "closed: a window of --clients outstanding")
+    load.add_argument("--offered", type=float, default=8.0,
+                      help="open loop: offered load in commands per slot tick")
+    load.add_argument("--ticks", type=int, default=40,
+                      help="open loop: submission duration in ticks")
+    load.add_argument("--clients", type=int, default=8,
+                      help="closed loop: window of outstanding submissions")
+    load.add_argument("--count", type=int, default=160,
+                      help="closed loop / socket session: total commands")
+    load.add_argument("--n", type=int, default=7, help="replica count")
+    load.add_argument("--shards", type=int, default=2)
+    load.add_argument("--max-batch", type=int, default=4)
+    load.add_argument("--queue-bound", type=int, default=16)
+    load.add_argument("--policy", choices=["shed", "block", "deadline"],
+                      default="shed")
+    load.add_argument("--deadline", type=int, default=None)
+    load.add_argument("--skew", choices=["uniform", "zipf"], default="uniform")
+    load.add_argument("--keyspace", type=int, default=32)
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--path", default=None,
+                      help="drive a `repro serve` UDS endpoint instead of an "
+                           "in-process service")
+    load.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                      help="drive a `repro serve` TCP endpoint")
+    load.add_argument("--codec", choices=["binary", "pickle", "json"],
+                      default="binary")
+    load.add_argument("--timeout", type=float, default=60.0)
     return parser
 
 
@@ -391,6 +460,7 @@ def _cmd_bench(args) -> int:
         DEFAULT_SIZES,
         SHARD_COUNTS,
         SMOKE_SIZES,
+        write_frontend_bench,
         write_hotpath_bench,
         write_net_bench,
         write_recovery_bench,
@@ -398,7 +468,10 @@ def _cmd_bench(args) -> int:
     )
 
     workload = args.workload or args.engine or "hotpath"
-    if workload == "recovery":
+    if workload == "frontend":
+        shards = args.shards[0] if args.shards else 2
+        path = write_frontend_bench(out=args.out, shards=shards, smoke=args.smoke)
+    elif workload == "recovery":
         path = write_recovery_bench(
             out=args.out,
             repeats=args.repeats,
@@ -434,6 +507,109 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _parse_hostport(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"{text!r} is not HOST:PORT")
+    return host, int(port)
+
+
+def _frontend_factory(args):
+    """A fresh admission-controlled frontend per session, from CLI knobs."""
+    from .frontend.api import Frontend
+    from .shard.service import ShardedService
+
+    def make():
+        service = ShardedService(
+            n=args.n,
+            shards=args.shards,
+            max_batch=args.max_batch,
+            seed=args.seed,
+        )
+        return Frontend(
+            service,
+            queue_bound=args.queue_bound,
+            policy=args.policy,
+            deadline=args.deadline,
+        )
+
+    return make
+
+
+def _cmd_serve(args) -> int:
+    from .codec import CODEC_NAMES
+    from .frontend.socket import FrontendServer
+
+    if (args.path is None) == (args.tcp is None):
+        print("error: pass exactly one of --path (UDS) or --tcp HOST:PORT",
+              file=sys.stderr)
+        return 2
+    server = FrontendServer(
+        _frontend_factory(args),
+        path=args.path,
+        address=_parse_hostport(args.tcp) if args.tcp else None,
+        codec=CODEC_NAMES[args.codec],
+    )
+    where = server.bind()
+    print(f"serving frontend at {where} "
+          f"(n={args.n}, shards={args.shards}, policy={args.policy})",
+          file=sys.stderr)
+    try:
+        for _ in range(args.sessions):
+            report = server.serve_once(timeout=args.timeout)
+            print(format_table([report.summary()], title="session"))
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_load(args) -> int:
+    from .codec import CODEC_NAMES
+
+    if args.path or args.tcp:
+        from .frontend.socket import ClientReply, SocketClient
+
+        client = SocketClient(
+            path=args.path,
+            address=_parse_hostport(args.tcp) if args.tcp else None,
+            codec=CODEC_NAMES[args.codec],
+            timeout=args.timeout,
+        )
+        import random
+
+        rng = random.Random(args.seed)
+        commands = [
+            (f"k{rng.randrange(args.keyspace)}", i) for i in range(args.count)
+        ]
+        outcomes = client.submit_all(commands)
+        replies = sum(1 for o in outcomes.values() if isinstance(o, ClientReply))
+        rejects = len(outcomes) - replies
+        print(format_table(
+            [{"submits": len(commands), "replies": replies, "rejects": rejects}],
+            title=f"socket session against {args.path or args.tcp}"))
+        return 0 if replies + rejects == len(commands) else 1
+
+    from .frontend.loadgen import LoadGenerator
+
+    generator = LoadGenerator(
+        keyspace=args.keyspace, skew=args.skew, seed=args.seed
+    )
+    frontend = _frontend_factory(args)()
+    if args.mode == "open":
+        report = generator.open_loop(
+            frontend, offered=args.offered, ticks=args.ticks, timeout=args.timeout
+        )
+        title = f"open loop: offered={args.offered}/tick over {args.ticks} ticks"
+    else:
+        report = generator.closed_loop(
+            frontend, clients=args.clients, total=args.count, timeout=args.timeout
+        )
+        title = f"closed loop: {args.clients} clients, {args.count} commands"
+    print(format_table([report.summary()], title=title))
+    divergence = bool(report.shard.divergence) if report.shard else False
+    return 1 if divergence else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -446,6 +622,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "conditions": _cmd_conditions,
         "check": _cmd_check,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "load": _cmd_load,
     }
     try:
         return handlers[args.command](args)

@@ -81,6 +81,7 @@ _SCHEMA_MODULES = (
     "repro.durable.wal",
     "repro.durable.snapshot",
     "repro.durable.recovery",
+    "repro.frontend.socket",
 )
 
 _registered_all = False

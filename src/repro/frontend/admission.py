@@ -1,0 +1,206 @@
+"""Per-shard admission queues: the capacity boundary of the service.
+
+A production consensus service does not have infinite capacity — each
+shard decides at most ``max_batch`` commands per slot — so a client-facing
+frontend needs an explicit *admission* layer between the offered load and
+the replicated logs.  This module is that layer, deliberately framed in
+textbook queueing terms so the saturation benchmarks (E22) measure the
+classic curve:
+
+* every shard owns one :class:`AdmissionQueue` of bounded depth;
+* arrivals past the bound are handled by the configured
+  :data:`policy <POLICIES>` — ``"shed"`` rejects at the door with a
+  :class:`Rejected` record (load shedding: the open-loop answer),
+  ``"block"`` parks the overflow in a client-side backlog that refills
+  the queue as it drains (backpressure: latency grows without bound past
+  saturation but nothing is lost), and ``"deadline"`` admits like
+  ``shed`` but additionally drops commands whose queue wait exceeded
+  their deadline at dequeue time (staleness shedding);
+* each slot tick the service drains at most ``rate`` commands per shard
+  (its batch capacity), so queue dynamics — depth, high-water mark, wait
+  time — are fully determined by the seeded arrival stream.
+
+Accounting is conservation-checked (and hypothesis-tested): every
+submitted command is in exactly one of *shed*, *dequeued*, *dropped* or
+*pending*, FIFO order among admitted commands is preserved per shard, and
+the bounded depth is never exceeded.  :class:`ShedStats` snapshots the
+counters for reports and events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "POLICIES",
+    "Rejected",
+    "ShedStats",
+    "AdmissionQueue",
+]
+
+#: Admission policies: what happens to an arrival when the queue is full.
+POLICIES = ("block", "shed", "deadline")
+
+
+@dataclass(frozen=True, slots=True)
+class Rejected:
+    """Why a submission did not reach consensus.
+
+    Attributes:
+        reason: ``"shed"`` (queue full at arrival) or ``"deadline"``
+            (queue wait exceeded the deadline before dequeue).
+        shard: the shard whose queue rejected it.
+        depth: that queue's depth at rejection time.
+    """
+
+    reason: str
+    shard: int
+    depth: int
+
+
+@dataclass(frozen=True, slots=True)
+class ShedStats:
+    """Counter snapshot of one admission queue (conservation holds:
+    ``submitted == shed + dequeued + dropped + pending``)."""
+
+    submitted: int
+    shed: int
+    dequeued: int
+    dropped: int
+    pending: int
+    high_water: int
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submitted commands rejected (shed + deadline)."""
+        if not self.submitted:
+            return 0.0
+        return (self.shed + self.dropped) / self.submitted
+
+
+class AdmissionQueue:
+    """One shard's bounded FIFO admission queue.
+
+    Args:
+        shard: shard id (only used in :class:`Rejected` records).
+        bound: maximum queue depth; arrivals past it hit the policy.
+        policy: one of :data:`POLICIES`.
+        deadline: maximum queue wait in ticks before a ``"deadline"``
+            policy drops a command at dequeue time (ignored otherwise).
+
+    Entries are ``(item, enqueue_tick)``; :meth:`drain` pops at most the
+    shard's per-tick service rate in FIFO order.  With ``"block"`` the
+    overflow waits in an unbounded *backlog* that refills the queue as it
+    drains — the bounded depth invariant covers the queue proper, while
+    ``pending`` (and latency) counts both.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        bound: int,
+        policy: str = "shed",
+        deadline: int | None = None,
+    ) -> None:
+        if bound < 1:
+            raise ConfigurationError("admission queue bound must be at least 1")
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown admission policy {policy!r} (one of: {', '.join(POLICIES)})"
+            )
+        if policy == "deadline" and (deadline is None or deadline < 0):
+            raise ConfigurationError(
+                "the deadline policy needs a non-negative deadline (in ticks)"
+            )
+        self.shard = shard
+        self.bound = bound
+        self.policy = policy
+        self.deadline = deadline
+        self._queue: deque[tuple[Any, int]] = deque()
+        self._backlog: deque[tuple[Any, int]] = deque()
+        self.submitted = 0
+        self.shed = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.high_water = 0
+
+    # -- state -------------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Commands in the bounded queue proper (``<= bound`` always)."""
+        return len(self._queue)
+
+    @property
+    def backlog(self) -> int:
+        """Commands parked behind a full queue under the block policy."""
+        return len(self._backlog)
+
+    @property
+    def pending(self) -> int:
+        """Everything admitted but not yet dequeued or dropped."""
+        return len(self._queue) + len(self._backlog)
+
+    def stats(self) -> ShedStats:
+        return ShedStats(
+            submitted=self.submitted,
+            shed=self.shed,
+            dequeued=self.dequeued,
+            dropped=self.dropped,
+            pending=self.pending,
+            high_water=self.high_water,
+        )
+
+    # -- arrivals ----------------------------------------------------------------------
+
+    def offer(self, item: Any, now: int) -> Rejected | None:
+        """One arrival at tick ``now``; ``None`` = admitted, else the
+        :class:`Rejected` record (the caller resolves the client future)."""
+        self.submitted += 1
+        if len(self._queue) < self.bound and not self._backlog:
+            self._queue.append((item, now))
+            self.high_water = max(self.high_water, len(self._queue))
+            return None
+        if self.policy == "block":
+            self._backlog.append((item, now))
+            return None
+        self.shed += 1
+        return Rejected("shed", self.shard, len(self._queue))
+
+    # -- service -----------------------------------------------------------------------
+
+    def drain(self, now: int, rate: int) -> Iterator[tuple[Any, int, Rejected | None]]:
+        """Dequeue up to ``rate`` commands at tick ``now``.
+
+        Yields ``(item, enqueue_tick, rejection)`` triples in FIFO order:
+        ``rejection`` is ``None`` for a command handed to the service and a
+        ``"deadline"`` :class:`Rejected` for one dropped stale.  Dropped
+        commands do *not* consume service slots — the queue keeps popping
+        until ``rate`` commands were actually served (or it emptied),
+        which is what a real head-drop server does.
+        """
+        served = 0
+        while served < rate and self._queue:
+            item, enqueued = self._queue.popleft()
+            self._refill()
+            if (
+                self.policy == "deadline"
+                and self.deadline is not None
+                and now - enqueued > self.deadline
+            ):
+                self.dropped += 1
+                yield item, enqueued, Rejected("deadline", self.shard, len(self._queue))
+                continue
+            self.dequeued += 1
+            served += 1
+            yield item, enqueued, None
+
+    def _refill(self) -> None:
+        """Move backlog into the queue as space frees (block policy)."""
+        while self._backlog and len(self._queue) < self.bound:
+            self._queue.append(self._backlog.popleft())
+            self.high_water = max(self.high_water, len(self._queue))

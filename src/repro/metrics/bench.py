@@ -711,6 +711,158 @@ def write_recovery_bench(
     return path
 
 
+# -- frontend bench (the E22 axis) ----------------------------------------------------
+
+#: Offered-load sweep, as fractions of service capacity (shards × max_batch
+#: commands per tick): below, at, and past the knee.
+FRONTEND_LOAD_FRACTIONS = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0)
+
+
+def run_frontend_bench(
+    n: int = 7,
+    shards: int = 2,
+    max_batch: int = 4,
+    ticks: int = 40,
+    queue_bound: int = 32,
+    policy: str = "shed",
+    fractions: Sequence[float] = FRONTEND_LOAD_FRACTIONS,
+    seed: int = 11,
+    socket_cell: bool = True,
+    socket_submits: int = 24,
+    timeout: float = 30.0,
+) -> dict[str, Any]:
+    """The E22 sweep: the client-observed saturation curve.
+
+    One open-loop cell per offered load (Poisson arrivals through the
+    admission-controlled frontend, sim engine), each over a fresh
+    service: client p50/p99 latency in slot ticks, shed rate, throughput
+    against the capacity plateau, and queue high-water.  The ``knee`` is
+    the largest offered load whose cell shed nothing — below it latency
+    is flat and shedding zero; past it p99 goes super-linear, the shed
+    rate turns positive, and throughput plateaus at capacity instead of
+    collapsing (the queues bound the damage: that is what admission
+    control is *for*).  A closed-loop cell at a window of one capacity's
+    worth of clients shows the self-pacing comparison, and an optional
+    socket cell round-trips a small session over UDS in both codecs.
+    """
+    from ..frontend.api import Frontend
+    from ..frontend.loadgen import LoadGenerator, saturation_sweep
+    from ..shard.service import ShardedService
+
+    def make_service() -> ShardedService:
+        return ShardedService(n=n, shards=shards, max_batch=max_batch, seed=3)
+
+    capacity = shards * max_batch
+    offered = [capacity * fraction for fraction in fractions]
+    open_rows = saturation_sweep(
+        make_service,
+        offered,
+        ticks=ticks,
+        queue_bound=queue_bound,
+        policy=policy,
+        seed=seed,
+        timeout=timeout,
+    )
+    knee = None
+    for row in open_rows:
+        if row["shed_rate"] == 0.0:
+            knee = row["offered_per_tick"]
+
+    closed = Frontend(make_service(), queue_bound=max(queue_bound, capacity))
+    closed_report = LoadGenerator(seed=seed).closed_loop(
+        closed, clients=capacity, total=ticks * capacity // 2, timeout=timeout
+    )
+
+    socket_cells: dict[str, Any] | None = None
+    if socket_cell:
+        import shutil
+        import tempfile
+
+        from ..codec import CODEC_BINARY, CODEC_PICKLE
+        from ..frontend.socket import ClientReply, FrontendServer, SocketClient
+
+        socket_cells = {}
+        for codec_name, codec in (("binary", CODEC_BINARY), ("pickle", CODEC_PICKLE)):
+            root = tempfile.mkdtemp(prefix="repro-bench-frontend-")
+            try:
+                path = pathlib.Path(root) / "frontend.sock"
+                server = FrontendServer(
+                    lambda: Frontend(make_service(), queue_bound=queue_bound),
+                    path=str(path),
+                    codec=codec,
+                )
+                thread = server.serve_once_in_thread(timeout=timeout)
+                started = time.perf_counter()
+                outcomes = SocketClient(
+                    path=str(path), codec=codec, timeout=timeout
+                ).submit_all(
+                    (f"k{i % 8}", i) for i in range(socket_submits)
+                )
+                thread.join(timeout)
+                wall = time.perf_counter() - started
+                socket_cells[codec_name] = {
+                    "submits": socket_submits,
+                    "replies": sum(
+                        1 for o in outcomes.values() if isinstance(o, ClientReply)
+                    ),
+                    "rejects": sum(
+                        1 for o in outcomes.values() if not isinstance(o, ClientReply)
+                    ),
+                    "wall_seconds": round(wall, 4),
+                }
+            finally:
+                shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "benchmark": "frontend",
+        "commit": _commit_hash(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": time.time(),
+        "n": n,
+        "t": max((n - 1) // 6, 0),
+        "shards": shards,
+        "max_batch": max_batch,
+        "capacity_per_tick": capacity,
+        "ticks": ticks,
+        "queue_bound": queue_bound,
+        "policy": policy,
+        "seed": seed,
+        "knee_offered_per_tick": knee,
+        "open_loop": open_rows,
+        "closed_loop": closed_report.summary(),
+        "socket": socket_cells,
+    }
+
+
+def write_frontend_bench(
+    out: pathlib.Path | str | None = None,
+    shards: int = 2,
+    ticks: int = 40,
+    smoke: bool = False,
+) -> pathlib.Path:
+    """Run the frontend bench and persist ``BENCH_frontend.json``.
+
+    ``smoke`` shrinks the sweep (three loads, short run, small socket
+    session) to CI scale.
+    """
+    if smoke:
+        report = run_frontend_bench(
+            shards=shards,
+            ticks=12,
+            fractions=(0.5, 1.5, 3.0),
+            socket_submits=12,
+        )
+    else:
+        report = run_frontend_bench(shards=shards, ticks=ticks)
+    if out is None:
+        out = pathlib.Path("benchmarks") / "results" / "BENCH_frontend.json"
+    path = pathlib.Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
 def write_hotpath_bench(
     out: pathlib.Path | str | None = None,
     sizes: Sequence[int] = DEFAULT_SIZES,

@@ -247,6 +247,15 @@ class StreamAggregate:
         index = min(int(q * len(ordered)), len(ordered) - 1)
         return float(ordered[index])
 
+    def latency_percentile_or_none(self, q: float) -> float | None:
+        """Like :meth:`latency_percentile`, but ``None`` when there are no
+        samples — a shard that decided nothing (empty, or shed-only at the
+        frontend) has *no* latency, and the saturation plots must render
+        that as a gap rather than a fabricated 0.0."""
+        if not self.decision_latencies:
+            return None
+        return self.latency_percentile(q)
+
     def summary(self) -> dict[str, float]:
         """The headline numbers as one flat dict (for report rows)."""
         return {

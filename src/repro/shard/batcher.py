@@ -93,7 +93,11 @@ class ShardBatcher:
                 possibly containing foreign commands this replica never
                 queued — those are ignored).
             now: the slot-time the decision landed; restarts the wait clock
-                of whatever remains queued.
+                of whatever remains queued — but only when the decision
+                actually consumed commands.  An empty (heartbeat) decision
+                leaves the clock running: heartbeat slots exist to *age*
+                a partial batch toward the time bound, so resetting on
+                them would starve a trickle of traffic forever.
         """
         remaining = list(self._queue)
         for command in decided:
@@ -101,5 +105,8 @@ class ShardBatcher:
                 remaining.remove(command)
             except ValueError:
                 pass  # decided but never queued here (Byzantine injection)
+        if not remaining:
+            self._waiting_since = None
+        elif len(remaining) != len(self._queue):
+            self._waiting_since = now
         self._queue = remaining
-        self._waiting_since = now if remaining else None

@@ -846,6 +846,15 @@ class ShardedService:
             rate=self.rate,
             seed=self.seed,
         )
+        return self.run_stream(arrivals, timeout=timeout)
+
+    def run_stream(
+        self, arrivals: Sequence[tuple[int, Command]], timeout: float = 30.0
+    ) -> ShardReport:
+        """Run an explicit client stream (``[(arrival_slot, command)]``)
+        through the service — the entry point the admission-controlled
+        frontend (:mod:`repro.frontend`) feeds with whatever the queues
+        accepted, as opposed to :meth:`run`'s self-generated workload."""
         shard_sink = ShardStreamSink(self.shards, uc_step_cost=self.uc_step_cost)
         sink = combine(shard_sink, self.event_sink)
         deployment = self.deployment(arrivals, sink)

@@ -58,6 +58,7 @@ from repro.core.dex import DexProposal
 from repro.durable.recovery import CatchUpReply, CatchUpRequest, SlotDecided
 from repro.durable.snapshot import ShardSnapshot
 from repro.durable.wal import ApplyRecord, DecideRecord, ProposeRecord
+from repro.frontend.socket import ClientRejected, ClientReply, ClientSubmit
 from repro.net.wire import (
     FrameDecoder,
     Hello,
@@ -122,6 +123,9 @@ def golden_messages():
         CatchUpRequest(1, ((0, 2),)),                                 # tag 36
         CatchUpReply(1, ((0, 0, (("set", "a", 1),)),), ((0, 1),)),    # tag 37
         SlotDecided(0, 2, (("set", "b", 2),)),                        # tag 38
+        ClientSubmit(17, "k3", 42),                                   # tag 48
+        ClientReply(17, 1, 5, 2),                                     # tag 49
+        ClientRejected(18, "shed", 0),                                # tag 50
         # one frame of plain values covering the non-struct value tags:
         (None, True, False, 0, -1, 7, 2**40, -(2**40), 3.5, "", "héllo",
          b"\x00\xff", (), (1, (2, 3)), [1, [2]], {"a": 1, 2: None},
