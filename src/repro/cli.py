@@ -15,11 +15,15 @@ Commands:
 * ``bench``     — benchmark workloads: hot-path micro-benchmarks
   (``--workload hotpath``), the socket-engine throughput/latency/fast-path
   comparison (``--workload net``), the sharded multi-consensus service
-  sweep (``--workload shard``), or the client-facing saturation sweep
+  sweep (``--workload shard``), the parallel-hub mesh ablation
+  (``--workload mesh``), or the client-facing saturation sweep
   (``--workload frontend``); ``--engine`` stays as a compatibility
   alias for the first two;
 * ``serve``     — put the admission-controlled frontend behind a UDS/TCP
   socket and serve client sessions (:mod:`repro.frontend.socket`);
+* ``hub``       — run one standalone mesh hub group over TCP
+  (:mod:`repro.mesh`), so another host's ``MeshTopology.remote`` can
+  point a cluster's shard traffic at it;
 * ``load``      — drive load at the frontend: a seeded open- or
   closed-loop run in process, or a socket session against a ``serve``
   endpoint.
@@ -168,6 +172,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="net engine: payload codec for wire frames and "
                           "durable records (struct-packed binary by default; "
                           "pickle/json are the escape hatches)")
+    run.add_argument("--hubs", type=int, default=1,
+                     help="net engine: hub groups of the mesh transport "
+                          "(1 = the classic single-hub star)")
     run.add_argument("--trace", action="store_true", help="print the event trace")
 
     table1 = sub.add_parser("table1", help="print the paper's Table 1")
@@ -201,16 +208,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench",
                            help="benchmarks -> BENCH_hotpath.json / BENCH_net.json "
-                                "/ BENCH_shard.json / BENCH_recovery.json / "
-                                "BENCH_frontend.json")
+                                "/ BENCH_shard.json / BENCH_mesh.json / "
+                                "BENCH_recovery.json / BENCH_frontend.json")
     bench.add_argument("--workload",
-                       choices=["hotpath", "net", "shard", "recovery", "frontend"],
+                       choices=["hotpath", "net", "shard", "mesh", "recovery",
+                                "frontend"],
                        default=None,
                        help="hotpath: simulator micro-benchmarks; net: fast-path "
                             "rate + throughput/latency over real sockets vs sim; "
                             "shard: sharded multi-consensus service sweep "
                             "(throughput/latency/one-step rate vs shard count "
-                            "and key skew); recovery: WAL replay latency vs log "
+                            "and key skew); mesh: the parallel-hub ablation "
+                            "(shard-workload net throughput vs hub-group count, "
+                            "per codec and key skew, with per-hub frame "
+                            "counters); recovery: WAL replay latency vs log "
                             "length, fsync throughput tax, and one socket-engine "
                             "kill/restart/rejoin cell; frontend: the client-"
                             "facing saturation sweep (offered load vs client "
@@ -230,6 +241,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 1,2,4)")
     bench.add_argument("--count", type=int, default=48,
                        help="shard bench: client commands per run")
+    bench.add_argument("--hubs", type=lambda s: tuple(int(x) for x in s.split(",")),
+                       default=None,
+                       help="mesh bench: comma-separated hub-group counts "
+                            "(default 1,2,4)")
     bench.add_argument("--smoke", action="store_true",
                        help="tiny sizes, one repeat — seconds, for CI")
     bench.add_argument("--sizes", type=lambda s: tuple(int(x) for x in s.split(",")),
@@ -262,6 +277,36 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--sessions", type=int, default=1,
                        help="client sessions to serve before exiting")
     serve.add_argument("--timeout", type=float, default=60.0)
+
+    hub = sub.add_parser(
+        "hub",
+        help="run one standalone mesh hub group over TCP (repro.mesh)",
+    )
+    hub.add_argument("--index", type=int, required=True,
+                     help="hub-group index in [1, hubs) — hub 0 always lives "
+                          "inside the cluster orchestrator")
+    hub.add_argument("--hubs", type=int, required=True,
+                     help="total hub-group count of the mesh")
+    hub.add_argument("--shards", type=int, required=True,
+                     help="shard count of the workload (attribution modulus)")
+    hub.add_argument("--n", type=int, required=True, help="replica count")
+    hub.add_argument("--host", default="127.0.0.1", help="bind address")
+    hub.add_argument("--port", type=int, default=0,
+                     help="bind port (0 = kernel-picked, printed on stderr)")
+    hub.add_argument("--peer", dest="peers", action="append", default=[],
+                     metavar="IDX:HOST:PORT",
+                     help="another remote hub's endpoint, repeatable "
+                          "(cross-group frames for it relay directly instead "
+                          "of through the orchestrator)")
+    hub.add_argument("--seed", type=int, default=0,
+                     help="cluster seed (per-hub jitter stream = seed + index)")
+    hub.add_argument("--mean-delay", type=float, default=0.0005)
+    hub.add_argument("--net-jitter", choices=["uniform", "lognormal"],
+                     default="uniform")
+    hub.add_argument("--codec", choices=["binary", "pickle", "json"],
+                     default="binary")
+    hub.add_argument("--timeout", type=float, default=300.0,
+                     help="failsafe deadline in seconds")
 
     load = sub.add_parser(
         "load",
@@ -305,6 +350,11 @@ def _cmd_run(args) -> int:
         if isinstance(args.algorithm, AlgorithmSpec)
         else _algorithm_by_name(args.algorithm)
     )
+    mesh = None
+    if args.hubs > 1:
+        from .mesh.topology import MeshTopology
+
+        mesh = MeshTopology(hubs=args.hubs)
     scenario = Scenario(
         algorithm,
         args.inputs,
@@ -316,6 +366,7 @@ def _cmd_run(args) -> int:
         engine=args.engine,
         net_jitter=args.net_jitter,
         codec=args.codec,
+        mesh=mesh,
     )
     if args.runs > 1:
         aggregate = scenario.run_many(range(args.seed, args.seed + args.runs))
@@ -458,17 +509,30 @@ def _cmd_check(args) -> int:
 def _cmd_bench(args) -> int:
     from .metrics.bench import (
         DEFAULT_SIZES,
+        MESH_HUB_COUNTS,
         SHARD_COUNTS,
         SMOKE_SIZES,
         write_frontend_bench,
         write_hotpath_bench,
+        write_mesh_bench,
         write_net_bench,
         write_recovery_bench,
         write_shard_bench,
     )
 
     workload = args.workload or args.engine or "hotpath"
-    if workload == "frontend":
+    if workload == "mesh":
+        runs = 3 if args.runs == 10 else args.runs  # net-oriented default
+        path = write_mesh_bench(
+            out=args.out,
+            n=args.n,
+            hubs=args.hubs or MESH_HUB_COUNTS,
+            shards=args.shards[0] if args.shards else 4,
+            count=96 if args.count == 48 else args.count,  # shard-oriented default
+            runs=runs,
+            smoke=args.smoke,
+        )
+    elif workload == "frontend":
         shards = args.shards[0] if args.shards else 2
         path = write_frontend_bench(out=args.out, shards=shards, smoke=args.smoke)
     elif workload == "recovery":
@@ -563,6 +627,41 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_hub(args) -> int:
+    from .codec import CODEC_NAMES
+    from .mesh.hub import serve_hub
+
+    peers: dict[int, tuple[str, int]] = {}
+    for spec in args.peers:
+        parts = spec.split(":")
+        if len(parts) != 3 or not parts[0].isdigit() or not parts[2].isdigit():
+            print(f"error: peer {spec!r} must look like IDX:HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        peers[int(parts[0])] = (parts[1], int(parts[2]))
+
+    def announce(address) -> None:
+        host, port = address[:2]
+        print(f"hub {args.index}/{args.hubs} listening at {host}:{port} "
+              f"(shards={args.shards}, n={args.n})", file=sys.stderr)
+
+    return serve_hub(
+        args.index,
+        args.hubs,
+        args.shards,
+        args.n,
+        host=args.host,
+        port=args.port,
+        peers=peers or None,
+        seed=args.seed,
+        mean_delay=args.mean_delay,
+        jitter=args.net_jitter,
+        codec=CODEC_NAMES[args.codec],
+        deadline_seconds=args.timeout,
+        announce=announce,
+    )
+
+
 def _cmd_load(args) -> int:
     from .codec import CODEC_NAMES
 
@@ -623,6 +722,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _cmd_check,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "hub": _cmd_hub,
         "load": _cmd_load,
     }
     try:

@@ -82,6 +82,7 @@ _SCHEMA_MODULES = (
     "repro.durable.snapshot",
     "repro.durable.recovery",
     "repro.frontend.socket",
+    "repro.mesh.wire",
 )
 
 _registered_all = False

@@ -29,6 +29,7 @@ __all__ = [
     "OutputEvent",
     "ServiceEvent",
     "FaultEvent",
+    "HubSaturatedEvent",
     "LogEvent",
     "RestartEvent",
     "RoundEvent",
@@ -123,6 +124,22 @@ class RoundEvent(RunEvent):
     """The lockstep/synchronous engines advanced to ``round`` (pid is -1)."""
 
     round: int
+
+
+@dataclass(frozen=True, slots=True)
+class HubSaturatedEvent(RunEvent):
+    """A transport hub's ready-queue depth crossed its high-water mark.
+
+    ``pid`` is the *hub index* (hub 0 is the star/orchestrator hub; a mesh
+    run has one per hub group), not a process id.  Emitted once per
+    crossing — the hub latches and only re-arms after its queue drains
+    below half the mark — so the stream records saturation *episodes*,
+    not per-frame noise.  This is the observability behind the parallel-
+    hub work: it says which hub, if any, is the bottleneck.
+    """
+
+    depth: int
+    high_water: int
 
 
 class EventSink:

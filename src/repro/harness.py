@@ -340,6 +340,13 @@ class Deployment:
         durability: optional :class:`~repro.durable.DurabilityConfig`
             carried for protocols that persist (the sharded service);
             stateless consensus protocols ignore it.
+        mesh: optional :class:`~repro.mesh.topology.MeshTopology` — the
+            socket engine runs a :class:`~repro.mesh.cluster.MeshCluster`
+            (parallel hub groups) instead of the single-hub star when one
+            is present with ``hubs > 1``; in-memory engines ignore it.
+        shards: shard count of the workload, for mesh shard→hub
+            attribution (``1`` for unsharded deployments — everything is
+            then control traffic pinned to hub 0).
     """
 
     config: SystemConfig
@@ -356,6 +363,8 @@ class Deployment:
     codec: str = "binary"
     restarts: dict[ProcessId, RestartPlan] = field(default_factory=dict)
     durability: Any = None
+    mesh: Any = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.net_jitter not in NET_JITTERS:
@@ -498,13 +507,15 @@ class Deployment:
         batch_deliveries: bool = True,
     ):
         """Run as real OS processes over sockets; returns a
-        :class:`~repro.net.cluster.NetRunResult`."""
+        :class:`~repro.net.cluster.NetRunResult`.
+
+        With a :attr:`mesh` topology of more than one hub group this
+        builds a :class:`~repro.mesh.cluster.MeshCluster` (lazy import —
+        plain net runs never load the mesh subsystem)."""
         from .codec import codec_named
         from .net.cluster import NetCluster
 
-        cluster = NetCluster(
-            self.config,
-            self.protocols,
+        kwargs: dict[str, Any] = dict(
             faulty=self.faulty,
             services=self.services,
             seed=self.seed,
@@ -517,6 +528,18 @@ class Deployment:
             batch_deliveries=batch_deliveries,
             restarts=self.restarts,
         )
+        if self.mesh is not None and getattr(self.mesh, "hubs", 1) > 1:
+            from .mesh.cluster import MeshCluster
+
+            cluster: NetCluster = MeshCluster(
+                self.config,
+                self.protocols,
+                mesh=self.mesh,
+                shards=self.shards,
+                **kwargs,
+            )
+        else:
+            cluster = NetCluster(self.config, self.protocols, **kwargs)
         return cluster.run(timeout)
 
 
@@ -584,6 +607,9 @@ class Scenario:
     net_jitter: str = "uniform"
     codec: str = "binary"
     durability: Any = None
+    #: optional :class:`~repro.mesh.topology.MeshTopology` — parallel hub
+    #: groups on the socket engine; other engines ignore it.
+    mesh: Any = None
     #: derived in ``__post_init__`` — not an init arg, ignored by clones.
     config: SystemConfig = field(init=False, repr=False, compare=False)
 
@@ -693,6 +719,7 @@ class Scenario:
             codec=self.codec,
             restarts=restarts,
             durability=self.durability,
+            mesh=self.mesh,
         )
 
     def build(self) -> Simulation:

@@ -1,0 +1,163 @@
+"""Mesh topology configuration and the shard→hub routing contract.
+
+A mesh run splits the star topology's single hub into *hub groups*: hub 0
+stays inside the orchestrator (all control traffic — decisions, service
+calls, logs, catch-up — lands there), while hubs ``1..hubs-1`` are forked
+worker processes that each own a slice of the shard space.  Everything
+that must agree across nodes, hubs and metrics lives here:
+
+* :class:`MeshTopology` — the user-facing config surfaced through
+  ``Scenario(mesh=...)`` / ``bench --hubs N``;
+* :func:`hub_rng` — per-hub seeded RNG streams, so jitter and link-fault
+  draws stay bit-identical run to run *per hub* regardless of arrival
+  interleaving across hubs (and hub 0's stream equals the star hub's,
+  keeping single-hub digests unchanged);
+* :func:`shard_of_payload` / :func:`peek_shard` — shard attribution for a
+  materialized envelope chain and for a raw binary-codec span, so a data
+  hub can steer a frame without decoding its payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Any
+
+from ..codec import Opaque
+from ..codec.binary import (
+    TAG_ENVELOPE,
+    CodecError,
+    _COMPONENT_INSTANCE,
+    _COMPONENT_STR,
+    _COMPONENT_TABLE_BASE,
+    _read_varint,
+)
+from ..codec.schema import parse_instance
+from ..errors import SimulationError
+from ..runtime.composite import Envelope
+
+__all__ = [
+    "ROUTES",
+    "UNATTRIBUTED",
+    "MeshTopology",
+    "hub_rng",
+    "shard_of_payload",
+    "peek_shard",
+]
+
+#: How mesh nodes pick a hub for outgoing data frames.
+#: ``"direct"`` — steer each frame to ``hub_of(shard)`` (the scaling path);
+#: ``"hub0"`` — ship everything to hub 0 and let the hubs relay (exercises
+#: the hub-to-hub forwarding path end to end).
+ROUTES = ("direct", "hub0")
+
+#: Shard index meaning "no shard tag found" — control traffic, pinned to hub 0.
+UNATTRIBUTED = -1
+
+
+@dataclass(frozen=True)
+class MeshTopology:
+    """Parallel-hub layout for the socket engine.
+
+    Args:
+        hubs: number of hub groups.  ``1`` degenerates to the star
+            topology (no hub workers are forked).
+        route: node-side steering mode (see :data:`ROUTES`).
+        remote: hub index → ``(host, port)`` for hubs served by a separate
+            process/host (started with ``repro hub`` — see
+            :func:`repro.mesh.hub.serve_hub`).  The orchestrator dials
+            these over TCP instead of forking them; hub 0 can never be
+            remote (it *is* the orchestrator).
+        high_water: per-hub ready-queue saturation watermark (see
+            :class:`~repro.engine.events.HubSaturatedEvent`).
+    """
+
+    hubs: int = 1
+    route: str = "direct"
+    remote: dict[int, tuple[str, int]] = field(default_factory=dict)
+    high_water: int = 512
+
+    def __post_init__(self) -> None:
+        if self.hubs < 1:
+            raise SimulationError("a mesh needs at least one hub group")
+        if self.route not in ROUTES:
+            raise SimulationError(
+                f"unknown mesh route {self.route!r} (one of: {', '.join(ROUTES)})"
+            )
+        for hub in self.remote:
+            if not 1 <= hub < self.hubs:
+                raise SimulationError(
+                    f"remote hub index {hub} out of range [1, {self.hubs})"
+                    " — hub 0 is the orchestrator and cannot be remote"
+                )
+        if self.high_water < 1:
+            raise SimulationError("high_water must be positive")
+
+
+def hub_rng(seed: int, hub: int) -> Random:
+    """The seeded RNG stream of one hub.
+
+    Hub 0's stream is exactly ``Random(seed)`` — the star hub's stream —
+    so a one-hub mesh (and hub 0 of any mesh) draws the identical jitter
+    sequence as a plain net run and digests stay comparable.  Other hubs
+    get independent streams derived from the seed and their index, so a
+    multi-hub run is deterministic per hub no matter how frame arrivals
+    interleave across hubs.
+    """
+    if hub == 0:
+        return Random(seed)
+    return Random((seed + 1) * 1_000_003 + hub)
+
+
+def shard_of_payload(payload: Any, shards: int) -> int:
+    """Shard owning a materialized payload, or :data:`UNATTRIBUTED`.
+
+    Unwraps the envelope chain (``Envelope("mux", Envelope("s<shard>.
+    <slot>", …))``) exactly like the metrics layer; an
+    :class:`~repro.codec.Opaque` span is peeked without materializing.
+    """
+    if type(payload) is Opaque:
+        return peek_shard(payload.data, shards)
+    seen = 0
+    while isinstance(payload, Envelope) and seen < 8:
+        key = parse_instance(payload.component)
+        if key is not None and 0 <= key[0] < shards:
+            return key[0]
+        payload = payload.payload
+        seen += 1
+    return UNATTRIBUTED
+
+
+def peek_shard(data: bytes, shards: int) -> int:
+    """Read the shard tag off a raw binary-codec span without decoding.
+
+    The span of an enveloped payload starts with ``TAG_ENVELOPE`` and its
+    component; an instance component (``s<shard>.<slot>``) is two varints
+    right there in the header, so steering costs a few byte reads instead
+    of a payload decode.  Non-instance components (interned table names
+    like ``"mux"``, or raw strings) are skipped and the nested payload is
+    peeked, mirroring the envelope-chain walk on materialized values.
+    Anything unrecognized — including a truncated or hostile span —
+    answers :data:`UNATTRIBUTED`, never raises: unattributable traffic
+    goes to hub 0 like any control frame.
+    """
+    pos = 0
+    try:
+        for _ in range(8):
+            if pos >= len(data) or data[pos] != TAG_ENVELOPE:
+                return UNATTRIBUTED
+            pos += 1
+            kind = data[pos]
+            pos += 1
+            if kind == _COMPONENT_INSTANCE:
+                shard, pos = _read_varint(data, pos)
+                return shard if 0 <= shard < shards else UNATTRIBUTED
+            if kind == _COMPONENT_STR:
+                length, pos = _read_varint(data, pos)
+                pos += length
+            elif kind < _COMPONENT_TABLE_BASE:
+                return UNATTRIBUTED
+            # table component: the single kind byte was the whole encoding
+    except (IndexError, CodecError):
+        return UNATTRIBUTED
+    return UNATTRIBUTED

@@ -519,6 +519,150 @@ def write_shard_bench(
     return path
 
 
+# -- mesh bench (the E23 axis) --------------------------------------------------------
+
+#: Hub-group counts of the mesh ablation.  One hub is the E19 baseline
+#: (the star topology with its single-hub ceiling); two and four split the
+#: shard space across extra hub processes.
+MESH_HUB_COUNTS = (1, 2, 4)
+
+#: Payload codecs swept per mesh cell: binary keeps shard attribution on
+#: raw bytes (``peek_shard``) so data hubs never decode payloads; pickle
+#: forces a decode at the owning hub and shows what that costs.
+MESH_CODECS = ("binary", "pickle")
+
+
+def run_mesh_bench(
+    n: int = 7,
+    shards: int = 4,
+    hubs: Sequence[int] = MESH_HUB_COUNTS,
+    count: int = 96,
+    runs: int = 3,
+    contention: float = 0.3,
+    timeout: float = 60.0,
+    codecs: Sequence[str] = MESH_CODECS,
+    skews: Sequence[str] = SHARD_SKEWS,
+) -> dict[str, Any]:
+    """The E23 ablation: shard-workload net throughput vs hub-group count.
+
+    Per cell (codec × skew × hub count) the same seeded client stream runs
+    through :class:`~repro.shard.service.ShardedService` on the socket
+    engine, with the transport shaped by
+    :class:`~repro.mesh.topology.MeshTopology` — one hub is exactly the
+    E19 star cluster, more hubs split the shard space across extra hub
+    processes with hub-to-hub relay for stray frames.  Cells carry the
+    per-hub frame/byte counters from the run results, so the report shows
+    not just the throughput curve but *where* the frames went.
+
+    ``scaling`` extracts the headline: aggregate commands per wall second
+    versus hub count, per codec and skew.  The acceptance check for the
+    mesh subsystem is that the uniform-key curve increases monotonically
+    from one to four hubs — the reversal of E19's flat/regressing net row.
+    """
+    from ..mesh import MeshTopology
+    from ..shard.service import ShardedService
+
+    cells: list[dict[str, Any]] = []
+    scaling: dict[str, dict[str, dict[str, float]]] = {}
+    for codec in codecs:
+        for skew in skews:
+            for hub_count in hubs:
+                reports = []
+                for seed in range(1, runs + 1):
+                    service = ShardedService(
+                        n=n,
+                        shards=shards,
+                        contention=contention,
+                        skew=skew,
+                        seed=seed,
+                        engine="net",
+                        codec=codec,
+                        mesh=MeshTopology(hubs=hub_count),
+                    )
+                    reports.append(service.run(count=count, timeout=timeout))
+                divergences = sum(1 for r in reports if r.divergence)
+                hub_frames: dict[str, int] = {}
+                hub_bytes: dict[str, int] = {}
+                hub_exits: dict[str, int] = {}
+                for report in reports:
+                    result = report.result
+                    for hub, frames in getattr(
+                        result, "hub_frame_counts", {}
+                    ).items():
+                        hub_frames[str(hub)] = hub_frames.get(str(hub), 0) + frames
+                    for hub, nbytes in getattr(
+                        result, "hub_byte_counts", {}
+                    ).items():
+                        hub_bytes[str(hub)] = hub_bytes.get(str(hub), 0) + nbytes
+                    for hub, code in getattr(
+                        result, "hub_exit_codes", {}
+                    ).items():
+                        hub_exits[str(hub)] = code
+                aggregate = _mean_numeric([r.aggregate for r in reports])
+                cells.append(
+                    {
+                        "codec": codec,
+                        "skew": skew,
+                        "hubs": hub_count,
+                        "shards": shards,
+                        "count": count,
+                        "runs": runs,
+                        "divergences": divergences,
+                        "hub_frames": hub_frames,
+                        "hub_bytes": hub_bytes,
+                        "hub_exit_codes": hub_exits,
+                        "aggregate": aggregate,
+                    }
+                )
+                scaling.setdefault(codec, {}).setdefault(skew, {})[
+                    str(hub_count)
+                ] = aggregate.get("throughput_cmds", 0.0)
+    return {
+        "benchmark": "mesh",
+        "commit": _commit_hash(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "unix_time": time.time(),
+        "n": n,
+        "t": max((n - 1) // 6, 0),
+        "shards": shards,
+        "contention": contention,
+        "cells": cells,
+        "scaling": scaling,
+    }
+
+
+def write_mesh_bench(
+    out: pathlib.Path | str | None = None,
+    n: int = 7,
+    hubs: Sequence[int] = MESH_HUB_COUNTS,
+    shards: int = 4,
+    count: int = 96,
+    runs: int = 3,
+    smoke: bool = False,
+) -> pathlib.Path:
+    """Run the mesh ablation and persist ``BENCH_mesh.json``.
+
+    ``smoke`` shrinks it (hubs 1–2, binary codec, uniform keys, a short
+    stream) to CI scale.
+    """
+    if smoke:
+        report = run_mesh_bench(
+            n=n, shards=shards, hubs=(1, 2), count=8, runs=1,
+            codecs=("binary",), skews=("uniform",),
+        )
+    else:
+        report = run_mesh_bench(
+            n=n, shards=shards, hubs=hubs, count=count, runs=runs
+        )
+    if out is None:
+        out = pathlib.Path("benchmarks") / "results" / "BENCH_mesh.json"
+    path = pathlib.Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
 # -- recovery bench (the E20 axis) ----------------------------------------------------
 
 #: WAL lengths (decided slots) of the replay-latency sweep.

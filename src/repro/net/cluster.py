@@ -57,6 +57,7 @@ from .wire import (
     CODEC_BINARY,
     CODEC_PICKLE,
     DEFAULT_MAX_FRAME,
+    DELIVERY_BATCH_CHUNK,  # noqa: F401  (re-exported; was defined here)
     FrameDecoder,
     FrameTooLarge,
     Hello,
@@ -70,6 +71,7 @@ from .wire import (
     Start,
     Stop,
     TruncatedStream,
+    batch_frames,
     encode_frame_into,
 )
 
@@ -79,9 +81,28 @@ TRANSPORTS = ("uds", "tcp")
 #: Hub jitter models (seeded either way).
 JITTERS = ("uniform", "lognormal")
 
-#: Deliveries coalesced into one frame at most — keeps a batched frame far
-#: below the frame size cap even with large consensus payloads.
-DELIVERY_BATCH_CHUNK = 32
+#: Default ready-queue depth at which a hub declares itself saturated
+#: (see :class:`~repro.engine.events.HubSaturatedEvent`).
+DEFAULT_HIGH_WATER = 512
+
+
+def materialize_for(codec: int, msg: Any) -> Any:
+    """Decode relayed :class:`~repro.codec.Opaque` spans when the
+    destination connection does not speak the binary codec (mixed-codec
+    cluster): a span splices only into binary frames.  Module-level so
+    every hub implementation (star and mesh hub workers) shares it."""
+    if codec == CODEC_BINARY:
+        return msg
+    if type(msg) is MsgDeliver and type(msg.payload) is Opaque:
+        return MsgDeliver(msg.sender, msg.payload.decode(), msg.depth)
+    if type(msg) is MsgDeliverBatch:
+        return MsgDeliverBatch(
+            tuple(
+                (s, p.decode() if type(p) is Opaque else p, d)
+                for s, p, d in msg.entries
+            )
+        )
+    return msg
 
 
 @dataclass
@@ -102,6 +123,17 @@ class NetRunResult(AsyncRunResult):
     #: bytes the hub wrote to node sockets (the codec ablation's
     #: bytes-per-frame denominator is ``hub_bytes / hub_frames``).
     hub_bytes: int = 0
+    #: per-hub frame/byte split (hub index → count).  The star topology has
+    #: exactly one hub, so these are ``{0: hub_frames}`` / ``{0: hub_bytes}``;
+    #: a mesh run fans them out per hub group — the counters that *prove*
+    #: the load actually split.
+    hub_frame_counts: dict[int, int] = field(default_factory=dict)
+    hub_byte_counts: dict[int, int] = field(default_factory=dict)
+    #: how each forked hub worker exited (hub index → exit code, ``-9`` for
+    #: a SIGKILLed hub, ``None`` = never terminated and was killed at
+    #: teardown).  Empty for the star topology — its single hub *is* the
+    #: orchestrator — and for remote hubs, which are not our children.
+    hub_exit_codes: dict[int, int | None] = field(default_factory=dict)
 
 
 @dataclass
@@ -178,6 +210,7 @@ class NetCluster:
         jitter: str = "uniform",
         batch_deliveries: bool = True,
         restarts: Mapping[ProcessId, RestartPlan] | None = None,
+        high_water: int = DEFAULT_HIGH_WATER,
     ) -> None:
         if set(protocols) != set(config.processes):
             raise SimulationError(
@@ -217,6 +250,10 @@ class NetCluster:
         )
         self.hub_frames = 0
         self.hub_bytes = 0
+        #: ready-queue saturation watermark; the latch makes the event fire
+        #: once per saturation episode, not once per frame past the mark.
+        self.high_water = high_water
+        self._saturated = False
         #: reusable frame-encode buffer: the hub's entire write side goes
         #: through it, so steady-state routing allocates no per-frame bytes.
         self._send_buf = bytearray()
@@ -433,23 +470,9 @@ class NetCluster:
 
     # -- frame plumbing --------------------------------------------------------------
 
-    @staticmethod
-    def _materialize_for(codec: int, msg: Any) -> Any:
-        """Decode relayed :class:`~repro.codec.Opaque` spans when the
-        destination connection does not speak the binary codec (mixed-codec
-        cluster): a span splices only into binary frames."""
-        if codec == CODEC_BINARY:
-            return msg
-        if type(msg) is MsgDeliver and type(msg.payload) is Opaque:
-            return MsgDeliver(msg.sender, msg.payload.decode(), msg.depth)
-        if type(msg) is MsgDeliverBatch:
-            return MsgDeliverBatch(
-                tuple(
-                    (s, p.decode() if type(p) is Opaque else p, d)
-                    for s, p, d in msg.entries
-                )
-            )
-        return msg
+    #: see the module-level :func:`materialize_for` (kept as a static
+    #: attribute for the existing call sites).
+    _materialize_for = staticmethod(materialize_for)
 
     def _write(self, pid: ProcessId, msg: Any) -> bool:
         conn = self._conns.get(pid)
@@ -542,6 +565,9 @@ class NetCluster:
             self._heap,
             (time.monotonic() + delay, self._seq, dst, sender, payload, depth),
         )
+        if not self._saturated and len(self._heap) >= self.high_water:
+            self._saturated = True
+            self.events.saturated(0, len(self._heap), self.high_water)
 
     def _route(self, src: ProcessId, msg: MsgSend) -> None:
         """One node→node message: authenticate, count, fault-inject, queue."""
@@ -552,6 +578,8 @@ class NetCluster:
             self._schedule(msg.dst, src, msg.payload, msg.depth, base + extra)
 
     def _deliver_due(self, now: float) -> None:
+        if self._saturated and len(self._heap) <= self.high_water // 2:
+            self._saturated = False  # episode over: re-arm the latch
         if not self.batch_deliveries:
             while self._heap and self._heap[0][0] <= now:
                 _, _, dst, sender, payload, depth = heapq.heappop(self._heap)
@@ -574,15 +602,7 @@ class NetCluster:
             batches[dst].append((sender, payload, depth))
         for dst in order:
             entries = batches[dst]
-            frames: list[Any] = []
-            per_frame: list[list[tuple[ProcessId, Any, int]]] = []
-            for at in range(0, len(entries), DELIVERY_BATCH_CHUNK):
-                chunk = entries[at : at + DELIVERY_BATCH_CHUNK]
-                if len(chunk) == 1:
-                    frames.append(MsgDeliver(*chunk[0]))
-                else:
-                    frames.append(MsgDeliverBatch(tuple(chunk)))
-                per_frame.append(chunk)
+            frames, per_frame = batch_frames(entries)
             delivered: list[tuple[ProcessId, Any, int]] = []
             try:
                 # One coalesced write per destination per sweep.
@@ -674,6 +694,7 @@ class NetCluster:
             self._selector.register(listener, selectors.EVENT_READ, None)
             for conn in self._conns.values():
                 self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+            self._register_extra()
             started = time.monotonic()
             for pid in self._conns:
                 self._write(pid, Start())
@@ -720,7 +741,15 @@ class NetCluster:
             transport=self.transport,
             hub_frames=self.hub_frames,
             hub_bytes=self.hub_bytes,
+            hub_frame_counts={0: self.hub_frames},
+            hub_byte_counts={0: self.hub_bytes},
         )
+
+    def _register_extra(self) -> None:
+        """Register additional selector entries before the main loop.
+
+        A hook for subclasses — the mesh orchestrator registers its hub
+        control links here; the star topology has nothing extra."""
 
     def _pump(self, conn: _Conn) -> None:
         """Drain one readable connection into the frame handler."""

@@ -25,6 +25,7 @@ from ..engine.events import (
     DeliverEvent,
     EventSink,
     FaultEvent,
+    HubSaturatedEvent,
     LogEvent,
     OutputEvent,
     RestartEvent,
@@ -106,3 +107,10 @@ class HubEvents:
     def restart(self, pid: ProcessId, detail: str = "") -> None:
         if self.sink is not None:
             self.sink.emit(RestartEvent(self.clock.now(), pid, detail))
+
+    def saturated(self, hub: int, depth: int, high_water: int) -> None:
+        """A hub's ready queue crossed its high-water mark (pid = hub index)."""
+        if self.sink is not None:
+            self.sink.emit(
+                HubSaturatedEvent(self.clock.now(), hub, depth, high_water)
+            )

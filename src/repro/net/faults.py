@@ -29,6 +29,7 @@ Two things live here:
 from __future__ import annotations
 
 import abc
+import copy
 import os
 from dataclasses import dataclass
 from random import Random
@@ -69,6 +70,17 @@ class LinkFault(abc.ABC):
     @abc.abstractmethod
     def deliveries(self, src: ProcessId, dst: ProcessId, rng: Random) -> list[float]:
         """Extra delays of the surviving copies of one message."""
+
+    def clone(self) -> "LinkFault":
+        """A fresh instance with pristine per-run state.
+
+        Parallel-hub topologies (:mod:`repro.mesh`) project one link plan
+        onto every hub; each hub is an independent enforcement point, so
+        stateful faults (:class:`CutAfter`'s counter) must not share state
+        across hubs.  The default deep-copies — correct for the stateless
+        faults; stateful ones override to reset.
+        """
+        return copy.deepcopy(self)
 
     def describe(self) -> str:
         """One-line description for the event stream."""
@@ -176,6 +188,9 @@ class CutAfter(LinkFault):
         self._passed += 1
         return [0.0]
 
+    def clone(self) -> "CutAfter":
+        return CutAfter(self.budget)
+
     def describe(self) -> str:
         return f"budget={self.budget}"
 
@@ -216,6 +231,25 @@ class LinkPlan:
                 for extra in fault.deliveries(src, dst, rng)
             ]
         return copies
+
+    def project(self, hub: int) -> "LinkPlan":
+        """This plan's projection onto one hub of a parallel-hub mesh.
+
+        Same per-source/everywhere structure, fresh fault instances
+        (:meth:`LinkFault.clone`): every hub enforces the plan on the
+        frames *it* owns with its own state and its own seeded RNG stream,
+        so multi-hub runs stay deterministic regardless of how traffic
+        interleaves across hubs.  Note the semantics this fixes for
+        stateful faults: a :class:`CutAfter` budget counts per owning hub,
+        matching "the link out of this node dies after ``b`` messages" as
+        observed at each enforcement point.  ``hub`` is taken for the
+        call-site's readability; the projection itself is hub-agnostic.
+        """
+        del hub
+        return LinkPlan(
+            {pid: [f.clone() for f in chain] for pid, chain in self.per_source.items()},
+            [f.clone() for f in self.everywhere],
+        )
 
     def describe(self) -> dict[ProcessId, str]:
         """Per-source one-liners for fault announcement on the event stream."""

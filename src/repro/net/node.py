@@ -134,6 +134,7 @@ class NodeWorker(ExecutionPorts):
         self._sent = 0
         self._hello_sent = False
         self._decided = False
+        self._started = False
         self._buf = bytearray()
         # One-slot encoded-payload cache for the binary codec: a broadcast
         # reaches send() once per destination with the *same* payload
@@ -143,17 +144,22 @@ class NodeWorker(ExecutionPorts):
         self._cached_opaque: Opaque | None = None
 
     def _write(self, msg: Any) -> None:
+        self._write_to(self.sock, msg)
+
+    def _write_to(self, sock: socket.socket, msg: Any) -> None:
         # Chaos check on every post-handshake frame: "outgoing message" for a
         # ProcessCrash budget means anything the node tells the world — a
         # send, a service call, even its decision announcement.  The Hello
         # handshake is exempt so a budget of zero still registers the node
         # (dying unconnected is the listener-timeout path, a separate regime).
+        # Parameterized over the socket because a mesh node holds one
+        # connection per hub and steers data frames by shard.
         if self._hello_sent and self.crash is not None:
             self.crash.maybe_kill(self._sent)
         buf = self._buf
         buf.clear()
         encode_frame_into(msg, buf, self.codec, self.max_frame)
-        self.sock.sendall(buf)
+        sock.sendall(buf)
         self._sent += 1
 
     # -- ExecutionPorts (broadcast inherits the per-destination default) ------------
@@ -195,7 +201,6 @@ class NodeWorker(ExecutionPorts):
         self._write(Hello(self.pid, self.codec))
         self._hello_sent = True
         self._sent = 0
-        started = False
         while True:
             try:
                 data = self.sock.recv(65536)
@@ -206,20 +211,30 @@ class NodeWorker(ExecutionPorts):
             if not data:
                 return EXIT_OK
             for msg in decoder.feed(data):
-                if isinstance(msg, Start):
-                    if not started:
-                        started = True
-                        interpret(self, self.pid, self.protocol.on_start(), 0)
-                elif isinstance(msg, MsgDeliver):
-                    effects = guarded(self.protocol, msg.sender, msg.payload)
-                    interpret(self, self.pid, effects, msg.depth)
-                elif isinstance(msg, MsgDeliverBatch):
-                    # Identical to the same deliveries as consecutive frames.
-                    for sender, payload, depth in msg.entries:
-                        effects = guarded(self.protocol, sender, payload)
-                        interpret(self, self.pid, effects, depth)
-                elif isinstance(msg, Stop):
+                if not self._dispatch(msg):
                     return EXIT_OK
+
+    def _dispatch(self, msg: Any) -> bool:
+        """Handle one inbound frame; ``False`` = Stop, the run is over.
+
+        Factored out of the recv loop so multi-connection workers (the
+        mesh node selects over one socket per hub) drive the identical
+        frame semantics."""
+        if isinstance(msg, Start):
+            if not self._started:
+                self._started = True
+                interpret(self, self.pid, self.protocol.on_start(), 0)
+        elif isinstance(msg, MsgDeliver):
+            effects = guarded(self.protocol, msg.sender, msg.payload)
+            interpret(self, self.pid, effects, msg.depth)
+        elif isinstance(msg, MsgDeliverBatch):
+            # Identical to the same deliveries as consecutive frames.
+            for sender, payload, depth in msg.entries:
+                effects = guarded(self.protocol, sender, payload)
+                interpret(self, self.pid, effects, depth)
+        elif isinstance(msg, Stop):
+            return False
+        return True
 
 
 def node_main(

@@ -57,11 +57,13 @@ __all__ = [
     "CODEC_JSON",
     "CODEC_BINARY",
     "DEFAULT_MAX_FRAME",
+    "DELIVERY_BATCH_CHUNK",
     "WireError",
     "FrameTooLarge",
     "TruncatedStream",
     "encode_frame",
     "encode_frame_into",
+    "batch_frames",
     "FrameDecoder",
     "Hello",
     "Start",
@@ -343,3 +345,33 @@ class MsgLog:
     pid: ProcessId
     event: str
     data: dict[str, Any] = field(default_factory=dict)
+
+
+#: Deliveries coalesced into one frame at most — keeps a batched frame far
+#: below the frame size cap even with large consensus payloads.
+DELIVERY_BATCH_CHUNK = 32
+
+
+def batch_frames(
+    entries: list[tuple[ProcessId, Any, int]],
+) -> tuple[list[Any], list[list[tuple[ProcessId, Any, int]]]]:
+    """Chunk one destination's due deliveries into delivery frames.
+
+    Returns ``(frames, per_frame)``: the frames to write — a lone delivery
+    stays a :class:`MsgDeliver`, larger chunks coalesce into
+    :class:`MsgDeliverBatch` capped at :data:`DELIVERY_BATCH_CHUNK` entries
+    — and the entries behind each frame, so a caller falling back
+    per-frame on :class:`FrameTooLarge` knows what every frame held.
+    Shared by each hub implementation (the star hub and the mesh's hub
+    group workers), so batching semantics cannot drift between them.
+    """
+    frames: list[Any] = []
+    per_frame: list[list[tuple[ProcessId, Any, int]]] = []
+    for at in range(0, len(entries), DELIVERY_BATCH_CHUNK):
+        chunk = entries[at : at + DELIVERY_BATCH_CHUNK]
+        if len(chunk) == 1:
+            frames.append(MsgDeliver(*chunk[0]))
+        else:
+            frames.append(MsgDeliverBatch(tuple(chunk)))
+        per_frame.append(chunk)
+    return frames, per_frame

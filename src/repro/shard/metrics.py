@@ -39,7 +39,7 @@ from ..engine.events import (
 from ..metrics.collectors import StreamAggregate
 from ..runtime.composite import Envelope
 from ..types import DecisionKind
-from .router import parse_instance
+from .router import hub_of, parse_instance
 
 __all__ = ["step_of_kind", "ShardStreamSink"]
 
@@ -73,9 +73,13 @@ class ShardStreamSink(EventSink):
     one "run" of that shard's log.
     """
 
-    def __init__(self, shards: int, uc_step_cost: int = 2) -> None:
+    def __init__(self, shards: int, uc_step_cost: int = 2, hubs: int = 1) -> None:
         self.shards = shards
         self.uc_step_cost = uc_step_cost
+        #: hub groups of the transport (mesh runs); per-shard rows carry
+        #: the owning hub and the summary a per-hub rollup, so a report
+        #: shows how the load *should* split across hubs.
+        self.hubs = hubs
         self.sends: Counter = Counter()
         self.delivers: Counter = Counter()
         self.service_calls: Counter = Counter()
@@ -190,6 +194,7 @@ class ShardStreamSink(EventSink):
             total_commands += commands
             row = {
                 "shard": shard,
+                "hub": hub_of(shard, self.hubs),
                 "slots": aggregate.runs,
                 "commands": commands,
                 "throughput_cmds": (
@@ -198,14 +203,25 @@ class ShardStreamSink(EventSink):
                 **aggregate.summary(),
             }
             rows.append(row)
+        per_hub: dict[int, dict[str, int]] = {
+            hub: {"shards": 0, "commands": 0, "slots": 0}
+            for hub in range(self.hubs)
+        }
+        for row in rows:
+            bucket = per_hub[row["hub"]]
+            bucket["shards"] += 1
+            bucket["commands"] += row["commands"]
+            bucket["slots"] += row["slots"]
         summary = {
             "shards": self.shards,
+            "hubs": self.hubs,
             "slots": overall.runs,
             "commands": total_commands,
             "throughput_cmds": (
                 round(total_commands / duration, 3) if duration else 0.0
             ),
             "duration": round(duration, 6) if duration else 0.0,
+            "per_hub": {str(hub): counts for hub, counts in per_hub.items()},
             **overall.summary(),
         }
         return rows, summary

@@ -38,6 +38,7 @@ from ..types import DecisionKind, ProcessId, SystemConfig, Value
 __all__ = [
     "INSTANCE_DECIDED_TAG",
     "shard_of",
+    "hub_of",
     "instance_name",
     "parse_instance",
     "ShardMultiplexer",
@@ -61,6 +62,22 @@ def shard_of(key: Any, shards: int) -> int:
     if shards < 1:
         raise ValueError("need at least one shard")
     return zlib.crc32(str(key).encode("utf-8")) % shards
+
+
+def hub_of(shard: int, hubs: int) -> int:
+    """The hub group owning ``shard`` in a parallel-hub mesh.
+
+    Round-robin (``shard % hubs``): every hub carries the same number of
+    shards (±1), and with one hub the answer is always hub 0 — the star
+    topology is the degenerate case.  Nodes, hubs and the metrics layer
+    must all agree on this mapping, so it lives here next to
+    :func:`shard_of`.
+    """
+    if hubs < 1:
+        raise ValueError("need at least one hub")
+    if shard < 0:
+        raise ValueError("shard must be non-negative")
+    return shard % hubs
 
 
 class ShardMultiplexer(CompositeProtocol):

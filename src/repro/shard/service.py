@@ -332,16 +332,22 @@ class ShardNode(CompositeProtocol):
             return []
         shard, slot, batch, kind = effect.value
         if slot != self._slot[shard]:
-            if self.durability is not None and slot > self._slot[shard]:
-                # An own-instance decision ahead of the frontier: only
-                # possible when this node fell behind (it was down while
-                # peers kept deciding).  Buffer it and make sure a
-                # catch-up round is running to fill the gap.
+            if slot > self._slot[shard]:
+                # An own-instance decision ahead of the frontier.  With
+                # durability that means this node fell behind (it was down
+                # while peers kept deciding) — buffer it and make sure a
+                # catch-up round is running to fill the gap.  Without, it
+                # is transport reordering: a passive instance collected a
+                # quorum for slot k+1 before slot k's decision landed
+                # (independent per-hub jitter makes this routine on a
+                # mesh).  Either way the instance decides exactly once, so
+                # dropping the value would wedge the slot forever — buffer
+                # it and let the advancing frontier settle it.
                 self._future[(shard, slot)] = (batch, kind)
                 effects = [
                     self.log("shard.future-decision", shard=shard, slot=slot)
                 ]
-                if not self._recovering:
+                if self.durability is not None and not self._recovering:
                     effects.extend(self._enter_catchup())
                 return effects
             return [self.log("shard.stale-decision", shard=shard, slot=slot)]
@@ -750,6 +756,7 @@ class ShardedService:
         codec: str = "binary",
         event_sink: EventSink | None = None,
         durability: DurabilityConfig | None = None,
+        mesh: Any = None,
     ) -> None:
         self.config = SystemConfig(n, t if t is not None else max((n - 1) // 6, 0))
         if not self.config.satisfies(6):
@@ -772,6 +779,9 @@ class ShardedService:
         self.codec = codec
         self.event_sink = event_sink
         self.durability = durability
+        #: optional :class:`~repro.mesh.topology.MeshTopology` — parallel
+        #: hub groups on the socket engine; in-memory engines ignore it.
+        self.mesh = mesh
         self._plane = FaultPlane(
             self.config, faults, failure_model="byzantine", algorithm_name="shard-dex"
         )
@@ -833,6 +843,8 @@ class ShardedService:
             codec=self.codec,
             restarts=restarts,
             durability=self.durability,
+            mesh=self.mesh,
+            shards=self.shards,
         )
 
     def run(self, count: int = 16, timeout: float = 30.0) -> ShardReport:
@@ -855,7 +867,11 @@ class ShardedService:
         through the service — the entry point the admission-controlled
         frontend (:mod:`repro.frontend`) feeds with whatever the queues
         accepted, as opposed to :meth:`run`'s self-generated workload."""
-        shard_sink = ShardStreamSink(self.shards, uc_step_cost=self.uc_step_cost)
+        shard_sink = ShardStreamSink(
+            self.shards,
+            uc_step_cost=self.uc_step_cost,
+            hubs=getattr(self.mesh, "hubs", 1) if self.mesh is not None else 1,
+        )
         sink = combine(shard_sink, self.event_sink)
         deployment = self.deployment(arrivals, sink)
         if self.engine == "net":

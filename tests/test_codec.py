@@ -59,6 +59,7 @@ from repro.durable.recovery import CatchUpReply, CatchUpRequest, SlotDecided
 from repro.durable.snapshot import ShardSnapshot
 from repro.durable.wal import ApplyRecord, DecideRecord, ProposeRecord
 from repro.frontend.socket import ClientRejected, ClientReply, ClientSubmit
+from repro.mesh.wire import HubHello, HubReady, HubSaturated, HubStats, MsgRelay
 from repro.net.wire import (
     FrameDecoder,
     Hello,
@@ -126,6 +127,11 @@ def golden_messages():
         ClientSubmit(17, "k3", 42),                                   # tag 48
         ClientReply(17, 1, 5, 2),                                     # tag 49
         ClientRejected(18, "shed", 0),                                # tag 50
+        HubHello(-1, CODEC_BINARY),                                   # tag 56
+        MsgRelay(1, 2, _consensus_envelope(), 3),                     # tag 57
+        HubStats(1, 64, 4096, 32, 30, 2, 0),                          # tag 58
+        HubSaturated(1, 513, 512),                                    # tag 59
+        HubReady(1, 7),                                               # tag 60
         # one frame of plain values covering the non-struct value tags:
         (None, True, False, 0, -1, 7, 2**40, -(2**40), 3.5, "", "héllo",
          b"\x00\xff", (), (1, (2, 3)), [1, [2]], {"a": 1, 2: None},

@@ -133,6 +133,7 @@ class TestScenarioDataclass:
         "net_jitter",
         "codec",
         "durability",
+        "mesh",
         "config",
     }
 

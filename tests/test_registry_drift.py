@@ -20,7 +20,8 @@ from repro.codec.schema import check_registry, registered_entries
 #: The pinned wire registry: tag -> (qualified class name, field order,
 #: blob fields).  APPEND ONLY — editing an existing row is a wire break.
 #: Tag blocks: 1-12 wire control plane, 16-25 protocol payloads, 32-38
-#: durable records, 48-50 client-facing frontend protocol.
+#: durable records, 48-50 client-facing frontend protocol, 56-60 mesh
+#: hub-to-hub protocol.
 PINNED_REGISTRY = {
     1: ("repro.net.wire.Hello", ("pid", "codec"), ()),
     2: ("repro.net.wire.Start", (), ()),
@@ -58,6 +59,15 @@ PINNED_REGISTRY = {
         (),
     ),
     50: ("repro.frontend.socket.ClientRejected", ("request_id", "reason", "shard"), ()),
+    56: ("repro.mesh.wire.HubHello", ("hub", "codec"), ()),
+    57: ("repro.mesh.wire.MsgRelay", ("src", "dst", "payload", "depth"), ("payload",)),
+    58: (
+        "repro.mesh.wire.HubStats",
+        ("hub", "frames", "bytes", "sent", "delivered", "relayed", "saturated"),
+        (),
+    ),
+    59: ("repro.mesh.wire.HubSaturated", ("hub", "depth", "high_water"), ()),
+    60: ("repro.mesh.wire.HubReady", ("hub", "nodes"), ()),
 }
 
 
@@ -84,12 +94,14 @@ class TestRegistryDrift:
     def test_tag_blocks_stay_in_their_lanes(self):
         """The block layout is a convention worth enforcing: control plane
         < 16, protocol payloads < 32, durable records < 48, client block
-        48+ — so future tags land in the right neighborhood."""
+        48-55, mesh block 56+ — so future tags land in the right
+        neighborhood."""
         lanes = {
             "repro.net.wire": range(1, 16),
             "repro.runtime.effects": range(1, 16),
             "repro.durable": range(32, 48),
-            "repro.frontend": range(48, 64),
+            "repro.frontend": range(48, 56),
+            "repro.mesh": range(56, 64),
         }
         for entry in registered_entries():
             module = entry.cls.__module__
